@@ -1,0 +1,188 @@
+// Command skope runs the analytical co-design pipeline on one benchmark:
+// it profiles the workload locally, translates it into a SKOPE-style code
+// skeleton, builds the Bayesian Execution Tree, projects per-block
+// performance on a target machine with the extended roofline model, and
+// reports hot spots, bottleneck breakdowns and the hot path. With
+// -validate it additionally runs the machine timing simulator and reports
+// the selection quality against the measured profile.
+//
+// Usage:
+//
+//	skope -bench sord -machine bgq [-scale 1] [-show all] [-validate]
+//	skope -source app.ml -machine xeon -validate     # your own minilang file
+//
+// Benchmarks: sord, chargei, srad, cfd, stassuij.
+// Machines: bgq, xeon, future.
+// Sections (-show, comma separated): skeleton, bet, spots, breakdown,
+// path, dot, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/pipeline"
+	"skope/internal/workloads"
+)
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.bench, "bench", "sord", "benchmark name (sord, chargei, srad, cfd, stassuij)")
+	flag.StringVar(&cfg.source, "source", "", "analyze a minilang source file instead of a built-in benchmark")
+	flag.StringVar(&cfg.machine, "machine", "bgq", "target machine preset (bgq, xeon)")
+	flag.StringVar(&cfg.machineFile, "machine-file", "", "JSON machine description (overrides -machine; see hw.SaveConfig)")
+	flag.Float64Var(&cfg.scale, "scale", 1, "workload scale factor")
+	flag.StringVar(&cfg.show, "show", "spots,breakdown,path", "comma-separated sections: skeleton,bet,spots,breakdown,path,dot,all")
+	flag.BoolVar(&cfg.validate, "validate", false, "also simulate the workload and report selection quality")
+	flag.Float64Var(&cfg.coverage, "coverage", 0.90, "hot-spot time coverage target")
+	flag.Float64Var(&cfg.leanness, "leanness", 0.50, "hot-spot code leanness budget")
+	flag.IntVar(&cfg.maxSpots, "spots", 10, "maximum hot spots to select (0 = unlimited)")
+	flag.BoolVar(&cfg.list, "list", false, "list benchmarks and machine presets, then exit")
+	flag.Parse()
+	if err := run(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "skope:", err)
+		os.Exit(1)
+	}
+}
+
+// config carries the parsed command line.
+type config struct {
+	bench, source, machine, machineFile, show string
+	scale, coverage, leanness                 float64
+	maxSpots                                  int
+	validate, list                            bool
+}
+
+func run(out io.Writer, cfg config) error {
+	if cfg.list {
+		fmt.Fprintln(out, "benchmarks:")
+		for _, n := range workloads.Names() {
+			w, _ := workloads.Get(n, workloads.Scale(cfg.scale))
+			fmt.Fprintf(out, "  %-10s %s\n", n, w.Description)
+		}
+		fmt.Fprintln(out, "machines:")
+		names := make([]string, 0, len(hw.Presets()))
+		for n := range hw.Presets() {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			m, _ := hw.Preset(n)
+			fmt.Fprintf(out, "  %-10s %s (%.2g GHz, %d-wide, %.3g GB/s)\n",
+				n, m.Name, m.FreqGHz, m.IssueWidth, m.MemBandwidthGBs)
+		}
+		return nil
+	}
+	var m *hw.Machine
+	var err error
+	if cfg.machineFile != "" {
+		m, err = hw.LoadConfig(cfg.machineFile)
+	} else {
+		m, err = hw.Preset(cfg.machine)
+	}
+	if err != nil {
+		return err
+	}
+	sections := map[string]bool{}
+	for _, s := range strings.Split(cfg.show, ",") {
+		sections[strings.TrimSpace(s)] = true
+	}
+	if sections["all"] {
+		for _, s := range []string{"skeleton", "bet", "spots", "breakdown", "path", "dot"} {
+			sections[s] = true
+		}
+	}
+
+	var w *workloads.Workload
+	if cfg.source != "" {
+		text, err := os.ReadFile(cfg.source)
+		if err != nil {
+			return err
+		}
+		w = &workloads.Workload{
+			Name:        cfg.source,
+			Description: "user program " + cfg.source,
+			Source:      string(text),
+			Seed:        1,
+		}
+	} else {
+		w, err = workloads.Get(cfg.bench, workloads.Scale(cfg.scale))
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "# %s\n\n", w.Description)
+	run, err := pipeline.Prepare(w)
+	if err != nil {
+		return err
+	}
+	if len(run.Skeleton.Warnings) > 0 {
+		fmt.Fprintln(out, "## translation warnings")
+		for _, warn := range run.Skeleton.Warnings {
+			fmt.Fprintln(out, " -", warn)
+		}
+		fmt.Fprintln(out)
+	}
+	if sections["skeleton"] {
+		fmt.Fprintln(out, "## generated code skeleton")
+		fmt.Fprintln(out, run.Skeleton.Text)
+	}
+	if sections["bet"] {
+		fmt.Fprintf(out, "## Bayesian execution tree (%d nodes, size ratio %.2f)\n\n",
+			run.BET.NumNodes(), run.BET.SizeRatio())
+		fmt.Fprintln(out, run.BET.Dump())
+	}
+
+	crit := hotspot.Criteria{TimeCoverage: cfg.coverage, CodeLeanness: cfg.leanness, MaxSpots: cfg.maxSpots}
+	ev, err := pipeline.Evaluate(run, m, crit)
+	if err != nil {
+		return err
+	}
+
+	if sections["spots"] {
+		fmt.Fprintf(out, "## projected hot spots on %s (coverage %.1f%%, leanness %.1f%%)\n\n",
+			m.Name, 100*ev.Selection.Coverage, 100*ev.Selection.Leanness)
+		for i, s := range ev.Selection.Spots {
+			bound := "compute-bound"
+			if s.MemoryBound {
+				bound = "memory-bound"
+			}
+			fmt.Fprintf(out, "%2d. %-30s %6.2f%%  x%.4g  %s\n",
+				i+1, s.BlockID, 100*ev.Analysis.Coverage(s), s.Invocations, bound)
+		}
+		fmt.Fprintln(out)
+	}
+	if sections["breakdown"] {
+		fmt.Fprintf(out, "## per-spot time breakdown on %s (model)\n\n", m.Name)
+		fmt.Fprintf(out, "%-30s %10s %10s %10s\n", "block", "comp-only%", "overlap%", "mem-only%")
+		for _, s := range ev.Analysis.TopN(10) {
+			if s.T <= 0 {
+				continue
+			}
+			fmt.Fprintf(out, "%-30s %10.1f %10.1f %10.1f\n", s.BlockID,
+				100*(s.Tc-s.To)/s.T, 100*s.To/s.T, 100*(s.Tm-s.To)/s.T)
+		}
+		fmt.Fprintln(out)
+	}
+	if sections["path"] {
+		fmt.Fprintln(out, "## hot path")
+		fmt.Fprintln(out, ev.HotPath.Render())
+	}
+	if sections["dot"] {
+		fmt.Fprintln(out, "## hot path (graphviz)")
+		fmt.Fprintln(out, ev.HotPath.DOT())
+	}
+	if cfg.validate {
+		fmt.Fprintf(out, "## validation against the %s timing simulator\n\n", m.Name)
+		fmt.Fprintln(out, ev.Prof.String())
+		fmt.Fprintf(out, "selection quality (top-10): %.3f\n", ev.Quality)
+		fmt.Fprintf(out, "selection quality (criteria selection): %.3f\n", ev.SelectionQuality)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"skope/internal/hw"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, config{list: true, scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"benchmarks:", "sord", "stassuij", "machines:", "bgq", "xeon"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAnalysis(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := config{
+		bench: "srad", machine: "bgq", scale: 1,
+		show: "spots,breakdown,path", coverage: 0.9, leanness: 0.5, maxSpots: 10,
+	}
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SRAD", "projected hot spots", "time breakdown", "hot path", "HOT SPOT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunValidate(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := config{
+		bench: "stassuij", machine: "xeon", scale: 1,
+		show: "spots", coverage: 0.9, leanness: 0.5, maxSpots: 10, validate: true,
+	}
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "selection quality (top-10):") {
+		t.Errorf("validation section missing:\n%s", buf.String())
+	}
+}
+
+func TestRunMachineFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	m := hw.BGQ()
+	m.Name = "CustomQ"
+	if err := hw.SaveConfig(path, m); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg := config{
+		bench: "srad", machineFile: path, scale: 1,
+		show: "spots", coverage: 0.9, leanness: 0.5, maxSpots: 3,
+	}
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CustomQ") {
+		t.Errorf("custom machine not used:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, config{bench: "nosuch", machine: "bgq", scale: 1, show: "spots"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run(&buf, config{bench: "srad", machine: "vax", scale: 1, show: "spots"}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := run(&buf, config{bench: "srad", machineFile: "/nonexistent.json", scale: 1, show: "spots"}); err == nil {
+		t.Error("missing machine file accepted")
+	}
+}
+
+func TestRunUserSource(t *testing.T) {
+	src := `
+global n: int = 64;
+global a: [n]float;
+func main() {
+  for i = 0 .. n {
+    a[i] = exp(a[i]) * 0.5;
+  }
+}
+`
+	path := filepath.Join(t.TempDir(), "app.ml")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg := config{
+		source: path, machine: "future", scale: 1,
+		show: "spots", coverage: 0.9, leanness: 1, maxSpots: 5, validate: true,
+	}
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "user program") || !strings.Contains(out, "FutureNode") {
+		t.Errorf("user-source output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "selection quality") {
+		t.Errorf("validation missing:\n%s", out)
+	}
+}

@@ -1,0 +1,137 @@
+// Command skopebench regenerates every table and figure of the paper's
+// evaluation section on the simulator substrate and prints them in order.
+// With -out it additionally writes the full report to a file (used to
+// produce EXPERIMENTS.md data).
+//
+// Usage:
+//
+//	skopebench [-scale 1] [-out results.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"skope/internal/experiments"
+	"skope/internal/report"
+	"skope/internal/workloads"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 1, "workload scale factor")
+		out   = flag.String("out", "", "also write the report to this file")
+	)
+	flag.Parse()
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skopebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	if err := run(w, workloads.Scale(*scale)); err != nil {
+		fmt.Fprintln(os.Stderr, "skopebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, scale workloads.Scale) error {
+	ctx := experiments.NewContext(scale)
+	section := func(title string) { fmt.Fprintf(w, "\n==================== %s ====================\n\n", title) }
+
+	type textExp struct {
+		title string
+		f     func(*experiments.Context) (string, error)
+	}
+	type tableExp struct {
+		title string
+		f     func(*experiments.Context) (*report.Table, error)
+	}
+	type seriesExp struct {
+		title string
+		f     func(*experiments.Context) (*report.Series, error)
+	}
+
+	for _, e := range []textExp{
+		{"FIG2: pedagogical skeleton / BST / BET", experiments.Fig2},
+		{"FIG3: individual and merged hot paths", experiments.Fig3},
+	} {
+		section(e.title)
+		s, err := e.f(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, s)
+	}
+
+	for _, e := range []tableExp{
+		{"TAB1: top-10 hot spots, Prof vs Modl", experiments.Table1},
+		{"TAB1b: cross-machine portability", experiments.Table1Portability},
+		{"TAB2: CFD top-10 hot spots", experiments.Table2},
+		{"FIG4: SORD selection quality incl. cross-machine", experiments.Fig4},
+	} {
+		section(e.title)
+		t, err := e.f(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, t)
+	}
+
+	for _, e := range []seriesExp{
+		{"FIG5: SORD coverage curves on Xeon", experiments.Fig5},
+		{"SENS: cache-hit-ratio sensitivity (extension)", experiments.HitRateSensitivity},
+		{"FIG10: CFD coverage curves on BG/Q", experiments.Fig10},
+		{"FIG11: SRAD coverage curves on BG/Q", experiments.Fig11},
+		{"FIG12: CHARGEI coverage curves on BG/Q", experiments.Fig12},
+		{"FIG13: STASSUIJ coverage curves on BG/Q", experiments.Fig13},
+	} {
+		section(e.title)
+		s, err := e.f(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, s)
+	}
+
+	for _, e := range []tableExp{
+		{"FIG6: SORD time breakdown on BG/Q", experiments.Fig6},
+		{"FIG7: SORD time breakdown on Xeon", experiments.Fig7},
+		{"FIG8: SORD measured issue rate / L1 behaviour", experiments.Fig8},
+	} {
+		section(e.title)
+		t, err := e.f(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, t)
+	}
+
+	section("FIG9: SORD hot path on BG/Q")
+	s, err := experiments.Fig9(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, s)
+
+	for _, e := range []tableExp{
+		{"BETSZ: BET size vs source", experiments.BETSizes},
+		{"QAVG: selection quality, all cases", experiments.QualitySummary},
+		{"ABL: error-source ablations", experiments.Ablations},
+		{"FUT: conceptual future-machine projection (extension)", experiments.FutureProjection},
+	} {
+		section(e.title)
+		t, err := e.f(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, t)
+	}
+	return nil
+}

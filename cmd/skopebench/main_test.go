@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"skope/internal/workloads"
+)
+
+// TestRunFullReport drives the entire evaluation once and checks every
+// section header appears. This is the repository's broadest integration
+// test (all five benchmarks, both machines, every artifact).
+func TestRunFullReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, workloads.ScaleTest); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"FIG2", "FIG3", "TAB1", "TAB1b", "TAB2", "FIG4", "SENS",
+		"FIG5", "FIG10", "FIG11", "FIG12", "FIG13",
+		"FIG6", "FIG7", "FIG8", "FIG9", "BETSZ", "QAVG", "ABL", "FUT",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section %s", want)
+		}
+	}
+	if !strings.Contains(out, "average") {
+		t.Error("quality summary lacks average row")
+	}
+}

@@ -1,0 +1,191 @@
+// Command skopec analyzes a code-skeleton file: the original SKOPE
+// workflow, where skeletons are written (or generated) ahead of time and
+// analyzed against machine models without any application execution.
+//
+// Usage:
+//
+//	skopec -file app.skel -input "n=2048,m=2048" [-entry main]
+//	       [-machine bgq | -machine-file m.json]
+//	       [-show bet,spots,breakdown,path,dot] [-spots 10]
+//
+// The input string binds the skeleton's free variables (array dimensions,
+// developer hints). Every section is pure analysis — nothing is executed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"skope/internal/bst"
+	"skope/internal/core"
+	"skope/internal/expr"
+	"skope/internal/hotpath"
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/libmodel"
+	"skope/internal/skeleton"
+)
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.file, "file", "", "skeleton file to analyze (required)")
+	flag.StringVar(&cfg.input, "input", "", "input bindings, e.g. \"n=2048,m=512\"")
+	flag.StringVar(&cfg.entry, "entry", "main", "entry function")
+	flag.StringVar(&cfg.machine, "machine", "bgq", "machine preset (bgq, xeon)")
+	flag.StringVar(&cfg.machineFile, "machine-file", "", "JSON machine description (overrides -machine)")
+	flag.StringVar(&cfg.show, "show", "spots,path", "sections: bet,spots,breakdown,path,dot")
+	flag.IntVar(&cfg.maxSpots, "spots", 10, "maximum hot spots (0 = unlimited)")
+	flag.Float64Var(&cfg.coverage, "coverage", 0.90, "time coverage target")
+	flag.Float64Var(&cfg.leanness, "leanness", 1.0, "code leanness budget")
+	flag.Parse()
+	if err := run(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "skopec:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	file, input, entry, machine, machineFile, show string
+	maxSpots                                       int
+	coverage, leanness                             float64
+}
+
+// parseInput parses "n=2048,m=512" into an environment. Values are
+// expressions over earlier bindings, so "n=64,m=n*2" works.
+func parseInput(s string) (expr.Env, error) {
+	env := expr.Env{}
+	if strings.TrimSpace(s) == "" {
+		return env, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		eq := strings.IndexByte(pair, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("bad input binding %q (want name=value)", pair)
+		}
+		name := strings.TrimSpace(pair[:eq])
+		valSrc := strings.TrimSpace(pair[eq+1:])
+		if v, err := strconv.ParseFloat(valSrc, 64); err == nil {
+			env[name] = v
+			continue
+		}
+		e, err := expr.Parse(valSrc)
+		if err != nil {
+			return nil, fmt.Errorf("binding %s: %v", name, err)
+		}
+		v, err := e.Eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("binding %s: %v", name, err)
+		}
+		env[name] = v
+	}
+	return env, nil
+}
+
+func run(out io.Writer, cfg config) error {
+	if cfg.file == "" {
+		return fmt.Errorf("-file is required")
+	}
+	text, err := os.ReadFile(cfg.file)
+	if err != nil {
+		return err
+	}
+	prog, err := skeleton.Parse(cfg.file, string(text))
+	if err != nil {
+		return err
+	}
+	if err := skeleton.ValidateEntry(prog, cfg.entry); err != nil {
+		return err
+	}
+	input, err := parseInput(cfg.input)
+	if err != nil {
+		return err
+	}
+	var m *hw.Machine
+	if cfg.machineFile != "" {
+		m, err = hw.LoadConfig(cfg.machineFile)
+	} else {
+		m, err = hw.Preset(cfg.machine)
+	}
+	if err != nil {
+		return err
+	}
+
+	tree, err := bst.Build(prog)
+	if err != nil {
+		return err
+	}
+	bet, err := core.Build(tree, input, &core.Options{Entry: cfg.entry})
+	if err != nil {
+		return err
+	}
+	libs, err := libmodel.Default()
+	if err != nil {
+		return err
+	}
+	analysis, err := hotspot.Analyze(bet, hw.NewModel(m), libs)
+	if err != nil {
+		return err
+	}
+	sel := hotspot.Select(analysis, hotspot.Criteria{
+		TimeCoverage: cfg.coverage, CodeLeanness: cfg.leanness, MaxSpots: cfg.maxSpots,
+	})
+	path := hotpath.Extract(bet.Root, sel.Spots)
+
+	sections := map[string]bool{}
+	for _, s := range strings.Split(cfg.show, ",") {
+		sections[strings.TrimSpace(s)] = true
+	}
+
+	fmt.Fprintf(out, "# %s on %s, input %s\n", cfg.file, m.Name, expr.FormatEnv(input))
+	fmt.Fprintf(out, "BET: %d nodes (size ratio %.2f), projected total %.4g s\n\n",
+		bet.NumNodes(), bet.SizeRatio(), analysis.TotalTime)
+	if sections["bet"] {
+		fmt.Fprintln(out, "## Bayesian execution tree")
+		fmt.Fprintln(out, bet.Dump())
+	}
+	if sections["spots"] {
+		fmt.Fprintf(out, "## hot spots (coverage %.1f%%)\n\n", 100*sel.Coverage)
+		for i, s := range sel.Spots {
+			bound := "compute"
+			if s.MemoryBound {
+				bound = "memory"
+			}
+			kind := ""
+			switch {
+			case s.IsLib:
+				kind = " [library]"
+			case s.IsComm:
+				kind = " [comm]"
+			}
+			fmt.Fprintf(out, "%2d. %-30s %6.2f%%  %s-bound%s\n",
+				i+1, s.BlockID, 100*analysis.Coverage(s), bound, kind)
+		}
+		fmt.Fprintln(out)
+	}
+	if sections["breakdown"] {
+		fmt.Fprintf(out, "## per-spot breakdown\n\n%-30s %10s %10s %10s\n",
+			"block", "comp-only%", "overlap%", "mem-only%")
+		for _, s := range analysis.TopN(cfg.maxSpots) {
+			if s.T <= 0 {
+				continue
+			}
+			fmt.Fprintf(out, "%-30s %10.1f %10.1f %10.1f\n", s.BlockID,
+				100*(s.Tc-s.To)/s.T, 100*s.To/s.T, 100*(s.Tm-s.To)/s.T)
+		}
+		fmt.Fprintln(out)
+	}
+	if sections["path"] {
+		fmt.Fprintln(out, "## hot path")
+		fmt.Fprintln(out, path.Render())
+	}
+	if sections["dot"] {
+		fmt.Fprintln(out, "## hot path (graphviz)")
+		fmt.Fprintln(out, path.DOT())
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleSkel = `
+def main(n, ranks)
+  for t = 0 : 10 label="time"
+    for i = 0 : n label="rows"
+      comp flops=50*n loads=10*n dsize=8 name="kernel"
+    end
+    comm bytes=n*8 msgs=2 name="halo"
+    lib exp count=n name="boundary"
+  end
+end
+`
+
+func writeSkel(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "app.skel")
+	if err := os.WriteFile(path, []byte(sampleSkel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseInput(t *testing.T) {
+	env, err := parseInput("n=64, m=n*2, x=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["n"] != 64 || env["m"] != 128 || env["x"] != 1.5 {
+		t.Errorf("env = %v", env)
+	}
+	if _, err := parseInput("bad"); err == nil {
+		t.Error("malformed binding accepted")
+	}
+	if _, err := parseInput("y=z+1"); err == nil {
+		t.Error("unbound reference accepted")
+	}
+	env, err = parseInput("  ")
+	if err != nil || len(env) != 0 {
+		t.Errorf("blank input: %v, %v", env, err)
+	}
+}
+
+func TestRunFullOutput(t *testing.T) {
+	path := writeSkel(t)
+	var buf bytes.Buffer
+	cfg := config{
+		file: path, input: "n=128,ranks=4", entry: "main",
+		machine: "bgq", show: "bet,spots,breakdown,path,dot",
+		maxSpots: 10, coverage: 0.9, leanness: 1,
+	}
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"BET:", "hot spots", "kernel", "boundary", "HOT SPOT",
+		"digraph hotpath", "per-spot breakdown", "Bayesian execution tree",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The comm block must be modeled and visible when selected.
+	if !strings.Contains(out, "halo") {
+		t.Errorf("comm block absent:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, config{}); err == nil {
+		t.Error("missing -file accepted")
+	}
+	if err := run(&buf, config{file: "/nonexistent.skel"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeSkel(t)
+	if err := run(&buf, config{file: path, entry: "nosuch", machine: "bgq", show: "spots"}); err == nil {
+		t.Error("bad entry accepted")
+	}
+	if err := run(&buf, config{file: path, entry: "main", machine: "vax", show: "spots"}); err == nil {
+		t.Error("bad machine accepted")
+	}
+	// Unbound input variable (n is referenced by loop bounds) surfaces as
+	// a BET construction error.
+	if err := run(&buf, config{file: path, entry: "main", machine: "bgq", show: "spots", input: "ranks=4"}); err == nil {
+		t.Error("missing n binding accepted")
+	}
+	_ = buf
+}
+
+func TestRunMachineFile(t *testing.T) {
+	path := writeSkel(t)
+	var buf bytes.Buffer
+	cfg := config{
+		file: path, input: "n=32,ranks=1", entry: "main",
+		machineFile: filepath.Join(t.TempDir(), "missing.json"),
+		show:        "spots", maxSpots: 5, coverage: 0.9, leanness: 1,
+	}
+	if err := run(&buf, cfg); err == nil {
+		t.Error("missing machine file accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBenchmark(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, config{bench: "srad", machine: "bgq", scale: 1, top: 8}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BG/Q", "simulated time:", "caches: L1 hit", "ipc", "compute_coefficients"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, config{bench: "stassuij", machine: "xeon", scale: 1, top: 5, jsonOut: true}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("json lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, `{"rank":`) || !strings.Contains(l, `"ipc":`) {
+			t.Errorf("bad json line: %s", l)
+		}
+	}
+}
+
+func TestRunSourceFile(t *testing.T) {
+	src := "global a: [256]float;\nfunc main() { for i = 0 .. 256 { a[i] = a[i] * 2.0; } }\n"
+	path := filepath.Join(t.TempDir(), "x.ml")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, config{source: path, machine: "future", top: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FutureNode") {
+		t.Errorf("machine missing:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, config{bench: "nosuch", machine: "bgq", scale: 1, top: 5}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run(&buf, config{bench: "srad", machine: "vax", scale: 1, top: 5}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := run(&buf, config{source: "/nonexistent.ml", machine: "bgq", top: 5}); err == nil {
+		t.Error("missing source accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.ml")
+	os.WriteFile(bad, []byte("func main() { syntax error"), 0o644)
+	if err := run(&buf, config{source: bad, machine: "bgq", top: 5}); err == nil {
+		t.Error("bad source accepted")
+	}
+}

@@ -1,0 +1,14 @@
+// Package skope is a from-scratch Go reproduction of "Analytically Modeling
+// Application Execution for Software-Hardware Co-Design" (Guo, Meng, Yi,
+// Morozov, Kumaran — IPDPS 2014): a SKOPE-style toolchain that models a
+// workload's execution flow as a Bayesian Execution Tree, projects per-block
+// performance on parameterized machine models with an extended roofline, and
+// identifies hot spots and hot paths without simulating or running the
+// application on the target.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); cmd/skope and cmd/skopebench are the command-line entry points, and
+// examples/ holds runnable walkthroughs. bench_test.go in this directory
+// regenerates every table and figure of the paper's evaluation as Go
+// benchmarks.
+package skope

@@ -1,0 +1,81 @@
+// Codesign: sweep hypothetical architecture configurations and watch hot
+// spots and bottlenecks move — the software-hardware co-design use case the
+// paper motivates. No simulation runs: every point is an analytical
+// projection over the same Bayesian Execution Tree, so the sweep covers a
+// design space in milliseconds.
+//
+// The workload is CHARGEI (particle-in-cell deposition), whose balance
+// between the compute-heavy weight loop and the memory-bound scatter makes
+// the bottleneck sensitive to the machine's bandwidth and SIMD width.
+//
+// Run: go run ./examples/codesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/pipeline"
+	"skope/internal/workloads"
+)
+
+func main() {
+	run, err := pipeline.PrepareByName("chargei", workloads.ScaleTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s\n\n", run.Workload.Description)
+
+	fmt.Println("sweep 1: memory concurrency (outstanding misses; base: BG/Q-like)")
+	fmt.Printf("%-10s %-26s %-10s %-14s\n", "MLP", "top hot spot", "cov%", "bottleneck")
+	for _, mlp := range []float64{1, 2, 4, 8, 16, 32} {
+		m := hw.BGQ()
+		m.Name = fmt.Sprintf("bgq-mlp%g", mlp)
+		m.MemConcurrency = mlp
+		reportTop(run, m)
+	}
+
+	fmt.Println("\nsweep 2: memory latency")
+	fmt.Printf("%-10s %-26s %-10s %-14s\n", "lat (cyc)", "top hot spot", "cov%", "bottleneck")
+	for _, lat := range []int{60, 120, 180, 360, 720} {
+		m := hw.BGQ()
+		m.Name = fmt.Sprintf("bgq-lat%d", lat)
+		m.MemLatencyCyc = lat
+		reportTop(run, m)
+	}
+
+	fmt.Println("\nsweep 3: scalar FP throughput (flops/cycle)")
+	fmt.Printf("%-10s %-26s %-10s %-14s\n", "fp/cyc", "top hot spot", "cov%", "bottleneck")
+	for _, fp := range []float64{1, 2, 4, 8, 16} {
+		m := hw.BGQ()
+		m.Name = fmt.Sprintf("bgq-fp%g", fp)
+		m.FPOpsPerCycle = fp
+		reportTop(run, m)
+	}
+
+	fmt.Println("\nreading the sweeps: with few outstanding misses or slow memory the")
+	fmt.Println("indirect gather/scatter dominates (memory-bound); as the memory")
+	fmt.Println("system improves or FP throughput shrinks, the per-particle weight")
+	fmt.Println("computation takes over (compute-bound). A balanced design sits where")
+	fmt.Println("the top spot flips — found here in milliseconds of pure analysis,")
+	fmt.Println("with no simulation of any configuration.")
+}
+
+// reportTop projects the workload on m analytically — no simulation — and
+// prints the top hot spot and its roofline verdict.
+func reportTop(run *pipeline.Run, m *hw.Machine) {
+	analysis, err := hotspot.Analyze(run.BET, hw.NewModel(m), run.Libs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := analysis.Blocks[0]
+	bound := "compute"
+	if top.MemoryBound {
+		bound = "memory"
+	}
+	// Identify the varying parameter value from the synthetic name.
+	fmt.Printf("%-10s %-26s %-10.1f %-14s\n",
+		m.Name[len("bgq-"):], top.BlockID, 100*analysis.Coverage(top), bound)
+}

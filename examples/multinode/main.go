@@ -1,0 +1,98 @@
+// Multinode: project strong scaling of a distributed stencil code — the
+// paper's stated future work ("extend our framework to project hot regions
+// and performance bottlenecks for multi-node execution"), implemented here
+// as a first-order extension: the skeleton language gains a `comm`
+// statement and machines gain interconnect parameters.
+//
+// The skeleton below is written by hand, the original SKOPE workflow
+// (before the paper automated skeleton generation): a SORD-like 3-D
+// stencil whose k-planes are divided across MPI ranks, exchanging two halo
+// planes per time step. The example sweeps the rank count on both machine
+// models and prints where communication overtakes computation — and how
+// the hot spot flips from the stencil to the halo exchange.
+//
+// Run: go run ./examples/multinode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skope/internal/bst"
+	"skope/internal/core"
+	"skope/internal/expr"
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/skeleton"
+)
+
+const mpiStencil = `
+# SORD-like distributed stencil: nz planes split across ranks.
+def main(nx, ny, nz, ranks, nt)
+  var u[nz/ranks + 2][ny][nx]
+  set planes = nz / ranks
+  for t = 0 : nt label="time"
+    for k = 1 : planes + 1 label="kloop"
+      comp flops=34*ny*nx loads=9*ny*nx stores=2*ny*nx dsize=8 name="stencil"
+    end
+    comm bytes=8*ny*nx*8 msgs=8 name="halo"
+    if prob=0.1
+      comm bytes=8 msgs=1 name="allreduce"
+      comp flops=64 name="norm"
+    end
+  end
+end
+`
+
+func main() {
+	prog, err := skeleton.Parse("mpi-stencil", mpiStencil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := skeleton.Validate(prog); err != nil {
+		log.Fatal(err)
+	}
+	tree, err := bst.Build(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const nx, ny, nz, nt = 256, 256, 1024, 50
+	fmt.Printf("distributed stencil: %dx%dx%d grid, %d steps, halo = 4 planes in each direction per step (4th-order stencil)\n\n", nz, ny, nx, nt)
+
+	for _, machine := range []*hw.Machine{hw.BGQ(), hw.XeonE5()} {
+		model := hw.NewModel(machine)
+		fmt.Printf("--- %s (net: %.3g us, %.3g GB/s) ---\n",
+			machine.Name, machine.NetLatencyUs, machine.NetBandwidthGBs)
+		fmt.Printf("%-7s %-12s %-10s %-10s %-22s\n", "ranks", "time/rank", "comm%", "speedup", "top hot spot")
+		base := 0.0
+		for _, ranks := range []float64{1, 4, 16, 64, 128, 256, 512, 1024} {
+			input := expr.Env{"nx": nx, "ny": ny, "nz": nz, "ranks": ranks, "nt": nt}
+			bet, err := core.Build(tree, input, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			a, err := hotspot.Analyze(bet, model, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			commT := 0.0
+			for _, b := range a.Blocks {
+				if b.IsComm {
+					commT += b.T
+				}
+			}
+			if ranks == 1 {
+				base = a.TotalTime
+			}
+			fmt.Printf("%-7g %-12.4g %-10.1f %-10.1f %-22s\n",
+				ranks, a.TotalTime, 100*commT/a.TotalTime, base/a.TotalTime, a.Blocks[0].BlockID)
+		}
+		fmt.Println()
+	}
+	fmt.Println("reading the sweep: per-rank time falls while the stencil dominates,")
+	fmt.Println("then flattens as the fixed-size halo exchange takes over — the rank")
+	fmt.Println("count where the top hot spot flips to main/halo is the scaling limit")
+	fmt.Println("the co-designer must engineer around (bigger planes, wider links, or")
+	fmt.Println("overlapped communication).")
+}

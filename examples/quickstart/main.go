@@ -1,0 +1,99 @@
+// Quickstart: model a code skeleton's execution flow, identify hot spots
+// on a target machine, and print the hot path — the library's core loop in
+// ~60 lines.
+//
+// The input here is the paper's Figure-2-style pedagogical skeleton; for
+// analyzing real (minilang) sources, see examples/crossmachine and the
+// pipeline package.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skope/internal/bst"
+	"skope/internal/core"
+	"skope/internal/expr"
+	"skope/internal/hotpath"
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/libmodel"
+	"skope/internal/skeleton"
+)
+
+const workload = `
+def main(n, m)
+  var grid[n][m]
+  for t = 0 : 10 label="time"
+    call stencil(n, m)
+    if prob=0.05
+      call refine(n, m)
+    end
+  end
+  lib exp count=n name="boundary_exp"
+end
+
+def stencil(n, m)
+  for i = 1 : n - 1 label="rows"
+    comp flops=9*m loads=5*m stores=m dsize=8 name="sweep"
+  end
+end
+
+def refine(n, m)
+  comp flops=50*n*m loads=4*n*m dsize=8 name="refine_kernel"
+end
+`
+
+func main() {
+	// 1. Parse the code skeleton (normally produced by the translator
+	//    from application source plus a branch-profiling run).
+	prog, err := skeleton.Parse("quickstart", workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := skeleton.Validate(prog); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build the Bayesian Execution Tree for a concrete input. The BET
+	//    models the whole execution flow without iterating any loop, so
+	//    this is instant regardless of n and m.
+	tree, err := bst.Build(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := expr.Env{"n": 2048, "m": 2048}
+	bet, err := core.Build(tree, input, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BET: %d nodes for a %gx%g input (size ratio %.2f)\n\n",
+		bet.NumNodes(), input["n"], input["m"], bet.SizeRatio())
+
+	// 3. Project per-block times on a target machine with the extended
+	//    roofline model and select hot spots.
+	libs := libmodel.MustDefault()
+	machine := hw.BGQ()
+	analysis, err := hotspot.Analyze(bet, hw.NewModel(machine), libs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel := hotspot.Select(analysis, hotspot.Criteria{TimeCoverage: 0.95, CodeLeanness: 1, MaxSpots: 5})
+
+	fmt.Printf("hot spots on %s (%.1f%% of projected time):\n", machine.Name, 100*sel.Coverage)
+	for i, s := range sel.Spots {
+		bound := "compute"
+		if s.MemoryBound {
+			bound = "memory"
+		}
+		fmt.Printf("%2d. %-22s %6.2f%%  %s-bound, %g invocations\n",
+			i+1, s.BlockID, 100*analysis.Coverage(s), bound, s.Invocations)
+	}
+
+	// 4. Extract and print the hot path — the stripped-down execution
+	//    flow that reaches the hot spots, with contexts attached.
+	fmt.Println("\nhot path:")
+	fmt.Print(hotpath.Extract(bet.Root, sel.Spots).Render())
+}

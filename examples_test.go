@@ -1,0 +1,35 @@
+package skope_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example end to end (each is a complete
+// walkthrough of a paper use case) and checks for its key output marker.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run the full pipeline; skipped in -short mode")
+	}
+	cases := map[string]string{
+		"quickstart":   "hot path:",
+		"codesign":     "bottleneck",
+		"miniapp":      "mini-app skeleton",
+		"crossmachine": "shared blocks in the two top-10 lists",
+		"multinode":    "top hot spot",
+	}
+	for name, marker := range cases {
+		name, marker := name, marker
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), marker) {
+				t.Errorf("example %s output missing %q:\n%s", name, marker, out)
+			}
+		})
+	}
+}

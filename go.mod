@@ -1,0 +1,3 @@
+module skope
+
+go 1.22

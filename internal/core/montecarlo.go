@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"skope/internal/bst"
+	"skope/internal/expr"
+	"skope/internal/skeleton"
+)
+
+// MCOptions configure Monte Carlo skeleton execution.
+type MCOptions struct {
+	// Runs is the number of sampled executions (default 1000).
+	Runs int
+	// Seed seeds the sampler (default 1).
+	Seed uint64
+	// MaxSteps bounds the total work across all runs (default 1 << 26).
+	MaxSteps int64
+	// Entry is the entry function (default "main").
+	Entry string
+}
+
+// MonteCarlo executes the skeleton stochastically: loops actually iterate,
+// probabilistic branches and jumps are sampled, and deterministic
+// conditions are evaluated — the ground-truth semantics the Bayesian
+// Execution Tree approximates analytically. It returns the mean execution
+// count of every comp/lib/comm block per run, keyed by BlockID.
+//
+// This is the reference implementation used to validate the BET's
+// statistical formulas (expected iterations under break, probability
+// promotion for return/continue, context forking): the BET's ENR must
+// converge to these means. It costs O(runs x dynamic statements), the very
+// cost the BET exists to avoid, so it is a verification tool, not an
+// analysis path.
+func MonteCarlo(tree *bst.Tree, input expr.Env, opts *MCOptions) (map[string]float64, error) {
+	o := MCOptions{Runs: 1000, Seed: 1, MaxSteps: 1 << 26, Entry: "main"}
+	if opts != nil {
+		if opts.Runs > 0 {
+			o.Runs = opts.Runs
+		}
+		if opts.Seed != 0 {
+			o.Seed = opts.Seed
+		}
+		if opts.MaxSteps > 0 {
+			o.MaxSteps = opts.MaxSteps
+		}
+		if opts.Entry != "" {
+			o.Entry = opts.Entry
+		}
+	}
+	entry, err := tree.Func(o.Entry)
+	if err != nil {
+		return nil, err
+	}
+	if err := skeleton.ValidateEntry(tree.Prog, o.Entry); err != nil {
+		return nil, err
+	}
+	s := &sampler{tree: tree, input: input, rng: o.Seed, maxSteps: o.MaxSteps,
+		counts: map[string]float64{}}
+	for r := 0; r < o.Runs; r++ {
+		env := input.Clone()
+		if _, err := s.runBody(entry.Children, env); err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]float64, len(s.counts))
+	for id, c := range s.counts {
+		out[id] = c / float64(o.Runs)
+	}
+	return out, nil
+}
+
+// mcControl is the sampled non-local outcome of a statement.
+type mcControl int
+
+const (
+	mcNone mcControl = iota
+	mcBreak
+	mcContinue
+	mcReturn
+)
+
+type sampler struct {
+	tree     *bst.Tree
+	input    expr.Env
+	rng      uint64
+	steps    int64
+	maxSteps int64
+	counts   map[string]float64
+}
+
+func (s *sampler) rand() float64 {
+	x := s.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.rng = x
+	return float64(x*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+}
+
+func (s *sampler) errf(n *bst.Node, format string, args ...interface{}) error {
+	return fmt.Errorf("montecarlo: %s:%d (%s): %s",
+		s.tree.Prog.Source, n.Line, n.Label(), fmt.Sprintf(format, args...))
+}
+
+func (s *sampler) tick(n *bst.Node) error {
+	s.steps++
+	if s.steps > s.maxSteps {
+		return s.errf(n, "step budget exceeded (%d); shrink the input or runs", s.maxSteps)
+	}
+	return nil
+}
+
+func (s *sampler) runBody(stmts []*bst.Node, env expr.Env) (mcControl, error) {
+	for _, sn := range stmts {
+		ctrl, err := s.runStmt(sn, env)
+		if err != nil || ctrl != mcNone {
+			return ctrl, err
+		}
+	}
+	return mcNone, nil
+}
+
+func (s *sampler) runStmt(sn *bst.Node, env expr.Env) (mcControl, error) {
+	if err := s.tick(sn); err != nil {
+		return mcNone, err
+	}
+	switch sn.Kind {
+	case bst.KindComp, bst.KindLib, bst.KindComm:
+		s.counts[sn.BlockID()]++
+		return mcNone, nil
+
+	case bst.KindVar:
+		return mcNone, nil
+
+	case bst.KindSet:
+		st := sn.Stmt.(*skeleton.Set)
+		v, err := st.Value.Eval(env)
+		if err != nil {
+			return mcNone, s.errf(sn, "%v", err)
+		}
+		env[st.Name] = v
+		return mcNone, nil
+
+	case bst.KindLoop:
+		lp := sn.Stmt.(*skeleton.Loop)
+		from, err := lp.From.Eval(env)
+		if err != nil {
+			return mcNone, s.errf(sn, "%v", err)
+		}
+		to, err := lp.To.Eval(env)
+		if err != nil {
+			return mcNone, s.errf(sn, "%v", err)
+		}
+		step := 1.0
+		if lp.Step != nil {
+			if step, err = lp.Step.Eval(env); err != nil {
+				return mcNone, s.errf(sn, "%v", err)
+			}
+		}
+		if step == 0 {
+			return mcNone, s.errf(sn, "zero step")
+		}
+		saved, had := env[lp.Var]
+		for i := from; (step > 0 && i < to) || (step < 0 && i > to); i += step {
+			if err := s.tick(sn); err != nil {
+				return mcNone, err
+			}
+			env[lp.Var] = i
+			ctrl, err := s.runBody(sn.Children, env)
+			if err != nil {
+				return mcNone, err
+			}
+			if ctrl == mcBreak {
+				break
+			}
+			if ctrl == mcReturn {
+				s.restore(env, lp.Var, saved, had)
+				return mcReturn, nil
+			}
+		}
+		s.restore(env, lp.Var, saved, had)
+		return mcNone, nil
+
+	case bst.KindWhile:
+		wh := sn.Stmt.(*skeleton.While)
+		iters, err := wh.Iters.Eval(env)
+		if err != nil {
+			return mcNone, s.errf(sn, "%v", err)
+		}
+		// A while's statistical trip count may be fractional: sample the
+		// remainder as a Bernoulli extra iteration.
+		n := int(iters)
+		if s.rand() < iters-float64(n) {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			if err := s.tick(sn); err != nil {
+				return mcNone, err
+			}
+			ctrl, err := s.runBody(sn.Children, env)
+			if err != nil {
+				return mcNone, err
+			}
+			if ctrl == mcBreak {
+				break
+			}
+			if ctrl == mcReturn {
+				return mcReturn, nil
+			}
+		}
+		return mcNone, nil
+
+	case bst.KindBranch:
+		// Arms are tried in order; a CondProb p is the conditional
+		// fall-through probability given that no earlier arm was taken —
+		// exactly the BET's elif-chain semantics.
+		for _, arm := range sn.Children {
+			var take bool
+			switch arm.Kind {
+			case bst.KindCase:
+				cond := arm.Case.Cond
+				switch cond.Kind {
+				case skeleton.CondExpr:
+					v, err := cond.X.Eval(env)
+					if err != nil {
+						return mcNone, s.errf(arm, "%v", err)
+					}
+					take = v != 0
+				case skeleton.CondProb:
+					p, err := cond.X.Eval(env)
+					if err != nil {
+						return mcNone, s.errf(arm, "%v", err)
+					}
+					take = s.rand() < clamp01(p)
+				}
+			case bst.KindElse:
+				take = true
+			}
+			if take {
+				return s.runBody(arm.Children, env)
+			}
+		}
+		return mcNone, nil
+
+	case bst.KindCall:
+		st := sn.Stmt.(*skeleton.Call)
+		calleeRoot, err := s.tree.Func(st.Func)
+		if err != nil {
+			return mcNone, s.errf(sn, "%v", err)
+		}
+		calleeEnv := s.input.Clone()
+		for i, param := range calleeRoot.Fn.Params {
+			v, err := st.Args[i].Eval(env)
+			if err != nil {
+				return mcNone, s.errf(sn, "%v", err)
+			}
+			calleeEnv[param] = v
+		}
+		if _, err := s.runBody(calleeRoot.Children, calleeEnv); err != nil {
+			return mcNone, err
+		}
+		return mcNone, nil
+
+	case bst.KindReturn:
+		return s.jump(sn, env, mcReturn)
+	case bst.KindBreak:
+		return s.jump(sn, env, mcBreak)
+	case bst.KindContinue:
+		return s.jump(sn, env, mcContinue)
+	}
+	return mcNone, s.errf(sn, "unhandled kind %s", sn.Kind)
+}
+
+func (s *sampler) jump(sn *bst.Node, env expr.Env, ctrl mcControl) (mcControl, error) {
+	var probX expr.Expr
+	switch st := sn.Stmt.(type) {
+	case *skeleton.Return:
+		probX = st.Prob
+	case *skeleton.Break:
+		probX = st.Prob
+	case *skeleton.Continue:
+		probX = st.Prob
+	}
+	p := 1.0
+	if probX != nil {
+		v, err := probX.Eval(env)
+		if err != nil {
+			return mcNone, s.errf(sn, "%v", err)
+		}
+		p = clamp01(v)
+	}
+	if s.rand() < p {
+		return ctrl, nil
+	}
+	return mcNone, nil
+}
+
+func (s *sampler) restore(env expr.Env, name string, saved float64, had bool) {
+	if had {
+		env[name] = saved
+	} else {
+		delete(env, name)
+	}
+}
+
+// RelErr is a helper for comparing Monte Carlo means against analytical
+// expectations: |a-b| / max(|b|, floor).
+func RelErr(a, b, floor float64) float64 {
+	d := math.Abs(a - b)
+	den := math.Max(math.Abs(b), floor)
+	return d / den
+}

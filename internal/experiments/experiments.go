@@ -1,0 +1,541 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII) on the simulator substrate. Each experiment has a
+// driver function returning a renderable artifact; cmd/skopebench prints
+// them all and bench_test.go exposes one testing.B benchmark per artifact.
+//
+// Artifact index (see DESIGN.md for the full mapping):
+//
+//	FIG2  pedagogical skeleton / BST / BET views
+//	FIG3  individual and merged hot paths for the pedagogical example
+//	TAB1  top-10 hot spots, Prof vs Modl, both machines, five benchmarks
+//	TAB2  CFD top-10 hot spots with coverage
+//	FIG4  SORD hot-spot selection quality incl. cross-machine portability
+//	FIG5  SORD coverage curves on Xeon
+//	FIG6  per-spot compute/memory/overlap breakdown, SORD on BG/Q
+//	FIG7  same on Xeon
+//	FIG8  measured issue rate and instructions-per-L1-miss per hot spot
+//	FIG9  SORD hot path on BG/Q
+//	FIG10..FIG13  coverage curves for CFD, SRAD, CHARGEI, STASSUIJ
+//	BETSZ BET-size-to-source ratios (§IV-B claim)
+//	QAVG  selection quality for all ten workload x machine cases
+//	ABL   ablations of the paper's two known error sources (divisions,
+//	      vectorization)
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"skope/internal/hotpath"
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/pipeline"
+	"skope/internal/profile"
+	"skope/internal/report"
+	"skope/internal/workloads"
+)
+
+// Context caches prepared runs and machine evaluations so a sequence of
+// experiments reuses the expensive profiling and simulation passes.
+type Context struct {
+	// Scale selects workload input sizes.
+	Scale workloads.Scale
+	// Crit is the hot-spot selection criteria (ScaledCriteria by default).
+	Crit hotspot.Criteria
+
+	runs  map[string]*pipeline.Run
+	evals map[string]*pipeline.Eval
+}
+
+// NewContext returns a context at the given scale with scaled criteria.
+func NewContext(s workloads.Scale) *Context {
+	return &Context{
+		Scale: s,
+		Crit:  hotspot.ScaledCriteria(),
+		runs:  map[string]*pipeline.Run{},
+		evals: map[string]*pipeline.Eval{},
+	}
+}
+
+// Machines returns the two paper machines keyed by short name.
+func Machines() map[string]*hw.Machine {
+	return map[string]*hw.Machine{"bgq": hw.BGQ(), "xeon": hw.XeonE5()}
+}
+
+// Run returns the prepared pipeline run for a benchmark, cached.
+func (c *Context) Run(name string) (*pipeline.Run, error) {
+	if r, ok := c.runs[name]; ok {
+		return r, nil
+	}
+	r, err := pipeline.PrepareByName(name, c.Scale)
+	if err != nil {
+		return nil, err
+	}
+	c.runs[name] = r
+	return r, nil
+}
+
+// Eval returns the cached evaluation of a benchmark on a machine ("bgq" or
+// "xeon").
+func (c *Context) Eval(name, mach string) (*pipeline.Eval, error) {
+	key := name + "/" + mach
+	if e, ok := c.evals[key]; ok {
+		return e, nil
+	}
+	m, ok := Machines()[mach]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown machine %q", mach)
+	}
+	run, err := c.Run(name)
+	if err != nil {
+		return nil, err
+	}
+	e, err := pipeline.Evaluate(run, m, c.Crit)
+	if err != nil {
+		return nil, err
+	}
+	c.evals[key] = e
+	return e, nil
+}
+
+// Fig2 renders the pedagogical example's three views: the code skeleton,
+// its Block Skeleton Tree, and the Bayesian Execution Tree with contexts
+// and probabilities (the paper's Figure 2).
+func Fig2(c *Context) (string, error) {
+	prog, env, bet, err := pedagogicalBET()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("--- Figure 2(a): code skeleton ---\n")
+	b.WriteString(formatSkeleton(prog))
+	b.WriteString("\n--- Figure 2(b): block skeleton tree ---\n")
+	b.WriteString(bet.Tree.Dump())
+	fmt.Fprintf(&b, "\n--- Figure 2(c): Bayesian execution tree (input %s) ---\n", envString(env))
+	b.WriteString(bet.Dump())
+	fmt.Fprintf(&b, "\nBET nodes: %d, source statements: %d, size ratio: %.2f\n",
+		bet.NumNodes(), bet.Tree.Prog.StaticStatements(), bet.SizeRatio())
+	return b.String(), nil
+}
+
+// Fig3 renders the pedagogical example's individual hot-spot paths and the
+// merged hot path (the paper's Figure 3).
+func Fig3(c *Context) (string, error) {
+	_, _, bet, err := pedagogicalBET()
+	if err != nil {
+		return "", err
+	}
+	libs, err := libModel()
+	if err != nil {
+		return "", err
+	}
+	a, err := hotspot.Analyze(bet, hw.NewModel(hw.BGQ()), libs)
+	if err != nil {
+		return "", err
+	}
+	sel := hotspot.Select(a, hotspot.Criteria{TimeCoverage: 0.95, CodeLeanness: 1, MaxSpots: 3})
+	var b strings.Builder
+	b.WriteString("--- Figure 3(a): individual paths per hot spot ---\n")
+	for _, path := range hotpath.Individual(sel.Spots) {
+		labels := make([]string, len(path))
+		for i, n := range path {
+			labels[i] = n.Label()
+		}
+		fmt.Fprintf(&b, "%s\n", strings.Join(labels, " -> "))
+	}
+	b.WriteString("\n--- Figure 3(b): merged hot path ---\n")
+	b.WriteString(hotpath.Extract(bet.Root, sel.Spots).Render())
+	return b.String(), nil
+}
+
+// Table1 reproduces Table I: the top-10 hot spots of every benchmark on
+// both machines, measured (Prof) versus model-projected (Modl), with match
+// markers. The paper's observation that hot-spot lists differ across
+// machines is reported in the companion portability table (Fig4 for SORD).
+func Table1(c *Context) (*report.Table, error) {
+	t := &report.Table{
+		Title: "Table I: top-10 hot spots, Prof vs Modl (both machines)",
+		Header: []string{
+			"bench", "rank",
+			"Prof BG/Q", "Modl BG/Q", "=",
+			"Prof Xeon", "Modl Xeon", "=",
+		},
+	}
+	for _, name := range workloads.Names() {
+		q, err := c.Eval(name, "bgq")
+		if err != nil {
+			return nil, err
+		}
+		x, err := c.Eval(name, "xeon")
+		if err != nil {
+			return nil, err
+		}
+		profQ, modlQ := q.Prof.TopIDs(10), q.Modl.TopIDs(10)
+		profX, modlX := x.Prof.TopIDs(10), x.Modl.TopIDs(10)
+		n := maxLen(profQ, modlQ, profX, modlX)
+		for i := 0; i < n; i++ {
+			t.AddRow(
+				name, i+1,
+				at(profQ, i), at(modlQ, i), match(profQ, modlQ, i),
+				at(profX, i), at(modlX, i), match(profX, modlX, i),
+			)
+		}
+	}
+	return t, nil
+}
+
+// Table1Portability reports the cross-machine hot-spot overlap per
+// benchmark (the paper's §I SORD observation: only 4 of the top 10 shared).
+func Table1Portability(c *Context) (*report.Table, error) {
+	t := &report.Table{
+		Title:  "Cross-machine portability: top-10 overlap between BG/Q and Xeon (measured)",
+		Header: []string{"bench", "shared of top-10", "same order"},
+	}
+	for _, name := range workloads.Names() {
+		q, err := c.Eval(name, "bgq")
+		if err != nil {
+			return nil, err
+		}
+		x, err := c.Eval(name, "xeon")
+		if err != nil {
+			return nil, err
+		}
+		a, b := q.Prof.TopIDs(10), x.Prof.TopIDs(10)
+		same := "yes"
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				same = "no"
+				break
+			}
+		}
+		t.AddRow(name, profile.TopOverlap(a, b), same)
+	}
+	return t, nil
+}
+
+// Table2 reproduces Table II: the CFD top-10 hot spots with projected and
+// measured coverage.
+func Table2(c *Context) (*report.Table, error) {
+	ev, err := c.Eval("cfd", "bgq")
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:  "Table II: CFD top-10 hot spots on BG/Q",
+		Header: []string{"rank", "Modl block", "Modl cov%", "meas cov%", "meas rank"},
+	}
+	for i, id := range ev.Modl.TopIDs(10) {
+		t.AddRow(i+1, id,
+			fmt.Sprintf("%.2f", 100*ev.Modl.Coverage(id)),
+			fmt.Sprintf("%.2f", 100*ev.Prof.Coverage(id)),
+			ev.Prof.RankOf(id))
+	}
+	return t, nil
+}
+
+// Fig4 reproduces Figure 4: SORD hot-spot selection quality on BG/Q,
+// including the cross-machine baselines Prof.Q(x) (Xeon-derived spots used
+// on BG/Q) and Prof.X(q): empirical selections do not transfer while the
+// model's do.
+func Fig4(c *Context) (*report.Table, error) {
+	q, err := c.Eval("sord", "bgq")
+	if err != nil {
+		return nil, err
+	}
+	x, err := c.Eval("sord", "xeon")
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:  "Figure 4: SORD selection quality (top-10 selections)",
+		Header: []string{"selection", "evaluated on", "quality"},
+	}
+	add := func(label, on string, meas *profile.Ranked, sel []string) {
+		t.AddRow(label, on, fmt.Sprintf("%.3f", profile.SelectionQuality(meas, sel)))
+	}
+	add("Prof.Q (measured BG/Q)", "BG/Q", q.Prof, q.Prof.TopIDs(10))
+	add("Modl.Q (model BG/Q)", "BG/Q", q.Prof, q.Modl.TopIDs(10))
+	add("Prof.Q(x) (measured Xeon)", "BG/Q", q.Prof, x.Prof.TopIDs(10))
+	add("Prof.X (measured Xeon)", "Xeon", x.Prof, x.Prof.TopIDs(10))
+	add("Modl.X (model Xeon)", "Xeon", x.Prof, x.Modl.TopIDs(10))
+	add("Prof.X(q) (measured BG/Q)", "Xeon", x.Prof, q.Prof.TopIDs(10))
+	return t, nil
+}
+
+// CoverageCurves builds the Prof / Modl(p) / Modl(m) cumulative coverage
+// curves of the paper's Figures 5 and 10-13 for one benchmark and machine:
+//
+//	Prof    — measured coverage of the measured top-k selection
+//	Modl(p) — projected coverage of the model's top-k selection
+//	Modl(m) — measured coverage of the model's top-k selection
+func CoverageCurves(c *Context, bench, mach string, title string) (*report.Series, error) {
+	ev, err := c.Eval(bench, mach)
+	if err != nil {
+		return nil, err
+	}
+	s := report.NewSeries(title, "spots", "Prof", "Modl(p)", "Modl(m)")
+	profIDs := ev.Prof.TopIDs(10)
+	modlIDs := ev.Modl.TopIDs(10)
+	profCurve := ev.Prof.CoverageCurve(profIDs)
+	modlP := ev.Modl.CoverageCurve(modlIDs)
+	modlM := ev.Prof.CoverageCurve(modlIDs)
+	n := len(profCurve)
+	if len(modlP) < n {
+		n = len(modlP)
+	}
+	for i := 0; i < n; i++ {
+		s.Add(float64(i+1), profCurve[i], modlP[i], modlM[i])
+	}
+	return s, nil
+}
+
+// Fig5 is SORD's coverage curves on Xeon.
+func Fig5(c *Context) (*report.Series, error) {
+	return CoverageCurves(c, "sord", "xeon", "Figure 5: SORD coverage on Xeon")
+}
+
+// Fig10 .. Fig13 are the per-benchmark coverage curves on BG/Q.
+func Fig10(c *Context) (*report.Series, error) {
+	return CoverageCurves(c, "cfd", "bgq", "Figure 10: CFD coverage on BG/Q")
+}
+
+// Fig11 is SRAD's coverage curves on BG/Q.
+func Fig11(c *Context) (*report.Series, error) {
+	return CoverageCurves(c, "srad", "bgq", "Figure 11: SRAD coverage on BG/Q")
+}
+
+// Fig12 is CHARGEI's coverage curves on BG/Q.
+func Fig12(c *Context) (*report.Series, error) {
+	return CoverageCurves(c, "chargei", "bgq", "Figure 12: CHARGEI coverage on BG/Q")
+}
+
+// Fig13 is STASSUIJ's coverage curves on BG/Q.
+func Fig13(c *Context) (*report.Series, error) {
+	return CoverageCurves(c, "stassuij", "bgq", "Figure 13: STASSUIJ coverage on BG/Q")
+}
+
+// Breakdown reproduces Figures 6 and 7: the model's per-hot-spot split of
+// time into compute-only, overlapped, and memory-only shares.
+func Breakdown(c *Context, mach, title string) (*report.Table, error) {
+	ev, err := c.Eval("sord", mach)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:  title,
+		Header: []string{"rank", "block", "comp-only%", "overlap%", "mem-only%", "bound"},
+	}
+	for i, blk := range ev.Analysis.TopN(10) {
+		if blk.T <= 0 {
+			continue
+		}
+		compOnly := (blk.Tc - blk.To) / blk.T
+		memOnly := (blk.Tm - blk.To) / blk.T
+		overlap := blk.To / blk.T
+		bound := "compute"
+		if blk.MemoryBound {
+			bound = "memory"
+		}
+		t.AddRow(i+1, blk.BlockID,
+			fmt.Sprintf("%.1f", 100*compOnly),
+			fmt.Sprintf("%.1f", 100*overlap),
+			fmt.Sprintf("%.1f", 100*memOnly),
+			bound)
+	}
+	return t, nil
+}
+
+// Fig6 is the SORD BG/Q breakdown.
+func Fig6(c *Context) (*report.Table, error) {
+	return Breakdown(c, "bgq", "Figure 6: SORD per-spot time breakdown on BG/Q (model)")
+}
+
+// Fig7 is the SORD Xeon breakdown (the paper observes a larger memory
+// share than on BG/Q).
+func Fig7(c *Context) (*report.Table, error) {
+	return Breakdown(c, "xeon", "Figure 7: SORD per-spot time breakdown on Xeon (model)")
+}
+
+// Fig8 reproduces Figure 8: measured issue rate and instructions per L1
+// miss for SORD's measured top-10 spots on BG/Q — the profile-side signals
+// that correlate with the model's memory-bound verdicts.
+func Fig8(c *Context) (*report.Table, error) {
+	ev, err := c.Eval("sord", "bgq")
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:  "Figure 8: SORD measured issue rate and insts/L1-miss on BG/Q",
+		Header: []string{"rank", "block", "insts/cycle", "insts per L1 miss"},
+	}
+	for i, b := range ev.Sim.TopN(10) {
+		t.AddRow(i+1, b.ID,
+			fmt.Sprintf("%.3f", b.IssueRate()),
+			fmt.Sprintf("%.1f", b.InstsPerL1Miss()))
+	}
+	return t, nil
+}
+
+// Fig9 renders SORD's merged hot path on BG/Q (the paper's Figure 9),
+// annotated with iteration counts, probabilities and contexts.
+func Fig9(c *Context) (string, error) {
+	ev, err := c.Eval("sord", "bgq")
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 9: SORD hot path on BG/Q\n")
+	b.WriteString(ev.HotPath.Render())
+	return b.String(), nil
+}
+
+// BETSizes reports the BET-to-source size ratio per benchmark (§IV-B: the
+// paper reports an average of 0.88, never exceeding 2).
+func BETSizes(c *Context) (*report.Table, error) {
+	t := &report.Table{
+		Title:  "BET size vs source statements (paper: avg 0.88, max < 2)",
+		Header: []string{"bench", "BET nodes", "source stmts", "ratio"},
+	}
+	sum := 0.0
+	for _, name := range workloads.Names() {
+		run, err := c.Run(name)
+		if err != nil {
+			return nil, err
+		}
+		r := run.BET.SizeRatio()
+		sum += r
+		t.AddRow(name, run.BET.NumNodes(), run.BET.Tree.Prog.StaticStatements(),
+			fmt.Sprintf("%.2f", r))
+	}
+	t.AddRow("average", "", "", fmt.Sprintf("%.2f", sum/float64(len(workloads.Names()))))
+	return t, nil
+}
+
+// QualitySummary reports the selection quality of every benchmark x machine
+// case (paper §VIII: average 95.8%, never below 80%).
+func QualitySummary(c *Context) (*report.Table, error) {
+	t := &report.Table{
+		Title:  "Selection quality, all cases (paper: avg 0.958, min 0.80)",
+		Header: []string{"bench", "machine", "quality(top-10)", "quality(criteria)"},
+	}
+	sum, n := 0.0, 0
+	for _, name := range workloads.Names() {
+		for _, mach := range []string{"bgq", "xeon"} {
+			ev, err := c.Eval(name, mach)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(name, ev.Machine.Name,
+				fmt.Sprintf("%.3f", ev.Quality),
+				fmt.Sprintf("%.3f", ev.SelectionQuality))
+			sum += ev.Quality
+			n++
+		}
+	}
+	t.AddRow("average", "", fmt.Sprintf("%.3f", sum/float64(n)), "")
+	return t, nil
+}
+
+// Ablations quantifies the paper's two diagnosed error sources by enabling
+// the corresponding model extension and reporting the per-spot projection
+// shift: divisions for CFD's velocity block (§VII-B), vectorization for
+// STASSUIJ's spmm block.
+func Ablations(c *Context) (*report.Table, error) {
+	t := &report.Table{
+		Title:  "Ablations: error sources diagnosed in the paper",
+		Header: []string{"case", "block", "base cov%", "aware cov%", "measured cov%"},
+	}
+	// CFD divisions.
+	cfdRun, err := c.Run("cfd")
+	if err != nil {
+		return nil, err
+	}
+	base, err := c.Eval("cfd", "bgq")
+	if err != nil {
+		return nil, err
+	}
+	divEval, err := pipeline.EvaluateWithModel(cfdRun, hw.NewDivAwareModel(hw.BGQ()), c.Crit)
+	if err != nil {
+		return nil, err
+	}
+	velID := blockOfFunc(base, "compute_velocity")
+	if velID != "" {
+		t.AddRow("CFD divisions", velID,
+			fmt.Sprintf("%.2f", 100*base.Modl.Coverage(velID)),
+			fmt.Sprintf("%.2f", 100*divEval.Modl.Coverage(velID)),
+			fmt.Sprintf("%.2f", 100*base.Prof.Coverage(velID)))
+	}
+	// STASSUIJ vectorization.
+	stRun, err := c.Run("stassuij")
+	if err != nil {
+		return nil, err
+	}
+	stBase, err := c.Eval("stassuij", "bgq")
+	if err != nil {
+		return nil, err
+	}
+	vecEval, err := pipeline.EvaluateWithModel(stRun, hw.NewVectorAwareModel(hw.BGQ()), c.Crit)
+	if err != nil {
+		return nil, err
+	}
+	spmmID := blockOfFunc(stBase, "spmm")
+	if spmmID != "" {
+		t.AddRow("STASSUIJ vectorization", spmmID,
+			fmt.Sprintf("%.2f", 100*stBase.Modl.Coverage(spmmID)),
+			fmt.Sprintf("%.2f", 100*vecEval.Modl.Coverage(spmmID)),
+			fmt.Sprintf("%.2f", 100*stBase.Prof.Coverage(spmmID)))
+	}
+	return t, nil
+}
+
+// blockOfFunc returns the hottest non-library modeled block of a function.
+func blockOfFunc(ev *pipeline.Eval, fn string) string {
+	for _, b := range ev.Analysis.Blocks {
+		if b.FuncName == fn && !b.IsLib {
+			return b.BlockID
+		}
+	}
+	return ""
+}
+
+func at(ids []string, i int) string {
+	if i < len(ids) {
+		return ids[i]
+	}
+	return "-"
+}
+
+func match(a, b []string, i int) string {
+	if i < len(a) && i < len(b) && a[i] == b[i] {
+		return "*"
+	}
+	return ""
+}
+
+func maxLen(lists ...[]string) int {
+	n := 0
+	for _, l := range lists {
+		if len(l) > n {
+			n = len(l)
+		}
+	}
+	return n
+}
+
+func envString(env map[string]float64) string {
+	names := make([]string, 0, len(env))
+	for k := range env {
+		names = append(names, k)
+	}
+	// deterministic small set; simple insertion sort
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%g", k, env[k])
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/report"
+	"skope/internal/workloads"
+)
+
+// FutureProjection projects every benchmark onto the conceptual FutureNode
+// machine — the paper's central use case: no such system exists to run or
+// simulate on, so only the model-based analysis is available (each row is
+// pure projection; there is no Prof column by construction). It reports the
+// top hot spot and its bottleneck on BG/Q versus the future machine,
+// showing where hot regions migrate as the architecture changes.
+func FutureProjection(c *Context) (*report.Table, error) {
+	t := &report.Table{
+		Title: "Future-machine projection (no measured column: the machine is conceptual)",
+		Header: []string{
+			"bench", "top spot BG/Q", "bound", "top spot FutureNode", "bound", "speedup",
+		},
+	}
+	fut := hw.NewModel(hw.Future())
+	for _, name := range workloads.Names() {
+		run, err := c.Run(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := c.Eval(name, "bgq")
+		if err != nil {
+			return nil, err
+		}
+		fa, err := hotspot.Analyze(run.BET, fut, run.Libs)
+		if err != nil {
+			return nil, err
+		}
+		bTop := base.Analysis.Blocks[0]
+		fTop := fa.Blocks[0]
+		t.AddRow(name,
+			bTop.BlockID, boundOf(bTop),
+			fTop.BlockID, boundOf(fTop),
+			fmt.Sprintf("%.1fx", base.Analysis.TotalTime/fa.TotalTime))
+	}
+	return t, nil
+}
+
+func boundOf(b *hotspot.Block) string {
+	if b.MemoryBound {
+		return "memory"
+	}
+	return "compute"
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"skope/internal/bst"
+	"skope/internal/core"
+	"skope/internal/expr"
+	"skope/internal/libmodel"
+	"skope/internal/skeleton"
+	"skope/internal/workloads"
+)
+
+// pedagogicalBET builds the Figure 2 example's BET.
+func pedagogicalBET() (*skeleton.Program, expr.Env, *core.BET, error) {
+	prog, env := workloads.Pedagogical()
+	tree, err := bst.Build(prog)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bet, err := core.Build(tree, env, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return prog, env, bet, nil
+}
+
+func formatSkeleton(p *skeleton.Program) string { return skeleton.Format(p) }
+
+func libModel() (*libmodel.Model, error) { return libmodel.Default() }

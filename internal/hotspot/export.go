@@ -1,0 +1,72 @@
+package hotspot
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The paper positions its hot-spot output as input to developers,
+// architecture designers, and "existing auto-tuning systems" (§II-b).
+// Report is the machine-readable form of an analysis for such consumers.
+
+// Report is the serializable summary of an Analysis.
+type Report struct {
+	// Machine names the projected target.
+	Machine string `json:"machine"`
+	// TotalSeconds is the projected total time.
+	TotalSeconds float64 `json:"total_seconds"`
+	// Blocks lists every block in rank order.
+	Blocks []BlockReport `json:"blocks"`
+}
+
+// BlockReport is one block of a Report.
+type BlockReport struct {
+	Rank        int     `json:"rank"`
+	BlockID     string  `json:"block_id"`
+	Func        string  `json:"func"`
+	Line        int     `json:"line"`
+	Seconds     float64 `json:"seconds"`
+	Coverage    float64 `json:"coverage"`
+	ComputeSec  float64 `json:"compute_seconds"`
+	MemorySec   float64 `json:"memory_seconds"`
+	OverlapSec  float64 `json:"overlap_seconds"`
+	MemoryBound bool    `json:"memory_bound"`
+	Invocations float64 `json:"invocations"`
+	FLOPs       float64 `json:"flops"`
+	Bytes       float64 `json:"bytes"`
+	Library     bool    `json:"library,omitempty"`
+	Comm        bool    `json:"comm,omitempty"`
+}
+
+// Export builds the serializable report of the analysis.
+func (a *Analysis) Export() *Report {
+	r := &Report{Machine: a.Machine.Name, TotalSeconds: a.TotalTime}
+	for i, b := range a.Blocks {
+		r.Blocks = append(r.Blocks, BlockReport{
+			Rank: i + 1, BlockID: b.BlockID, Func: b.FuncName, Line: b.Line,
+			Seconds: b.T, Coverage: a.Coverage(b),
+			ComputeSec: b.Tc, MemorySec: b.Tm, OverlapSec: b.To,
+			MemoryBound: b.MemoryBound, Invocations: b.Invocations,
+			FLOPs: b.Work.FLOPs, Bytes: b.Work.Bytes(),
+			Library: b.IsLib, Comm: b.IsComm,
+		})
+	}
+	return r
+}
+
+// WriteJSON writes the analysis report as indented JSON.
+func (a *Analysis) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a.Export())
+}
+
+// ReadReport parses a previously exported report.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("hotspot: bad report: %v", err)
+	}
+	return &rep, nil
+}

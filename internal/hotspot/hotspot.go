@@ -1,0 +1,171 @@
+// Package hotspot implements the paper's hot-region analysis (§V): per-block
+// performance estimation over the Bayesian Execution Tree with the extended
+// roofline model, and hot-spot identification under the time-coverage /
+// code-leanness criteria.
+package hotspot
+
+import (
+	"fmt"
+	"sort"
+
+	"skope/internal/bst"
+	"skope/internal/core"
+	"skope/internal/hw"
+	"skope/internal/skeleton"
+)
+
+// LibModeler supplies semi-analytical performance characterizations of
+// opaque library functions (§IV-C): the average dynamic instruction mix of
+// one invocation, obtained by profiling on a local machine.
+type LibModeler interface {
+	// LibWork returns the per-invocation workload of the named library
+	// function. It returns an error for unknown functions.
+	LibWork(name string) (hw.BlockWork, error)
+}
+
+// Block aggregates the projected cost of one source code block (identified
+// by BlockID) over the whole modeled execution, possibly spanning several
+// BET nodes (different contexts or call sites).
+type Block struct {
+	// BlockID is "<func>/<label>", stable across model and measurement.
+	BlockID string
+	// Label and FuncName identify the block for reporting.
+	Label, FuncName string
+	// Line is the skeleton source line.
+	Line int
+	// IsLib marks semi-analytically modeled library call sites.
+	IsLib bool
+	// IsComm marks communication phases (multi-node extension); their
+	// time comes from the machine's network parameters, not the roofline.
+	IsComm bool
+	// CommBytes is the total communicated volume for comm blocks.
+	CommBytes float64
+
+	// Invocations is the total expected number of executions (sum of ENR).
+	Invocations float64
+	// Work is the total workload over all invocations.
+	Work hw.BlockWork
+	// Tc, Tm, To, T are the aggregate projected times in seconds
+	// (per-invocation roofline estimate scaled by ENR, summed over nodes).
+	Tc, Tm, To, T float64
+	// MemoryBound is the roofline verdict for the block's dominant node.
+	MemoryBound bool
+	// StaticInsts is the static instruction footprint (leanness unit).
+	StaticInsts int
+
+	// Nodes are the BET nodes that contributed, for hot-path extraction.
+	Nodes []*core.Node
+}
+
+// Analysis is the per-block performance projection of one workload on one
+// machine.
+type Analysis struct {
+	// Machine is the projected target.
+	Machine *hw.Machine
+	// Blocks is sorted by projected time, descending.
+	Blocks []*Block
+	// ByID indexes Blocks.
+	ByID map[string]*Block
+	// TotalTime is the projected total over all blocks, seconds.
+	TotalTime float64
+	// TotalStaticInsts is the program's static instruction footprint.
+	TotalStaticInsts int
+	// BET is the tree the analysis was computed from.
+	BET *core.BET
+}
+
+// Analyze characterizes every comp and lib block of the BET with the given
+// roofline model, following §V-A: per-invocation estimate times ENR,
+// aggregated per source block.
+func Analyze(bet *core.BET, model *hw.Model, libs LibModeler) (*Analysis, error) {
+	a := &Analysis{
+		Machine:          model.Machine(),
+		ByID:             make(map[string]*Block),
+		TotalStaticInsts: bet.Tree.TotalStaticInsts(),
+		BET:              bet,
+	}
+	for _, n := range bet.Leaves() {
+		id := n.BlockID()
+		b := a.ByID[id]
+		if b == nil {
+			b = &Block{
+				BlockID: id, Label: n.Label(), FuncName: n.BST.FuncName,
+				Line: n.BST.Line, IsLib: n.Kind() == bst.KindLib,
+			}
+			switch n.Kind() {
+			case bst.KindComp:
+				b.StaticInsts = bst.StaticInsts(n.BST.Stmt.(*skeleton.Comp))
+			case bst.KindLib:
+				b.StaticInsts = bst.LibStaticInsts
+			case bst.KindComm:
+				b.IsComm = true
+				b.StaticInsts = bst.CommStaticInsts
+			}
+			a.ByID[id] = b
+			a.Blocks = append(a.Blocks, b)
+		}
+		if n.Kind() == bst.KindComm {
+			// Communication phases: latency + bandwidth time on the
+			// interconnect; no computation overlap modeled (first order).
+			t := model.Machine().CommTime(n.CommBytes, n.CommMsgs) * n.ENR
+			b.Invocations += n.ENR
+			b.CommBytes += n.CommBytes * n.ENR
+			b.Tm += t
+			b.T += t
+			b.MemoryBound = true
+			b.Nodes = append(b.Nodes, n)
+			a.TotalTime += t
+			continue
+		}
+		var perInv hw.BlockWork
+		switch n.Kind() {
+		case bst.KindComp:
+			perInv = n.Work
+		case bst.KindLib:
+			if libs == nil {
+				return nil, fmt.Errorf("hotspot: block %s calls library %q but no library model was supplied", id, n.LibFunc)
+			}
+			lw, err := libs.LibWork(n.LibFunc)
+			if err != nil {
+				return nil, fmt.Errorf("hotspot: block %s: %v", id, err)
+			}
+			perInv = lw.Scale(n.LibCount)
+		}
+		est := model.Estimate(perInv)
+		b.Invocations += n.ENR
+		b.Work.Add(perInv.Scale(n.ENR))
+		tcontrib := est.T * n.ENR
+		b.Tc += est.Tc * n.ENR
+		b.Tm += est.Tm * n.ENR
+		b.To += est.To * n.ENR
+		b.T += tcontrib
+		if est.MemoryBound && tcontrib >= b.T/2 {
+			b.MemoryBound = true
+		}
+		b.Nodes = append(b.Nodes, n)
+		a.TotalTime += tcontrib
+	}
+	sort.SliceStable(a.Blocks, func(i, j int) bool {
+		if a.Blocks[i].T != a.Blocks[j].T {
+			return a.Blocks[i].T > a.Blocks[j].T
+		}
+		return a.Blocks[i].BlockID < a.Blocks[j].BlockID
+	})
+	return a, nil
+}
+
+// Coverage returns the fraction of total projected time spent in block b.
+func (a *Analysis) Coverage(b *Block) float64 {
+	if a.TotalTime == 0 {
+		return 0
+	}
+	return b.T / a.TotalTime
+}
+
+// TopN returns the first n blocks by projected time (all if fewer).
+func (a *Analysis) TopN(n int) []*Block {
+	if n > len(a.Blocks) {
+		n = len(a.Blocks)
+	}
+	return a.Blocks[:n]
+}

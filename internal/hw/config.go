@@ -1,0 +1,51 @@
+package hw
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteConfig serializes a machine description as indented JSON — the
+// interchange format for custom architecture configurations in co-design
+// sweeps (cmd/skope -machine-file).
+func WriteConfig(w io.Writer, m *Machine) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadConfig parses and validates a machine description from JSON.
+func ReadConfig(r io.Reader) (*Machine, error) {
+	var m Machine
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("hw: bad machine config: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// LoadConfig reads a machine description from a JSON file.
+func LoadConfig(path string) (*Machine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hw: %v", err)
+	}
+	defer f.Close()
+	return ReadConfig(f)
+}
+
+// SaveConfig writes a machine description to a JSON file.
+func SaveConfig(path string, m *Machine) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("hw: %v", err)
+	}
+	defer f.Close()
+	return WriteConfig(f, m)
+}

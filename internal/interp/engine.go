@@ -1,0 +1,848 @@
+// Package interp implements a tree-walking execution engine for minilang
+// programs, parameterized by an Observer that receives fine-grained dynamic
+// events: arithmetic operations, memory accesses with concrete addresses,
+// library calls, branch outcomes, and loop trip counts.
+//
+// Two consumers plug into the engine:
+//
+//   - the branch profiler (Profile in this package), the paper's gcov
+//     substitute: it listens only to branch and loop events and produces the
+//     hardware-independent statistics folded into code skeletons;
+//   - the machine timing simulator (package sim), the paper's physical
+//     validation machine substitute: it listens to every event, drives a
+//     cache hierarchy with the observed addresses, and attributes cycles to
+//     source blocks.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"skope/internal/minilang"
+)
+
+// OpClass classifies dynamic arithmetic operations.
+type OpClass int
+
+// Operation classes reported to observers.
+const (
+	OpFloat    OpClass = iota // FP add/sub/mul/compare
+	OpFloatDiv                // FP division
+	OpInt                     // integer op (arith, compare, addressing)
+)
+
+func (c OpClass) String() string {
+	switch c {
+	case OpFloat:
+		return "fp"
+	case OpFloatDiv:
+		return "fdiv"
+	case OpInt:
+		return "int"
+	}
+	return "op?"
+}
+
+// VecLevel describes the vectorization context of a dynamic operation.
+// Machine models decide what to credit: VecAnnotated loops (@vec) are
+// vectorized by every compiler; VecAuto loops (clean single-segment bodies
+// without control flow) are vectorized only by aggressive compilers (the
+// paper's "highly vectorized by default" Xeon toolchain vs the selective
+// IBM XL on BG/Q).
+type VecLevel int
+
+// Vectorization contexts.
+const (
+	VecNone VecLevel = iota
+	VecAuto
+	VecAnnotated
+)
+
+func (v VecLevel) String() string {
+	switch v {
+	case VecNone:
+		return "scalar"
+	case VecAuto:
+		return "auto-vec"
+	case VecAnnotated:
+		return "annotated-vec"
+	}
+	return "vec?"
+}
+
+// Observer receives dynamic execution events. Implementations must be cheap;
+// the engine calls them in the hot path.
+type Observer interface {
+	// EnterBlock reports that subsequent events belong to the source block
+	// with the given ID ("<func>/L<line>" for segments, "<func>/for@L<n>"
+	// and "<func>/if@L<n>" for control overhead).
+	EnterBlock(id string)
+	// Op reports one arithmetic operation with its vectorization context.
+	Op(class OpClass, vec VecLevel)
+	// Access reports a data memory access at a byte address.
+	Access(addr uint64, size int, store bool)
+	// LibCall reports a math-library invocation with its vector context.
+	LibCall(name string, vec VecLevel)
+	// Comm reports a communication phase: msgs messages totaling bytes
+	// bytes (the exchange() builtin; multi-node modeling extension).
+	Comm(bytes, msgs float64)
+	// Branch reports an if outcome at the given site.
+	Branch(site string, taken bool)
+	// LoopTrips reports a completed loop execution and its trip count.
+	LoopTrips(site string, trips int64)
+}
+
+// NopObserver is an Observer that ignores everything; embed it to implement
+// only some events.
+type NopObserver struct{}
+
+// EnterBlock implements Observer.
+func (NopObserver) EnterBlock(string) {}
+
+// Op implements Observer.
+func (NopObserver) Op(OpClass, VecLevel) {}
+
+// Access implements Observer.
+func (NopObserver) Access(uint64, int, bool) {}
+
+// LibCall implements Observer.
+func (NopObserver) LibCall(string, VecLevel) {}
+
+// Comm implements Observer.
+func (NopObserver) Comm(float64, float64) {}
+
+// Branch implements Observer.
+func (NopObserver) Branch(string, bool) {}
+
+// LoopTrips implements Observer.
+func (NopObserver) LoopTrips(string, int64) {}
+
+// Site formats a control-site key: "<func>@<line>:<col>". Branch and loop
+// statistics are keyed by site.
+func Site(funcName string, pos minilang.Pos) string {
+	return fmt.Sprintf("%s@%d:%d", funcName, pos.Line, pos.Col)
+}
+
+// Array is a runtime global array: flat row-major float64 storage plus its
+// simulated base address.
+type Array struct {
+	Data    []float64
+	Extents []int64
+	Base    uint64
+	Elem    int // element size in bytes (8)
+}
+
+// Options configure an engine run.
+type Options struct {
+	// MaxSteps bounds total executed statements to catch runaway loops
+	// (default 2^34).
+	MaxSteps int64
+	// Seed seeds the deterministic rand() stream (default 1).
+	Seed uint64
+	// Observer receives events; nil means no observation.
+	Observer Observer
+}
+
+// Engine executes a checked minilang program.
+type Engine struct {
+	prog *minilang.Program
+	obs  Observer
+
+	// Globals holds scalar globals by name.
+	Globals map[string]float64
+	// Arrays holds array globals by name.
+	Arrays map[string]*Array
+
+	rng      uint64
+	steps    int64
+	maxSteps int64
+
+	// stmtSeg maps simple statements to their segments, precomputed.
+	stmtSeg map[minilang.Stmt]*minilang.Segment
+	// loopVec caches the vectorization level of each counted loop.
+	loopVec map[*minilang.For]VecLevel
+	// curBlock is the current attribution block ID.
+	curBlock string
+}
+
+// New prepares an engine: evaluates global initializers in declaration
+// order, allocates arrays, and precomputes segment attribution. The program
+// must have passed minilang.Check.
+func New(prog *minilang.Program, opts *Options) (*Engine, error) {
+	e := &Engine{
+		prog:     prog,
+		Globals:  make(map[string]float64),
+		Arrays:   make(map[string]*Array),
+		rng:      1,
+		maxSteps: 1 << 34,
+		stmtSeg:  make(map[minilang.Stmt]*minilang.Segment),
+		loopVec:  make(map[*minilang.For]VecLevel),
+	}
+	if opts != nil {
+		if opts.MaxSteps > 0 {
+			e.maxSteps = opts.MaxSteps
+		}
+		if opts.Seed != 0 {
+			e.rng = opts.Seed
+		}
+		e.obs = opts.Observer
+	}
+	if e.obs == nil {
+		e.obs = NopObserver{}
+	}
+
+	// Initialize globals in order; array extents may reference previously
+	// declared scalars.
+	var base uint64 = 1 << 12 // leave page zero unused
+	for _, g := range prog.Globals {
+		if !g.Type.IsArray() {
+			v := 0.0
+			if g.Init != nil {
+				var err error
+				v, err = e.constEval(g.Init)
+				if err != nil {
+					return nil, fmt.Errorf("%s: global %s: %v", prog.Source, g.Name, err)
+				}
+			}
+			if g.Type.Base == minilang.TypeInt {
+				v = math.Trunc(v)
+			}
+			e.Globals[g.Name] = v
+			continue
+		}
+		arr := &Array{Elem: 8}
+		total := int64(1)
+		for _, ex := range g.Type.Extents {
+			v, err := e.constEval(ex)
+			if err != nil {
+				return nil, fmt.Errorf("%s: extent of %s: %v", prog.Source, g.Name, err)
+			}
+			n := int64(math.Trunc(v))
+			if n <= 0 {
+				return nil, fmt.Errorf("%s: array %s has non-positive extent %d", prog.Source, g.Name, n)
+			}
+			arr.Extents = append(arr.Extents, n)
+			total *= n
+			if total > 1<<31 {
+				return nil, fmt.Errorf("%s: array %s too large (%d elements)", prog.Source, g.Name, total)
+			}
+		}
+		arr.Data = make([]float64, total)
+		arr.Base = base
+		base += uint64(total*int64(arr.Elem)+4095) &^ 4095 // page-align next array
+		e.Arrays[g.Name] = arr
+	}
+
+	// Precompute statement -> segment mapping for attribution.
+	for _, f := range prog.Funcs {
+		e.indexSegments(f.Name, f.Body)
+	}
+	return e, nil
+}
+
+func (e *Engine) indexSegments(fn string, b *minilang.Block) {
+	segs := minilang.SegmentsOf(fn, b)
+	for i := range segs {
+		for _, s := range segs[i].Stmts {
+			e.stmtSeg[s] = &segs[i]
+		}
+	}
+	for _, s := range b.Stmts {
+		switch t := s.(type) {
+		case *minilang.For:
+			e.indexSegments(fn, t.Body)
+		case *minilang.While:
+			e.indexSegments(fn, t.Body)
+		case *minilang.If:
+			e.indexSegments(fn, t.Then)
+			if t.Else != nil {
+				e.indexSegments(fn, t.Else)
+			}
+		}
+	}
+}
+
+// constEval evaluates global-declaration expressions (literals, previously
+// initialized globals, arithmetic).
+func (e *Engine) constEval(x minilang.Expr) (float64, error) {
+	switch t := x.(type) {
+	case *minilang.IntLit:
+		return float64(t.Val), nil
+	case *minilang.FloatLit:
+		return t.Val, nil
+	case *minilang.VarRef:
+		v, ok := e.Globals[t.Name]
+		if !ok {
+			return 0, fmt.Errorf("reference to uninitialized global %q", t.Name)
+		}
+		return v, nil
+	case *minilang.Binary:
+		l, err := e.constEval(t.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := e.constEval(t.R)
+		if err != nil {
+			return 0, err
+		}
+		return applyBinary(t, l, r)
+	case *minilang.Unary:
+		v, err := e.constEval(t.X)
+		if err != nil {
+			return 0, err
+		}
+		if t.Op == "!" {
+			return b2f(v == 0), nil
+		}
+		return -v, nil
+	}
+	return 0, fmt.Errorf("unsupported constant expression %T", x)
+}
+
+// Run executes main(). It may be called once per engine.
+func (e *Engine) Run() error {
+	main := e.prog.FuncByName["main"]
+	_, _, err := e.callFunc(main, nil)
+	return err
+}
+
+// Steps returns the number of statements executed so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// control is the non-local control outcome of statement execution.
+type control int
+
+const (
+	ctrlNone control = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// frame is a function activation record.
+type frame struct {
+	fn     *minilang.FuncDecl
+	locals map[string]float64
+	// vec is the vectorization context of the innermost enclosing loop
+	// body while executing its directly nested simple statements.
+	vec VecLevel
+}
+
+func (e *Engine) errf(pos minilang.Pos, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%s: runtime: %s", e.prog.Source, pos, fmt.Sprintf(format, args...))
+}
+
+func (e *Engine) callFunc(fn *minilang.FuncDecl, args []float64) (float64, control, error) {
+	fr := &frame{fn: fn, locals: make(map[string]float64, len(fn.Params)+8)}
+	for i, p := range fn.Params {
+		v := args[i]
+		if p.Base == minilang.TypeInt {
+			v = math.Trunc(v)
+		}
+		fr.locals[p.Name] = v
+	}
+	ret, ctrl, err := e.execBlock(fr, fn.Body)
+	if err != nil {
+		return 0, ctrlNone, err
+	}
+	if ctrl == ctrlReturn {
+		return ret, ctrlNone, nil
+	}
+	return 0, ctrlNone, nil
+}
+
+func (e *Engine) execBlock(fr *frame, b *minilang.Block) (float64, control, error) {
+	for _, s := range b.Stmts {
+		ret, ctrl, err := e.execStmt(fr, s)
+		if err != nil || ctrl != ctrlNone {
+			return ret, ctrl, err
+		}
+	}
+	return 0, ctrlNone, nil
+}
+
+// enterBlockFor switches attribution to the block owning s, if needed.
+func (e *Engine) enterBlockFor(id string) {
+	if id != e.curBlock {
+		e.curBlock = id
+		e.obs.EnterBlock(id)
+	}
+}
+
+func (e *Engine) execStmt(fr *frame, s minilang.Stmt) (float64, control, error) {
+	e.steps++
+	if e.steps > e.maxSteps {
+		return 0, ctrlNone, e.errf(s.StmtPos(), "step budget exceeded (%d); runaway loop?", e.maxSteps)
+	}
+	if seg := e.stmtSeg[s]; seg != nil {
+		e.enterBlockFor(seg.BlockID())
+	}
+	switch t := s.(type) {
+	case *minilang.VarDecl:
+		v := 0.0
+		if t.Init != nil {
+			var err error
+			v, err = e.eval(fr, t.Init)
+			if err != nil {
+				return 0, ctrlNone, err
+			}
+		}
+		if t.Base == minilang.TypeInt {
+			v = math.Trunc(v)
+		}
+		fr.locals[t.Name] = v
+		return 0, ctrlNone, nil
+
+	case *minilang.Assign:
+		v, err := e.eval(fr, t.RHS)
+		if err != nil {
+			return 0, ctrlNone, err
+		}
+		return 0, ctrlNone, e.assign(fr, t.LHS, v)
+
+	case *minilang.ExprStmt:
+		_, err := e.eval(fr, t.X)
+		return 0, ctrlNone, err
+
+	case *minilang.For:
+		return e.execFor(fr, t)
+
+	case *minilang.While:
+		return e.execWhile(fr, t)
+
+	case *minilang.If:
+		e.enterBlockFor(fmt.Sprintf("%s/if@L%d", fr.fn.Name, t.Pos.Line))
+		cond, err := e.eval(fr, t.Cond)
+		if err != nil {
+			return 0, ctrlNone, err
+		}
+		taken := cond != 0
+		e.obs.Branch(Site(fr.fn.Name, t.Pos), taken)
+		if taken {
+			return e.execBlock(fr, t.Then)
+		}
+		if t.Else != nil {
+			return e.execBlock(fr, t.Else)
+		}
+		return 0, ctrlNone, nil
+
+	case *minilang.Return:
+		if t.X != nil {
+			v, err := e.eval(fr, t.X)
+			if err != nil {
+				return 0, ctrlNone, err
+			}
+			if fr.fn.Ret == minilang.TypeInt {
+				v = math.Trunc(v)
+			}
+			return v, ctrlReturn, nil
+		}
+		return 0, ctrlReturn, nil
+
+	case *minilang.Break:
+		return 0, ctrlBreak, nil
+
+	case *minilang.Continue:
+		return 0, ctrlContinue, nil
+	}
+	return 0, ctrlNone, e.errf(s.StmtPos(), "unhandled statement %T", s)
+}
+
+func (e *Engine) execFor(fr *frame, t *minilang.For) (float64, control, error) {
+	blockID := fmt.Sprintf("%s/for@L%d", fr.fn.Name, t.Pos.Line)
+	e.enterBlockFor(blockID)
+	from, err := e.eval(fr, t.From)
+	if err != nil {
+		return 0, ctrlNone, err
+	}
+	to, err := e.eval(fr, t.To)
+	if err != nil {
+		return 0, ctrlNone, err
+	}
+	step := 1.0
+	if t.Step != nil {
+		step, err = e.eval(fr, t.Step)
+		if err != nil {
+			return 0, ctrlNone, err
+		}
+	}
+	step = math.Trunc(step)
+	if step == 0 {
+		return 0, ctrlNone, e.errf(t.Pos, "for step is zero")
+	}
+	i := math.Trunc(from)
+	to = math.Trunc(to)
+	// Vector context applies to this loop's own body only: a nested loop
+	// re-decides from its own annotation or shape.
+	saveVec := fr.vec
+	fr.vec = e.vecLevel(t)
+	defer func() { fr.vec = saveVec }()
+	var trips int64
+	for (step > 0 && i < to) || (step < 0 && i > to) {
+		// Loop bookkeeping: compare + increment.
+		e.enterBlockFor(blockID)
+		e.obs.Op(OpInt, VecNone)
+		e.obs.Op(OpInt, VecNone)
+		fr.locals[t.Var] = i
+		trips++
+		ret, ctrl, err := e.execBlock(fr, t.Body)
+		if err != nil {
+			return 0, ctrlNone, err
+		}
+		switch ctrl {
+		case ctrlBreak:
+			e.obs.LoopTrips(Site(fr.fn.Name, t.Pos), trips)
+			return 0, ctrlNone, nil
+		case ctrlReturn:
+			e.obs.LoopTrips(Site(fr.fn.Name, t.Pos), trips)
+			return ret, ctrlReturn, nil
+		}
+		i += step
+		e.steps++
+		if e.steps > e.maxSteps {
+			return 0, ctrlNone, e.errf(t.Pos, "step budget exceeded (%d)", e.maxSteps)
+		}
+	}
+	e.obs.LoopTrips(Site(fr.fn.Name, t.Pos), trips)
+	return 0, ctrlNone, nil
+}
+
+func (e *Engine) execWhile(fr *frame, t *minilang.While) (float64, control, error) {
+	blockID := fmt.Sprintf("%s/while@L%d", fr.fn.Name, t.Pos.Line)
+	var trips int64
+	for {
+		e.enterBlockFor(blockID)
+		cond, err := e.eval(fr, t.Cond)
+		if err != nil {
+			return 0, ctrlNone, err
+		}
+		if cond == 0 {
+			break
+		}
+		trips++
+		ret, ctrl, err := e.execBlock(fr, t.Body)
+		if err != nil {
+			return 0, ctrlNone, err
+		}
+		switch ctrl {
+		case ctrlBreak:
+			e.obs.LoopTrips(Site(fr.fn.Name, t.Pos), trips)
+			return 0, ctrlNone, nil
+		case ctrlReturn:
+			e.obs.LoopTrips(Site(fr.fn.Name, t.Pos), trips)
+			return ret, ctrlReturn, nil
+		}
+		e.steps++
+		if e.steps > e.maxSteps {
+			return 0, ctrlNone, e.errf(t.Pos, "step budget exceeded (%d)", e.maxSteps)
+		}
+	}
+	e.obs.LoopTrips(Site(fr.fn.Name, t.Pos), trips)
+	return 0, ctrlNone, nil
+}
+
+func (e *Engine) assign(fr *frame, lhs minilang.Expr, v float64) error {
+	switch t := lhs.(type) {
+	case *minilang.VarRef:
+		if t.ResultType() == minilang.TypeInt {
+			v = math.Trunc(v)
+		}
+		if t.Global {
+			e.Globals[t.Name] = v
+			return nil
+		}
+		fr.locals[t.Name] = v
+		return nil
+	case *minilang.Index:
+		arr, off, err := e.element(fr, t)
+		if err != nil {
+			return err
+		}
+		if t.ResultType() == minilang.TypeInt {
+			v = math.Trunc(v)
+		}
+		e.obs.Access(arr.Base+uint64(off)*uint64(arr.Elem), arr.Elem, true)
+		arr.Data[off] = v
+		return nil
+	}
+	return e.errf(lhs.ExprPos(), "not assignable")
+}
+
+// element resolves an Index expression to its array and flat offset,
+// evaluating and bounds-checking the index list.
+func (e *Engine) element(fr *frame, t *minilang.Index) (*Array, int64, error) {
+	arr := e.Arrays[t.Name]
+	if arr == nil {
+		return nil, 0, e.errf(t.Pos, "no storage for array %q", t.Name)
+	}
+	var off int64
+	for d, ix := range t.Indices {
+		v, err := e.eval(fr, ix)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Address arithmetic: one int op per dimension.
+		e.obs.Op(OpInt, fr.vec)
+		i := int64(math.Trunc(v))
+		if i < 0 || i >= arr.Extents[d] {
+			return nil, 0, e.errf(t.Pos, "index %d out of range [0,%d) in dimension %d of %q",
+				i, arr.Extents[d], d, t.Name)
+		}
+		off = off*arr.Extents[d] + i
+	}
+	return arr, off, nil
+}
+
+func (e *Engine) eval(fr *frame, x minilang.Expr) (float64, error) {
+	switch t := x.(type) {
+	case *minilang.IntLit:
+		return float64(t.Val), nil
+	case *minilang.FloatLit:
+		return t.Val, nil
+
+	case *minilang.VarRef:
+		if t.Global {
+			return e.Globals[t.Name], nil
+		}
+		v, ok := fr.locals[t.Name]
+		if !ok {
+			return 0, e.errf(t.Pos, "unbound local %q", t.Name)
+		}
+		return v, nil
+
+	case *minilang.Index:
+		arr, off, err := e.element(fr, t)
+		if err != nil {
+			return 0, err
+		}
+		e.obs.Access(arr.Base+uint64(off)*uint64(arr.Elem), arr.Elem, false)
+		return arr.Data[off], nil
+
+	case *minilang.Binary:
+		// Short-circuit logical operators.
+		if t.Op == minilang.OpAnd || t.Op == minilang.OpOr {
+			l, err := e.eval(fr, t.L)
+			if err != nil {
+				return 0, err
+			}
+			e.obs.Op(OpInt, fr.vec)
+			if t.Op == minilang.OpAnd && l == 0 {
+				return 0, nil
+			}
+			if t.Op == minilang.OpOr && l != 0 {
+				return 1, nil
+			}
+			r, err := e.eval(fr, t.R)
+			if err != nil {
+				return 0, err
+			}
+			return b2f(r != 0), nil
+		}
+		l, err := e.eval(fr, t.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := e.eval(fr, t.R)
+		if err != nil {
+			return 0, err
+		}
+		e.reportBinaryOp(t, fr.vec)
+		v, err := applyBinary(t, l, r)
+		if err != nil {
+			return 0, e.errf(t.Pos, "%v", err)
+		}
+		return v, nil
+
+	case *minilang.Unary:
+		v, err := e.eval(fr, t.X)
+		if err != nil {
+			return 0, err
+		}
+		if t.Op == "!" {
+			e.obs.Op(OpInt, fr.vec)
+			return b2f(v == 0), nil
+		}
+		if t.X.ResultType() == minilang.TypeFloat {
+			e.obs.Op(OpFloat, fr.vec)
+		} else {
+			e.obs.Op(OpInt, fr.vec)
+		}
+		return -v, nil
+
+	case *minilang.Call:
+		args := make([]float64, len(t.Args))
+		for i, a := range t.Args {
+			v, err := e.eval(fr, a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		if t.Builtin {
+			if t.Name == "exchange" {
+				// Attribute the communication to its own block, matching
+				// the skeleton translator's comm statement.
+				e.enterBlockFor(fmt.Sprintf("%s/comm@L%d", fr.fn.Name, t.Pos.Line))
+				e.obs.Comm(args[0], args[1])
+				return 0, nil
+			}
+			e.obs.LibCall(t.Name, fr.vec)
+			return e.callBuiltin(t, args)
+		}
+		// User call: attribution moves to the callee; restore afterwards.
+		saveVec := fr.vec
+		fr.vec = VecNone
+		v, _, err := e.callFunc(t.Decl, args)
+		fr.vec = saveVec
+		// Force re-attribution on return to the caller.
+		e.curBlock = ""
+		return v, err
+	}
+	return 0, e.errf(x.ExprPos(), "unhandled expression %T", x)
+}
+
+// vecLevel classifies a counted loop: @vec annotations are honoured by
+// every machine; a clean body — a single straight-line segment with no
+// control flow or user calls — is auto-vectorizable by aggressive
+// compilers.
+func (e *Engine) vecLevel(t *minilang.For) VecLevel {
+	if lvl, ok := e.loopVec[t]; ok {
+		return lvl
+	}
+	lvl := VecNone
+	if t.Vec {
+		lvl = VecAnnotated
+	} else if simpleLoopBody(t.Body) {
+		lvl = VecAuto
+	}
+	e.loopVec[t] = lvl
+	return lvl
+}
+
+// simpleLoopBody reports whether every statement of the body is a simple
+// straight-line statement (auto-vectorization candidate).
+func simpleLoopBody(b *minilang.Block) bool {
+	if len(b.Stmts) == 0 {
+		return false
+	}
+	for _, s := range b.Stmts {
+		if !minilang.IsSimpleStmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// reportBinaryOp classifies and reports one binary operation.
+func (e *Engine) reportBinaryOp(t *minilang.Binary, vec VecLevel) {
+	isFloat := t.L.ResultType() == minilang.TypeFloat || t.R.ResultType() == minilang.TypeFloat
+	switch {
+	case isFloat && t.Op == minilang.OpDiv:
+		e.obs.Op(OpFloatDiv, vec)
+	case isFloat:
+		e.obs.Op(OpFloat, vec)
+	default:
+		e.obs.Op(OpInt, vec)
+	}
+}
+
+func applyBinary(t *minilang.Binary, l, r float64) (float64, error) {
+	isInt := t.ResultType() == minilang.TypeInt
+	switch t.Op {
+	case minilang.OpAdd:
+		return truncIf(l+r, isInt), nil
+	case minilang.OpSub:
+		return truncIf(l-r, isInt), nil
+	case minilang.OpMul:
+		return truncIf(l*r, isInt), nil
+	case minilang.OpDiv:
+		if isInt {
+			if r == 0 {
+				return 0, fmt.Errorf("integer division by zero")
+			}
+			return math.Trunc(l / r), nil
+		}
+		return l / r, nil // IEEE semantics for float
+	case minilang.OpRem:
+		if r == 0 {
+			return 0, fmt.Errorf("remainder by zero")
+		}
+		return math.Mod(l, r), nil
+	case minilang.OpLt:
+		return b2f(l < r), nil
+	case minilang.OpLe:
+		return b2f(l <= r), nil
+	case minilang.OpGt:
+		return b2f(l > r), nil
+	case minilang.OpGe:
+		return b2f(l >= r), nil
+	case minilang.OpEq:
+		return b2f(l == r), nil
+	case minilang.OpNe:
+		return b2f(l != r), nil
+	}
+	return 0, fmt.Errorf("unhandled operator %s", t.Op)
+}
+
+func truncIf(v float64, isInt bool) float64 {
+	if isInt {
+		return math.Trunc(v)
+	}
+	return v
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (e *Engine) callBuiltin(t *minilang.Call, args []float64) (float64, error) {
+	switch t.Name {
+	case "exp":
+		return math.Exp(args[0]), nil
+	case "log":
+		if args[0] <= 0 {
+			return 0, e.errf(t.Pos, "log of non-positive value %g", args[0])
+		}
+		return math.Log(args[0]), nil
+	case "sqrt":
+		if args[0] < 0 {
+			return 0, e.errf(t.Pos, "sqrt of negative value %g", args[0])
+		}
+		return math.Sqrt(args[0]), nil
+	case "sin":
+		return math.Sin(args[0]), nil
+	case "cos":
+		return math.Cos(args[0]), nil
+	case "abs":
+		return math.Abs(args[0]), nil
+	case "floor":
+		return math.Floor(args[0]), nil
+	case "pow":
+		return math.Pow(args[0], args[1]), nil
+	case "min":
+		return math.Min(args[0], args[1]), nil
+	case "max":
+		return math.Max(args[0], args[1]), nil
+	case "mod":
+		if args[1] == 0 {
+			return 0, e.errf(t.Pos, "mod by zero")
+		}
+		return math.Mod(args[0], args[1]), nil
+	case "rand":
+		return e.nextRand(), nil
+	}
+	return 0, e.errf(t.Pos, "unknown builtin %q", t.Name)
+}
+
+// nextRand is a deterministic xorshift64* stream in [0, 1).
+func (e *Engine) nextRand() float64 {
+	x := e.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	e.rng = x
+	return float64(x*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+}

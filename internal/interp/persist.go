@@ -1,0 +1,65 @@
+package interp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The paper's profiling pass runs once on a local machine and its results
+// are "reused to analyze and project performance across different
+// architectures" — so profiles are persistable: JSON with branch and loop
+// statistics keyed by site.
+
+// WriteProfile serializes a profile as indented JSON.
+func WriteProfile(w io.Writer, p *Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadProfile parses a profile from JSON.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	p := NewProfile()
+	if err := json.NewDecoder(r).Decode(p); err != nil {
+		return nil, fmt.Errorf("interp: bad profile: %v", err)
+	}
+	if p.Branches == nil {
+		p.Branches = map[string]*BranchStat{}
+	}
+	if p.Loops == nil {
+		p.Loops = map[string]*LoopStat{}
+	}
+	for site, st := range p.Branches {
+		if st == nil || st.Total < 0 || st.Taken < 0 || st.Taken > st.Total {
+			return nil, fmt.Errorf("interp: profile branch %q is inconsistent", site)
+		}
+	}
+	for site, st := range p.Loops {
+		if st == nil || st.Execs < 0 || st.Trips < 0 {
+			return nil, fmt.Errorf("interp: profile loop %q is inconsistent", site)
+		}
+	}
+	return p, nil
+}
+
+// SaveProfile writes a profile to a JSON file.
+func SaveProfile(path string, p *Profile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("interp: %v", err)
+	}
+	defer f.Close()
+	return WriteProfile(f, p)
+}
+
+// LoadProfile reads a profile from a JSON file.
+func LoadProfile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("interp: %v", err)
+	}
+	defer f.Close()
+	return ReadProfile(f)
+}

@@ -1,0 +1,94 @@
+package interp
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"skope/internal/minilang"
+)
+
+func collectProfile(t *testing.T, src string) *Profile {
+	t.Helper()
+	prog := minilang.MustCheck(minilang.MustParse("p", src))
+	pr := NewProfiler()
+	e, err := New(prog, &Options{Observer: pr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return pr.P
+}
+
+const persistSrc = `
+global acc: int;
+func main() {
+  for i = 0 .. 100 {
+    if (i % 5 == 0) {
+      acc = acc + 1;
+    }
+  }
+  var j: int = 0;
+  while (j < 7) {
+    j = j + 1;
+  }
+}
+`
+
+func TestProfileRoundTrip(t *testing.T) {
+	p := collectProfile(t, persistSrc)
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := SaveProfile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != p.String() {
+		t.Errorf("round trip changed profile:\n%s\nvs\n%s", p, q)
+	}
+	// Semantics preserved.
+	for site, st := range p.Branches {
+		if got := q.Branches[site]; got == nil || got.Prob() != st.Prob() {
+			t.Errorf("branch %s lost: %+v", site, got)
+		}
+	}
+	for site, st := range p.Loops {
+		if got := q.Loops[site]; got == nil || got.Mean() != st.Mean() {
+			t.Errorf("loop %s lost: %+v", site, got)
+		}
+	}
+}
+
+func TestReadProfileRejectsInconsistent(t *testing.T) {
+	cases := map[string]string{
+		"bad json":    "{",
+		"neg total":   `{"Branches":{"f@1:1":{"Taken":0,"Total":-1}},"Loops":{}}`,
+		"taken>total": `{"Branches":{"f@1:1":{"Taken":5,"Total":2}},"Loops":{}}`,
+		"neg trips":   `{"Branches":{},"Loops":{"f@1:1":{"Trips":-3,"Execs":1}}}`,
+	}
+	for name, src := range cases {
+		if _, err := ReadProfile(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadProfileEmptyMaps(t *testing.T) {
+	p, err := ReadProfile(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Branches == nil || p.Loops == nil {
+		t.Error("nil maps not initialized")
+	}
+}
+
+func TestLoadProfileMissing(t *testing.T) {
+	if _, err := LoadProfile(filepath.Join(t.TempDir(), "no.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,133 @@
+package minilang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program back into parseable minilang source. The output
+// round-trips: parsing it yields a structurally identical program (modulo
+// source positions). Used by tooling that rewrites or generates programs.
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, "global %s: %s", g.Name, formatType(g.Type))
+		if g.Init != nil {
+			fmt.Fprintf(&b, " = %s", FormatExpr(g.Init))
+		}
+		b.WriteString(";\n")
+	}
+	for i, f := range p.Funcs {
+		if i > 0 || len(p.Globals) > 0 {
+			b.WriteByte('\n')
+		}
+		params := make([]string, len(f.Params))
+		for j, prm := range f.Params {
+			params[j] = fmt.Sprintf("%s: %s", prm.Name, prm.Base)
+		}
+		fmt.Fprintf(&b, "func %s(%s)", f.Name, strings.Join(params, ", "))
+		if f.Ret != TypeVoid {
+			fmt.Fprintf(&b, ": %s", f.Ret)
+		}
+		b.WriteString(" {\n")
+		formatBlock(&b, f.Body, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func formatType(t Type) string {
+	var b strings.Builder
+	for _, e := range t.Extents {
+		fmt.Fprintf(&b, "[%s]", FormatExpr(e))
+	}
+	b.WriteString(t.Base.String())
+	return b.String()
+}
+
+func formatBlock(b *strings.Builder, blk *Block, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range blk.Stmts {
+		switch t := s.(type) {
+		case *VarDecl:
+			fmt.Fprintf(b, "%svar %s: %s", ind, t.Name, t.Base)
+			if t.Init != nil {
+				fmt.Fprintf(b, " = %s", FormatExpr(t.Init))
+			}
+			b.WriteString(";\n")
+		case *Assign:
+			fmt.Fprintf(b, "%s%s = %s;\n", ind, FormatExpr(t.LHS), FormatExpr(t.RHS))
+		case *For:
+			fmt.Fprintf(b, "%sfor %s = %s .. %s", ind, t.Var, FormatExpr(t.From), FormatExpr(t.To))
+			if t.Step != nil {
+				fmt.Fprintf(b, " step %s", FormatExpr(t.Step))
+			}
+			if t.Vec {
+				b.WriteString(" @vec")
+			}
+			b.WriteString(" {\n")
+			formatBlock(b, t.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *While:
+			fmt.Fprintf(b, "%swhile (%s) {\n", ind, FormatExpr(t.Cond))
+			formatBlock(b, t.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *If:
+			fmt.Fprintf(b, "%sif (%s) {\n", ind, FormatExpr(t.Cond))
+			formatBlock(b, t.Then, depth+1)
+			if t.Else != nil {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				formatBlock(b, t.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *ExprStmt:
+			fmt.Fprintf(b, "%s%s;\n", ind, FormatExpr(t.X))
+		case *Return:
+			if t.X != nil {
+				fmt.Fprintf(b, "%sreturn %s;\n", ind, FormatExpr(t.X))
+			} else {
+				fmt.Fprintf(b, "%sreturn;\n", ind)
+			}
+		case *Break:
+			fmt.Fprintf(b, "%sbreak;\n", ind)
+		case *Continue:
+			fmt.Fprintf(b, "%scontinue;\n", ind)
+		}
+	}
+}
+
+// FormatExpr renders an expression in parseable form. Binary expressions
+// are fully parenthesized, so precedence never needs reconstructing.
+func FormatExpr(e Expr) string {
+	switch t := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", t.Val)
+	case *FloatLit:
+		s := fmt.Sprintf("%g", t.Val)
+		// Keep float literals lexically float (the parser types by form).
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *VarRef:
+		return t.Name
+	case *Index:
+		var b strings.Builder
+		b.WriteString(t.Name)
+		for _, ix := range t.Indices {
+			fmt.Fprintf(&b, "[%s]", FormatExpr(ix))
+		}
+		return b.String()
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(t.L), t.Op, FormatExpr(t.R))
+	case *Unary:
+		return fmt.Sprintf("%s(%s)", t.Op, FormatExpr(t.X))
+	case *Call:
+		args := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = FormatExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", t.Name, strings.Join(args, ", "))
+	}
+	return "?"
+}

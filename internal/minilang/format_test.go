@@ -1,0 +1,121 @@
+package minilang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatRoundTripSample(t *testing.T) {
+	p1 := parseSample(t)
+	text := Format(p1)
+	p2, err := Parse("rt", text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if err := Check(p2); err != nil {
+		t.Fatalf("re-check: %v\n%s", err, text)
+	}
+	if Format(p2) != text {
+		t.Errorf("Format not a fixed point:\n--- first\n%s\n--- second\n%s", text, Format(p2))
+	}
+}
+
+func TestFormatPreservesStructure(t *testing.T) {
+	src := `
+global n: int = 4;
+global a: [n][n + 1]float;
+
+func main() {
+  var x: float = 1.5;
+  for i = 0 .. n step 2 @vec {
+    a[i][0] = x / 2.0;
+  }
+  while (x > 0.1) {
+    x = x * 0.5;
+    if (x < 0.2) {
+      break;
+    } else {
+      continue;
+    }
+  }
+  helper(n);
+}
+
+func helper(k: int): int {
+  if (k > 2) {
+    return k - 1;
+  }
+  return 0;
+}
+`
+	p1, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p1); err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p1)
+	for _, want := range []string{
+		"global a: [n][(n + 1)]float;", "step 2 @vec", "while (", "} else {",
+		"break;", "continue;", "return (k - 1);", "func helper(k: int): int",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, text)
+		}
+	}
+	p2, err := Parse("rt", text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if err := Check(p2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatExprForms(t *testing.T) {
+	src := `
+global a: [8]float;
+func main() {
+  var x: float = -(1.5) + abs(-(2.0));
+  a[3] = pow(x, 2.0);
+  var ok: int = !(x > 1.0) && (x != 0.0) || (x == 0.0);
+}
+`
+	p1, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p1); err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p1)
+	p2, err := Parse("rt", text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if err := Check(p2); err != nil {
+		t.Fatal(err)
+	}
+	// Float literal stays float across the round trip.
+	if !strings.Contains(text, "2.0") && !strings.Contains(text, "2)") {
+		t.Errorf("float literal lost:\n%s", text)
+	}
+}
+
+func TestFloatLiteralStaysFloat(t *testing.T) {
+	// 4.0 formats with a decimal point so it re-parses as a float (integer
+	// division semantics would otherwise change).
+	src := "global r: float;\nfunc main() { r = 9.0 / 4.0; }"
+	p1, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p1); err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p1)
+	if strings.Contains(text, "9 /") || strings.Contains(text, "/ 4)") {
+		t.Errorf("float literals degraded to ints:\n%s", text)
+	}
+}

@@ -1,0 +1,188 @@
+package minilang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes minilang source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	name string
+}
+
+// NewLexer returns a lexer over src; name labels diagnostics.
+func NewLexer(name, src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, name: name}
+}
+
+// Lex tokenizes the whole input, returning the token stream terminated by
+// an EOF token.
+func Lex(name, src string) ([]Token, error) {
+	lx := NewLexer(name, src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *Lexer) errf(pos Pos, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%s: %s", lx.name, pos, fmt.Sprintf(format, args...))
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return Token{}, lx.errf(start, "unterminated block comment")
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+	return Token{Kind: TokEOF, Pos: lx.pos()}, nil
+
+scan:
+	pos := lx.pos()
+	c := lx.peek()
+	switch {
+	case isLetter(c):
+		start := lx.off
+		for lx.off < len(lx.src) && (isLetter(lx.peek()) || isDigitB(lx.peek())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+
+	case isDigitB(c):
+		start := lx.off
+		isFloat := false
+		for lx.off < len(lx.src) {
+			ch := lx.peek()
+			if isDigitB(ch) {
+				lx.advance()
+				continue
+			}
+			if ch == '.' && lx.peek2() != '.' { // not the range operator ".."
+				isFloat = true
+				lx.advance()
+				continue
+			}
+			if ch == 'e' || ch == 'E' {
+				nxt := lx.peek2()
+				if isDigitB(nxt) || nxt == '+' || nxt == '-' {
+					isFloat = true
+					lx.advance() // e
+					lx.advance() // sign or digit
+					continue
+				}
+			}
+			break
+		}
+		text := lx.src[start:lx.off]
+		kind := TokInt
+		if isFloat {
+			kind = TokFloat
+		}
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+
+	case c == '"':
+		lx.advance()
+		start := lx.off
+		for lx.off < len(lx.src) && lx.peek() != '"' {
+			if lx.peek() == '\n' {
+				return Token{}, lx.errf(pos, "newline in string literal")
+			}
+			lx.advance()
+		}
+		if lx.off >= len(lx.src) {
+			return Token{}, lx.errf(pos, "unterminated string literal")
+		}
+		text := lx.src[start:lx.off]
+		lx.advance() // closing quote
+		return Token{Kind: TokString, Text: text, Pos: pos}, nil
+
+	default:
+		for _, op := range []string{"..", "==", "!=", "<=", ">=", "&&", "||"} {
+			if strings.HasPrefix(lx.src[lx.off:], op) {
+				lx.advance()
+				lx.advance()
+				return Token{Kind: TokPunct, Text: op, Pos: pos}, nil
+			}
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '<', '>', '=', '!', '(', ')', '{', '}', '[', ']', ',', ';', ':', '@':
+			lx.advance()
+			return Token{Kind: TokPunct, Text: string(c), Pos: pos}, nil
+		}
+		return Token{}, lx.errf(pos, "unexpected character %q", string(c))
+	}
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigitB(c byte) bool { return c >= '0' && c <= '9' }

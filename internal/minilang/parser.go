@@ -1,0 +1,605 @@
+package minilang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse lexes and parses minilang source; name labels diagnostics.
+func Parse(name, src string) (*Program, error) {
+	toks, err := Lex(name, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &mparser{name: name, toks: toks}
+	return p.parseProgram()
+}
+
+// MustParse parses src and panics on error; for embedded workloads.
+func MustParse(name, src string) *Program {
+	prog, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type mparser struct {
+	name string
+	toks []Token
+	i    int
+}
+
+func (p *mparser) cur() Token  { return p.toks[p.i] }
+func (p *mparser) next() Token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *mparser) errf(t Token, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%s: %s", p.name, t.Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *mparser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && t.Text == text
+}
+
+func (p *mparser) atPunct(text string) bool { return p.at(TokPunct, text) }
+func (p *mparser) atKw(text string) bool    { return p.at(TokKeyword, text) }
+
+func (p *mparser) expectPunct(text string) (Token, error) {
+	if !p.atPunct(text) {
+		return Token{}, p.errf(p.cur(), "expected %q, found %q", text, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *mparser) expectKw(text string) (Token, error) {
+	if !p.atKw(text) {
+		return Token{}, p.errf(p.cur(), "expected keyword %q, found %q", text, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *mparser) expectIdent() (Token, error) {
+	if p.cur().Kind != TokIdent {
+		return Token{}, p.errf(p.cur(), "expected identifier, found %q", p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *mparser) parseProgram() (*Program, error) {
+	prog := &Program{
+		Source:       p.name,
+		GlobalByName: make(map[string]*GlobalDecl),
+		FuncByName:   make(map[string]*FuncDecl),
+	}
+	for p.cur().Kind != TokEOF {
+		switch {
+		case p.atKw("global"):
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := prog.GlobalByName[g.Name]; dup {
+				return nil, p.errf(p.cur(), "duplicate global %q", g.Name)
+			}
+			prog.Globals = append(prog.Globals, g)
+			prog.GlobalByName[g.Name] = g
+		case p.atKw("func"):
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := prog.FuncByName[f.Name]; dup {
+				return nil, p.errf(p.cur(), "duplicate function %q", f.Name)
+			}
+			prog.Funcs = append(prog.Funcs, f)
+			prog.FuncByName[f.Name] = f
+		default:
+			return nil, p.errf(p.cur(), "expected global or func at top level, found %q", p.cur().Text)
+		}
+	}
+	if len(prog.Funcs) == 0 {
+		return nil, fmt.Errorf("%s: no functions", p.name)
+	}
+	return prog, nil
+}
+
+func (p *mparser) parseGlobal() (*GlobalDecl, error) {
+	kw, _ := p.expectKw("global")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name.Text, Type: typ, Pos: kw.Pos}
+	if p.atPunct("=") {
+		p.next()
+		g.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if typ.IsArray() {
+			return nil, p.errf(name, "array global %q cannot have an initializer", g.Name)
+		}
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *mparser) parseType() (Type, error) {
+	var t Type
+	for p.atPunct("[") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return t, err
+		}
+		t.Extents = append(t.Extents, e)
+		if _, err := p.expectPunct("]"); err != nil {
+			return t, err
+		}
+	}
+	base, err := p.parseBaseType()
+	if err != nil {
+		return t, err
+	}
+	t.Base = base
+	return t, nil
+}
+
+func (p *mparser) parseBaseType() (BaseType, error) {
+	switch {
+	case p.atKw("int"):
+		p.next()
+		return TypeInt, nil
+	case p.atKw("float"):
+		p.next()
+		return TypeFloat, nil
+	}
+	return TypeVoid, p.errf(p.cur(), "expected type, found %q", p.cur().Text)
+}
+
+func (p *mparser) parseFunc() (*FuncDecl, error) {
+	kw, _ := p.expectKw("func")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name.Text, Pos: kw.Pos, Ret: TypeVoid}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.atPunct(")") {
+		if len(f.Params) > 0 {
+			if _, err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, Param{Name: pn.Text, Base: base})
+	}
+	p.next() // ")"
+	if p.atPunct(":") {
+		p.next()
+		f.Ret, err = p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+	}
+	f.Body, err = p.parseBlock()
+	return f, err
+}
+
+func (p *mparser) parseBlock() (*Block, error) {
+	open, err := p.expectPunct("{")
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: open.Pos}
+	for !p.atPunct("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf(open, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // "}"
+	return b, nil
+}
+
+func (p *mparser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.atKw("var"):
+		return p.parseVarDecl()
+	case p.atKw("for"):
+		return p.parseFor()
+	case p.atKw("while"):
+		return p.parseWhile()
+	case p.atKw("if"):
+		return p.parseIf()
+	case p.atKw("return"):
+		p.next()
+		r := &Return{stmtBase: stmtBase{Pos: t.Pos}}
+		if !p.atPunct(";") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = x
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case p.atKw("break"):
+		p.next()
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &Break{stmtBase{Pos: t.Pos}}, nil
+	case p.atKw("continue"):
+		p.next()
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &Continue{stmtBase{Pos: t.Pos}}, nil
+	default:
+		// Expression or assignment.
+		lhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.atPunct("=") {
+			p.next()
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			switch lhs.(type) {
+			case *VarRef, *Index:
+			default:
+				return nil, p.errf(t, "left side of assignment is not assignable")
+			}
+			if _, err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return &Assign{stmtBase: stmtBase{Pos: t.Pos}, LHS: lhs, RHS: rhs}, nil
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{stmtBase: stmtBase{Pos: t.Pos}, X: lhs}, nil
+	}
+}
+
+func (p *mparser) parseVarDecl() (Stmt, error) {
+	kw, _ := p.expectKw("var")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	if p.atPunct("[") {
+		return nil, p.errf(kw, "arrays must be declared global (local %q)", name.Text)
+	}
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{stmtBase: stmtBase{Pos: kw.Pos}, Name: name.Text, Base: base}
+	if p.atPunct("=") {
+		p.next()
+		d.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *mparser) parseFor() (Stmt, error) {
+	kw, _ := p.expectKw("for")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	from, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(".."); err != nil {
+		return nil, err
+	}
+	to, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	f := &For{stmtBase: stmtBase{Pos: kw.Pos}, Var: name.Text, From: from, To: to}
+	if p.atKw("step") {
+		p.next()
+		f.Step, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.atPunct("@") {
+		p.next()
+		ann, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if ann.Text != "vec" {
+			return nil, p.errf(ann, "unknown loop annotation @%s (only @vec)", ann.Text)
+		}
+		f.Vec = true
+	}
+	f.Body, err = p.parseBlock()
+	return f, err
+}
+
+func (p *mparser) parseWhile() (Stmt, error) {
+	kw, _ := p.expectKw("while")
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	w := &While{stmtBase: stmtBase{Pos: kw.Pos}, Cond: cond}
+	w.Body, err = p.parseBlock()
+	return w, err
+}
+
+func (p *mparser) parseIf() (Stmt, error) {
+	kw, _ := p.expectKw("if")
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	s := &If{stmtBase: stmtBase{Pos: kw.Pos}, Cond: cond}
+	s.Then, err = p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if p.atKw("else") {
+		p.next()
+		if p.atKw("if") {
+			nested, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = &Block{Stmts: []Stmt{nested}, Pos: nested.StmtPos()}
+		} else {
+			s.Else, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// Expression parsing with C-like precedence:
+// or > and > comparison > additive > multiplicative > unary > postfix.
+func (p *mparser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *mparser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("||") {
+		pos := p.next().Pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{Pos: pos}, Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *mparser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("&&") {
+		pos := p.next().Pos
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{Pos: pos}, Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]BinOp{
+	"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe, "==": OpEq, "!=": OpNe,
+}
+
+func (p *mparser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokPunct {
+		if op, ok := cmpOps[p.cur().Text]; ok {
+			pos := p.next().Pos
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{exprBase: exprBase{Pos: pos}, Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *mparser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("+") || p.atPunct("-") {
+		op := OpAdd
+		if p.cur().Text == "-" {
+			op = OpSub
+		}
+		pos := p.next().Pos
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{Pos: pos}, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *mparser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("*") || p.atPunct("/") || p.atPunct("%") {
+		var op BinOp
+		switch p.cur().Text {
+		case "*":
+			op = OpMul
+		case "/":
+			op = OpDiv
+		case "%":
+			op = OpRem
+		}
+		pos := p.next().Pos
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{Pos: pos}, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *mparser) parseUnary() (Expr, error) {
+	if p.atPunct("-") || p.atPunct("!") {
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{Pos: t.Pos}, Op: t.Text, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *mparser) parsePostfix() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad integer literal")
+		}
+		return &IntLit{exprBase: exprBase{Pos: t.Pos, T: TypeInt}, Val: v}, nil
+	case TokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad float literal")
+		}
+		return &FloatLit{exprBase: exprBase{Pos: t.Pos, T: TypeFloat}, Val: v}, nil
+	case TokIdent:
+		p.next()
+		switch {
+		case p.atPunct("("):
+			p.next()
+			call := &Call{exprBase: exprBase{Pos: t.Pos}, Name: t.Text}
+			for !p.atPunct(")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next() // ")"
+			return call, nil
+		case p.atPunct("["):
+			idx := &Index{exprBase: exprBase{Pos: t.Pos}, Name: t.Text}
+			for p.atPunct("[") {
+				p.next()
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				idx.Indices = append(idx.Indices, e)
+				if _, err := p.expectPunct("]"); err != nil {
+					return nil, err
+				}
+			}
+			return idx, nil
+		default:
+			return &VarRef{exprBase: exprBase{Pos: t.Pos}, Name: t.Text}, nil
+		}
+	case TokPunct:
+		if t.Text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf(t, "unexpected token %q in expression", t.Text)
+}

@@ -1,0 +1,79 @@
+// Package minilang implements the source language analyzed by the
+// toolchain. It stands in for the C/Fortran + ROSE-compiler half of the
+// paper's application analysis engine (see DESIGN.md): a small, statically
+// typed scientific array language with functions, counted and conditional
+// loops, branches, global arrays, and math library calls.
+//
+// The five paper benchmarks are written in minilang (package workloads).
+// Three independent consumers operate on the same AST:
+//
+//   - package translate performs the static source-to-source translation
+//     into SKOPE-style code skeletons (instruction mix, data accesses,
+//     control structure);
+//   - package interp executes the program with branch instrumentation, the
+//     gcov-style local profiling pass that supplies branch-outcome
+//     statistics to the skeleton;
+//   - package sim executes the program on a detailed machine timing model
+//     (caches, latencies, vector units) to produce the measured profile the
+//     analytical projections are validated against.
+package minilang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt    // integer literal
+	TokFloat  // floating literal
+	TokString // quoted string (reserved for future use)
+	TokPunct  // operator or punctuation
+	TokKeyword
+)
+
+var tokKindNames = [...]string{"EOF", "identifier", "integer", "float", "string", "punct", "keyword"}
+
+func (k TokKind) String() string {
+	if int(k) < len(tokKindNames) {
+		return tokKindNames[k]
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Keywords of the language.
+var keywords = map[string]bool{
+	"func": true, "global": true, "var": true, "for": true, "while": true,
+	"if": true, "else": true, "return": true, "break": true, "continue": true,
+	"step": true, "int": true, "float": true,
+}
+
+// Builtins are the math-library functions handled semi-analytically by the
+// toolchain (§IV-C). The bool records whether the function takes two
+// arguments (pow, min, max, mod) or one; rand takes zero.
+var Builtins = map[string]int{
+	"exp": 1, "log": 1, "sqrt": 1, "sin": 1, "cos": 1, "abs": 1, "floor": 1,
+	"pow": 2, "min": 2, "max": 2, "mod": 2,
+	"rand": 0,
+	// exchange(bytes, msgs) models a communication phase (halo exchange,
+	// reduction) of a multi-node execution; it returns 0. The translator
+	// maps it to a skeleton comm statement, and the simulator charges the
+	// machine's interconnect cost.
+	"exchange": 2,
+}

@@ -1,0 +1,85 @@
+package pipeline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/minilang"
+	"skope/internal/workloads"
+)
+
+// distSrc is a distributed-style minilang workload using the exchange()
+// communication primitive; it validates the multi-node modeling extension
+// end to end: translator emits a comm statement, the model charges the
+// interconnect, and the simulator attributes the same phase to the same
+// block ID.
+const distSrc = `
+global n: int = 96;
+global planes: int = 8;
+global nt: int = 6;
+global u: [planes][n][n]float;
+
+func main() {
+  for t = 0 .. nt {
+    sweep();
+    exchange(2 * n * n * 8, 2);
+  }
+}
+
+func sweep() {
+  for k = 1 .. planes - 1 {
+    for i = 1 .. n - 1 {
+      for j = 1 .. n - 1 {
+        u[k][i][j] = u[k][i][j] * 0.5 + (u[k][i-1][j] + u[k][i+1][j] + u[k][i][j-1] + u[k][i][j+1]) * 0.125;
+      }
+    }
+  }
+}
+`
+
+func TestExchangeEndToEnd(t *testing.T) {
+	run, err := Prepare(&workloads.Workload{Name: "dist", Source: distSrc, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(run.Skeleton.Text, "comm bytes=((2 * n) * n) * 8") &&
+		!strings.Contains(run.Skeleton.Text, "comm bytes=") {
+		t.Fatalf("translator lost exchange:\n%s", run.Skeleton.Text)
+	}
+	ev, err := Evaluate(run, hw.BGQ(), hotspot.ScaledCriteria())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const commID = "main/comm@L10"
+	mT, ok := ev.Modl.ByID[commID]
+	if !ok {
+		t.Fatalf("model missing comm block; model blocks: %v", ev.Modl.TopIDs(10))
+	}
+	sT, ok := ev.Prof.ByID[commID]
+	if !ok {
+		t.Fatalf("sim missing comm block; measured blocks: %v", ev.Prof.TopIDs(10))
+	}
+	// Both sides charge the same interconnect model for the same volume:
+	// the comm block's absolute time must agree closely (the rest of the
+	// profile diverges through caches etc., so compare the block itself).
+	if rel := math.Abs(mT-sT) / sT; rel > 0.05 {
+		t.Errorf("comm time disagrees: model %g vs sim %g (rel %.3f)", mT, sT, rel)
+	}
+	if ev.Quality < 0.8 {
+		t.Errorf("distributed workload quality = %.3f", ev.Quality)
+	}
+}
+
+func TestExchangeOnlyStatementPosition(t *testing.T) {
+	bad := "func main() { var x: float = 0.0; x = exchange(8, 1) + 1.0; }"
+	prog, err := minilang.Parse("bad", bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minilang.Check(prog); err == nil {
+		t.Error("nested exchange accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+)
+
+// EvaluateMany projects a prepared workload onto several machines
+// concurrently, one goroutine per machine. Preparation (the profiling run)
+// is shared and machine independent; each evaluation touches only its own
+// analysis and simulator state, so the fan-out is embarrassingly parallel.
+// Results are returned in the order of machines; the first error wins.
+func EvaluateMany(run *Run, machines []*hw.Machine, crit hotspot.Criteria) ([]*Eval, error) {
+	evals := make([]*Eval, len(machines))
+	errs := make([]error, len(machines))
+	var wg sync.WaitGroup
+	for i, m := range machines {
+		wg.Add(1)
+		go func(i int, m *hw.Machine) {
+			defer wg.Done()
+			evals[i], errs[i] = Evaluate(run, m, crit)
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: machine %s: %v", machines[i].Name, err)
+		}
+	}
+	return evals, nil
+}
+
+// Sweep projects a prepared workload over a set of machine variants purely
+// analytically (no simulation), concurrently — the co-design design-space
+// exploration loop. The returned analyses are index-aligned with the
+// variants.
+func Sweep(run *Run, variants []*hw.Machine) ([]*hotspot.Analysis, error) {
+	out := make([]*hotspot.Analysis, len(variants))
+	errs := make([]error, len(variants))
+	var wg sync.WaitGroup
+	for i, m := range variants {
+		wg.Add(1)
+		go func(i int, m *hw.Machine) {
+			defer wg.Done()
+			if err := m.Validate(); err != nil {
+				errs[i] = err
+				return
+			}
+			out[i], errs[i] = hotspot.Analyze(run.BET, hw.NewModel(m), run.Libs)
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: variant %d (%s): %v", i, variants[i].Name, err)
+		}
+	}
+	return out, nil
+}

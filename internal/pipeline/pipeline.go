@@ -1,0 +1,173 @@
+// Package pipeline wires the full workflow of the paper's Figure 1: the
+// application analysis engine (minilang frontend + branch profiler +
+// skeleton translator), the performance analysis engine (BET construction
+// + roofline characterization), hot-region analysis (hot spots and hot
+// paths), and validation against the machine timing simulator.
+//
+// It is the high-level API used by the command-line tools, the examples,
+// and the benchmark harness.
+package pipeline
+
+import (
+	"fmt"
+
+	"skope/internal/bst"
+	"skope/internal/core"
+	"skope/internal/hotpath"
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/interp"
+	"skope/internal/libmodel"
+	"skope/internal/minilang"
+	"skope/internal/profile"
+	"skope/internal/sim"
+	"skope/internal/translate"
+	"skope/internal/workloads"
+)
+
+// Run is a prepared workload: parsed, profiled once locally (the paper's
+// single hardware-independent profiling pass), translated to a skeleton,
+// and modeled as a BET. Everything in Run is machine independent; the same
+// Run is evaluated against any number of target machines.
+type Run struct {
+	Workload *workloads.Workload
+	Prog     *minilang.Program
+	Profile  *interp.Profile
+	Skeleton *translate.Result
+	Tree     *bst.Tree
+	BET      *core.BET
+	Libs     *libmodel.Model
+}
+
+// Prepare runs the machine-independent half of the pipeline on a workload.
+func Prepare(w *workloads.Workload) (*Run, error) {
+	prog, err := minilang.Parse(w.Name, w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: parse %s: %v", w.Name, err)
+	}
+	if err := minilang.Check(prog); err != nil {
+		return nil, fmt.Errorf("pipeline: check %s: %v", w.Name, err)
+	}
+
+	// Local profiling pass (gcov substitute). One run, reused across all
+	// target machines.
+	profiler := interp.NewProfiler()
+	eng, err := interp.New(prog, &interp.Options{Observer: profiler, Seed: w.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: profile %s: %v", w.Name, err)
+	}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("pipeline: profile %s: %v", w.Name, err)
+	}
+
+	// Source-to-source translation into the code skeleton.
+	sk, err := translate.Translate(prog, profiler.P)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: translate %s: %v", w.Name, err)
+	}
+
+	// Execution-flow model.
+	tree, err := bst.Build(sk.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: bst %s: %v", w.Name, err)
+	}
+	bet, err := core.Build(tree, sk.Input, nil)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: bet %s: %v", w.Name, err)
+	}
+	libs, err := libmodel.Default()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %v", err)
+	}
+	return &Run{
+		Workload: w, Prog: prog, Profile: profiler.P,
+		Skeleton: sk, Tree: tree, BET: bet, Libs: libs,
+	}, nil
+}
+
+// PrepareByName prepares a named benchmark at the given scale.
+func PrepareByName(name string, s workloads.Scale) (*Run, error) {
+	w, err := workloads.Get(name, s)
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(w)
+}
+
+// Eval is a machine-specific evaluation: the analytical projection plus the
+// measured (simulated) baseline and their comparison.
+type Eval struct {
+	Machine *hw.Machine
+	// Analysis is the per-block roofline projection over the BET.
+	Analysis *hotspot.Analysis
+	// Selection is the hot-spot set under the given criteria.
+	Selection *hotspot.Selection
+	// Modl and Prof are the projected and measured ranked profiles.
+	Modl, Prof *profile.Ranked
+	// Sim is the raw measured result.
+	Sim *sim.Result
+	// Quality is the paper's selection-quality metric evaluated over the
+	// top-10 ranked views its tables and figures use: the measured
+	// coverage of the model's first ten blocks relative to the measured
+	// coverage of the measured-best ten.
+	Quality float64
+	// SelectionQuality is the same metric for the criteria-driven
+	// Selection (greedy knapsack under leanness), which on these scaled
+	// sources is dominated by budget granularity.
+	SelectionQuality float64
+	// HotPath is the merged hot path for the selection.
+	HotPath *hotpath.Path
+}
+
+// Evaluate projects the prepared workload onto machine m with the given
+// hot-spot criteria, simulates the measured baseline on the same machine,
+// and computes the selection quality.
+func Evaluate(run *Run, m *hw.Machine, crit hotspot.Criteria) (*Eval, error) {
+	return evaluate(run, m, crit, hw.NewModel(m))
+}
+
+// EvaluateWithModel is Evaluate with a custom roofline model (the
+// vector-aware and division-aware ablations).
+func EvaluateWithModel(run *Run, model *hw.Model, crit hotspot.Criteria) (*Eval, error) {
+	return evaluate(run, model.Machine(), crit, model)
+}
+
+func evaluate(run *Run, m *hw.Machine, crit hotspot.Criteria, model *hw.Model) (*Eval, error) {
+	analysis, err := hotspot.Analyze(run.BET, model, run.Libs)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: analyze %s on %s: %v", run.Workload.Name, m.Name, err)
+	}
+	sel := hotspot.Select(analysis, crit)
+
+	simRes, err := sim.Run(run.Prog, m, &sim.Options{Seed: run.Workload.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: simulate %s on %s: %v", run.Workload.Name, m.Name, err)
+	}
+
+	modl := profile.FromAnalysis(analysis)
+	prof := profile.FromSim(simRes)
+	ids := make([]string, len(sel.Spots))
+	for i, s := range sel.Spots {
+		ids[i] = s.BlockID
+	}
+	return &Eval{
+		Machine:          m,
+		Analysis:         analysis,
+		Selection:        sel,
+		Modl:             modl,
+		Prof:             prof,
+		Sim:              simRes,
+		Quality:          profile.SelectionQuality(prof, modl.TopIDs(10)),
+		SelectionQuality: profile.SelectionQuality(prof, ids),
+		HotPath:          hotpath.Extract(run.BET.Root, sel.Spots),
+	}, nil
+}
+
+// SpotIDs returns the selection's block IDs in rank order.
+func (e *Eval) SpotIDs() []string {
+	ids := make([]string, len(e.Selection.Spots))
+	for i, s := range e.Selection.Spots {
+		ids[i] = s.BlockID
+	}
+	return ids
+}

@@ -1,0 +1,126 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mk(label string, pairs ...interface{}) *Ranked {
+	var entries []Entry
+	for i := 0; i < len(pairs); i += 2 {
+		entries = append(entries, Entry{ID: pairs[i].(string), Time: pairs[i+1].(float64)})
+	}
+	return New(label, entries)
+}
+
+func TestNewSortsAndMerges(t *testing.T) {
+	r := mk("t", "a", 1.0, "b", 5.0, "a", 2.0, "c", 4.0)
+	if r.Total != 12 {
+		t.Errorf("total = %g", r.Total)
+	}
+	want := []string{"b", "c", "a"}
+	got := r.TopIDs(10)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if r.ByID["a"] != 3 {
+		t.Errorf("duplicate entries not merged: %g", r.ByID["a"])
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	r := mk("t", "a", 6.0, "b", 3.0, "c", 1.0)
+	if r.Coverage("a") != 0.6 {
+		t.Errorf("coverage a = %g", r.Coverage("a"))
+	}
+	if got := r.CoverageOf([]string{"a", "b"}); got != 0.9 {
+		t.Errorf("coverage a+b = %g", got)
+	}
+	// Duplicates and unknowns are harmless.
+	if got := r.CoverageOf([]string{"a", "a", "zz"}); got != 0.6 {
+		t.Errorf("coverage with dup/unknown = %g", got)
+	}
+	curve := r.CoverageCurve([]string{"a", "b", "c"})
+	if math.Abs(curve[2]-1) > 1e-12 {
+		t.Errorf("curve end = %g", curve[2])
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	r := mk("t", "a", 6.0, "b", 3.0)
+	if r.RankOf("a") != 1 || r.RankOf("b") != 2 || r.RankOf("x") != 0 {
+		t.Error("RankOf broken")
+	}
+}
+
+func TestSelectionQualityPerfect(t *testing.T) {
+	meas := mk("prof", "a", 6.0, "b", 3.0, "c", 1.0)
+	if q := SelectionQuality(meas, []string{"a", "b"}); q != 1 {
+		t.Errorf("perfect selection quality = %g", q)
+	}
+}
+
+func TestSelectionQualityImperfect(t *testing.T) {
+	meas := mk("prof", "a", 6.0, "b", 3.0, "c", 1.0)
+	// Projection picked a and c instead of a and b: (6+1)/(6+3) = 7/9.
+	q := SelectionQuality(meas, []string{"a", "c"})
+	if math.Abs(q-7.0/9.0) > 1e-12 {
+		t.Errorf("quality = %g, want %g", q, 7.0/9.0)
+	}
+	// Empty and unknown selections.
+	if SelectionQuality(meas, nil) != 0 {
+		t.Error("empty selection quality != 0")
+	}
+	if SelectionQuality(meas, []string{"zz"}) != 0 {
+		t.Error("unknown-only selection quality != 0")
+	}
+}
+
+func TestSelectionQualityBounds(t *testing.T) {
+	meas := mk("prof", "a", 5.0, "b", 4.0, "c", 3.0, "d", 2.0, "e", 1.0)
+	f := func(pick uint8) bool {
+		ids := []string{"a", "b", "c", "d", "e"}
+		var sel []string
+		for i, id := range ids {
+			if pick&(1<<uint(i)) != 0 {
+				sel = append(sel, id)
+			}
+		}
+		if len(sel) == 0 {
+			return SelectionQuality(meas, sel) == 0
+		}
+		q := SelectionQuality(meas, sel)
+		return q >= 0 && q <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopOverlap(t *testing.T) {
+	a := []string{"a", "b", "c", "d"}
+	b := []string{"c", "d", "e", "f"}
+	if TopOverlap(a, b) != 2 {
+		t.Errorf("overlap = %d", TopOverlap(a, b))
+	}
+	if TopOverlap(nil, b) != 0 {
+		t.Error("nil overlap != 0")
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	r := New("empty", nil)
+	if r.Total != 0 || r.Coverage("a") != 0 || r.CoverageOf([]string{"a"}) != 0 {
+		t.Error("empty profile not zero")
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	r := mk("p", "a", 1.0)
+	if len(r.String()) == 0 {
+		t.Error("empty String")
+	}
+}

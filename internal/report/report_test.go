@@ -1,0 +1,106 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{Title: "demo", Header: []string{"name", "value", "note"}}
+	t.AddRow("alpha", 1.5, "plain")
+	t.AddRow("beta", 42, "with, comma")
+	t.AddRow("gamma", "x", `quote " inside`)
+	return t
+}
+
+func TestTableString(t *testing.T) {
+	s := sampleTable().String()
+	for _, want := range []string{"== demo ==", "name", "alpha", "1.5", "42", "-----"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	// Columns align: every data line at least as wide as the header line's
+	// first column.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 3 rows -> 6? title+header+sep+3 = 6
+		// title + header + separator + 3 rows
+		if len(lines) != 6 {
+			t.Errorf("unexpected line count %d:\n%s", len(lines), s)
+		}
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	csv := sampleTable().CSV()
+	if !strings.Contains(csv, `"with, comma"`) {
+		t.Errorf("comma cell not quoted:\n%s", csv)
+	}
+	if !strings.Contains(csv, `"quote "" inside"`) {
+		t.Errorf("quote cell not escaped:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "name,value,note\n") {
+		t.Errorf("csv header wrong:\n%s", csv)
+	}
+	if got := strings.Count(csv, "\n"); got != 4 {
+		t.Errorf("csv line count = %d", got)
+	}
+}
+
+func TestAddRowFormats(t *testing.T) {
+	tab := &Table{Header: []string{"a"}}
+	tab.AddRow(3.14159)
+	tab.AddRow(7)
+	tab.AddRow("s")
+	tab.AddRow(true)
+	if tab.Rows[0][0] != "3.142" {
+		t.Errorf("float cell = %q", tab.Rows[0][0])
+	}
+	if tab.Rows[1][0] != "7" || tab.Rows[2][0] != "s" || tab.Rows[3][0] != "true" {
+		t.Errorf("rows = %v", tab.Rows)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("curve", "x", "a", "b")
+	s.Add(1, 0.5, 0.25)
+	s.Add(2, 1.0) // missing b defaults to 0
+	out := s.String()
+	for _, want := range []string{"curve", "x", "a", "b", "0.5000", "0.2500", "1.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series missing %q:\n%s", want, out)
+		}
+	}
+	if len(s.Y[1]) != 2 || s.Y[1][1] != 0 {
+		t.Errorf("missing y not defaulted: %v", s.Y)
+	}
+}
+
+func TestSeriesBars(t *testing.T) {
+	s := NewSeries("bars", "k", "v")
+	s.Add(1, 2)
+	s.Add(2, 4)
+	out := s.Bars(0)
+	if !strings.Contains(out, "####") {
+		t.Errorf("bars missing marks:\n%s", out)
+	}
+	if s.Bars(5) != "" || s.Bars(-1) != "" {
+		t.Error("out-of-range column should render empty")
+	}
+	// All-zero column renders without panic.
+	z := NewSeries("z", "k", "v")
+	z.Add(1, 0)
+	if !strings.Contains(z.Bars(0), "0.0000") {
+		t.Error("zero bars broken")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := &Table{Header: []string{"only"}}
+	if !strings.Contains(tab.String(), "only") {
+		t.Error("empty table should render header")
+	}
+	if !strings.HasPrefix(tab.CSV(), "only\n") {
+		t.Error("empty table CSV broken")
+	}
+}

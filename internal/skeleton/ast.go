@@ -1,0 +1,273 @@
+// Package skeleton implements the SKOPE-style code-skeleton workload
+// modeling language from the paper. A code skeleton explicitly expresses all
+// control flow of the original application — functions, loops, branches,
+// calls — but replaces concrete instruction sequences with performance
+// characteristics: iteration counts, instruction mixes, data access sizes,
+// and branch-outcome probabilities (obtained from local profiling or
+// developer hints).
+//
+// The concrete syntax is line-oriented:
+//
+//	# comment
+//	def main(n, m)
+//	  var A[n*m]
+//	  for i=0:n label="outer"
+//	    comp flops=4 loads=2 stores=1 dsize=8 name="stencil"
+//	    if prob=0.3
+//	      set knob = 1
+//	    else
+//	      set knob = 0
+//	    end
+//	    call foo(i, knob)
+//	  end
+//	end
+//
+//	def foo(x, k)
+//	  if cond = k == 1
+//	    comp flops=100*x loads=2*x dsize=8 name="heavy"
+//	  end
+//	  while iters=n/2
+//	    comp flops=8 loads=3 name="solve"
+//	    break prob=0.01
+//	  end
+//	end
+//
+// Statement kinds: def/end, for, while, if/elif/else, comp, lib, call, set,
+// var, return, break, continue. Key=value attributes take expressions in the
+// syntax of package expr; values may contain spaces (the parser re-splits a
+// line on top-level `key=` boundaries).
+package skeleton
+
+import (
+	"fmt"
+
+	"skope/internal/expr"
+)
+
+// Program is a parsed code skeleton: an ordered set of function definitions.
+type Program struct {
+	Funcs []*FuncDef
+	// ByName indexes Funcs by function name.
+	ByName map[string]*FuncDef
+	// Source names the origin of the skeleton (file name or workload id).
+	Source string
+}
+
+// Func returns the named function definition, or an error naming what is
+// missing.
+func (p *Program) Func(name string) (*FuncDef, error) {
+	f, ok := p.ByName[name]
+	if !ok {
+		return nil, fmt.Errorf("skeleton: no function %q in %s", name, p.Source)
+	}
+	return f, nil
+}
+
+// StaticStatements counts the statements in the program, the paper's measure
+// of source size used when reporting BET size ratios (§IV-B).
+func (p *Program) StaticStatements() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n++ // the def itself
+		n += countStmts(f.Body)
+	}
+	return n
+}
+
+func countStmts(body []Stmt) int {
+	n := 0
+	for _, s := range body {
+		n++
+		switch t := s.(type) {
+		case *Loop:
+			n += countStmts(t.Body)
+		case *While:
+			n += countStmts(t.Body)
+		case *If:
+			for _, c := range t.Cases {
+				n += countStmts(c.Body)
+			}
+			n += countStmts(t.Else)
+		}
+	}
+	return n
+}
+
+// FuncDef is one "def" block.
+type FuncDef struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a skeleton statement.
+type Stmt interface {
+	// Pos returns the 1-based source line of the statement.
+	Pos() int
+	stmtNode()
+}
+
+type stmtBase struct{ Line int }
+
+// Pos implements Stmt.
+func (s stmtBase) Pos() int  { return s.Line }
+func (s stmtBase) stmtNode() {}
+
+// Metrics is the per-invocation performance characterization of a comp
+// statement: the static instruction mix and data movement of one dynamic
+// execution of the modeled code block. All counts are expressions over the
+// enclosing context (loop indices, function parameters, input variables).
+type Metrics struct {
+	// FLOPs is the floating-point operation count.
+	FLOPs expr.Expr
+	// IOPs is the fixed-point (integer) operation count.
+	IOPs expr.Expr
+	// Loads and Stores count data elements read/written.
+	Loads, Stores expr.Expr
+	// DSize is the size in bytes of one data element (default 8).
+	DSize expr.Expr
+	// Divs counts floating-point divisions, a subset of FLOPs. The default
+	// hardware model treats all FLOPs as equal — exactly the simplification
+	// the paper identifies as the source of the CFD spot-6 underestimate —
+	// but the count is preserved so ablations can model divides separately.
+	Divs expr.Expr
+	// Insts is the number of static instructions attributed to the block,
+	// used by the code-leanness criterion. If nil it defaults to the sum of
+	// the operation counts evaluated with all loop bounds at 1.
+	Insts expr.Expr
+	// Vec is the vectorizable width hint (1 = scalar).
+	Vec expr.Expr
+}
+
+// Comp models a straight-line computational block.
+type Comp struct {
+	stmtBase
+	// Name is the block label; defaults to "L<line>". Hot spots are
+	// reported by this name.
+	Name string
+	M    Metrics
+}
+
+// Comm models a communication phase of a multi-node execution (halo
+// exchange, reduction, ...): Msgs messages totaling Bytes bytes per
+// execution. This implements the paper's stated future work — projecting
+// hot regions for multi-node executions — as a first-order extension: the
+// hardware model charges per-message latency plus bandwidth time.
+type Comm struct {
+	stmtBase
+	// Bytes is the total data volume per execution.
+	Bytes expr.Expr
+	// Msgs is the number of messages per execution (default 1).
+	Msgs expr.Expr
+	// Name labels the phase; defaults to "comm@L<line>".
+	Name string
+}
+
+// Lib models a call to an opaque library function (e.g. exp, rand), handled
+// semi-analytically per §IV-C of the paper.
+type Lib struct {
+	stmtBase
+	// Func is the library function name (must be known to libmodel).
+	Func string
+	// Count is the number of invocations per execution of this statement.
+	Count expr.Expr
+	// Name labels the call site; defaults to "<func>@L<line>".
+	Name string
+}
+
+// Loop is a counted loop: for v = From : To (exclusive) step Step.
+type Loop struct {
+	stmtBase
+	Var      string
+	From, To expr.Expr
+	Step     expr.Expr // nil means 1
+	Label    string
+	Body     []Stmt
+}
+
+// While is a loop whose trip count is known only statistically, from
+// profiling or developer hints.
+type While struct {
+	stmtBase
+	// Iters is the expected trip count.
+	Iters expr.Expr
+	Label string
+	Body  []Stmt
+}
+
+// CondKind discriminates branch condition specifications.
+type CondKind int
+
+const (
+	// CondProb is a statistical outcome: the branch falls through with the
+	// given probability (from the branch profiler).
+	CondProb CondKind = iota
+	// CondExpr is a deterministic condition over context variables.
+	CondExpr
+)
+
+// CondSpec is a branch condition: either a fall-through probability or an
+// evaluable predicate over the current context.
+type CondSpec struct {
+	Kind CondKind
+	X    expr.Expr
+}
+
+// IfCase is one arm of an if/elif chain.
+type IfCase struct {
+	Cond CondSpec
+	Body []Stmt
+	Line int
+}
+
+// If is a conditional with zero or more elif arms and an optional else.
+type If struct {
+	stmtBase
+	Cases []IfCase
+	Else  []Stmt
+}
+
+// Call invokes another skeleton function with argument expressions.
+type Call struct {
+	stmtBase
+	Func string
+	Args []expr.Expr
+}
+
+// Set binds a context variable, possibly forking contexts downstream when it
+// occurs under a probabilistic branch.
+type Set struct {
+	stmtBase
+	Name  string
+	Value expr.Expr
+}
+
+// VarDecl declares an array and its extent, contributing to the modeled data
+// footprint. Extents are expressions over the context.
+type VarDecl struct {
+	stmtBase
+	Name    string
+	Extents []expr.Expr
+	// DSize is the element size in bytes (default 8).
+	DSize expr.Expr
+}
+
+// Return exits the enclosing function, optionally with a probability (for
+// data-dependent early returns observed by the profiler).
+type Return struct {
+	stmtBase
+	Prob expr.Expr // nil means 1
+}
+
+// Break exits the enclosing loop with an optional per-iteration probability.
+type Break struct {
+	stmtBase
+	Prob expr.Expr // nil means 1
+}
+
+// Continue skips to the next iteration with an optional probability.
+type Continue struct {
+	stmtBase
+	Prob expr.Expr // nil means 1
+}

@@ -1,0 +1,130 @@
+package skeleton
+
+import (
+	"fmt"
+	"strings"
+
+	"skope/internal/expr"
+)
+
+// Format renders the program back into parseable skeleton syntax. The output
+// round-trips: Parse(Format(p)) is structurally identical to p.
+func Format(p *Program) string {
+	var b strings.Builder
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "def %s(%s)\n", f.Name, strings.Join(f.Params, ", "))
+		writeBody(&b, f.Body, 1)
+		b.WriteString("end\n")
+	}
+	return b.String()
+}
+
+func writeBody(b *strings.Builder, body []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range body {
+		switch t := s.(type) {
+		case *Comp:
+			fmt.Fprintf(b, "%scomp", ind)
+			writeMetric(b, "flops", t.M.FLOPs, 0)
+			writeMetric(b, "iops", t.M.IOPs, 0)
+			writeMetric(b, "loads", t.M.Loads, 0)
+			writeMetric(b, "stores", t.M.Stores, 0)
+			writeMetric(b, "dsize", t.M.DSize, 8)
+			writeMetric(b, "divs", t.M.Divs, 0)
+			if t.M.Insts != nil {
+				fmt.Fprintf(b, " insts=%s", t.M.Insts)
+			}
+			writeMetric(b, "vec", t.M.Vec, 1)
+			fmt.Fprintf(b, " name=%q\n", t.Name)
+		case *Lib:
+			fmt.Fprintf(b, "%slib %s count=%s name=%q\n", ind, t.Func, t.Count, t.Name)
+		case *Comm:
+			fmt.Fprintf(b, "%scomm bytes=%s", ind, t.Bytes)
+			writeMetric(b, "msgs", t.Msgs, 1)
+			fmt.Fprintf(b, " name=%q\n", t.Name)
+		case *Loop:
+			fmt.Fprintf(b, "%sfor %s = %s : %s", ind, t.Var, t.From, t.To)
+			if t.Step != nil {
+				fmt.Fprintf(b, " : %s", t.Step)
+			}
+			if t.Label != "" {
+				fmt.Fprintf(b, " label=%q", t.Label)
+			}
+			b.WriteByte('\n')
+			writeBody(b, t.Body, depth+1)
+			fmt.Fprintf(b, "%send\n", ind)
+		case *While:
+			fmt.Fprintf(b, "%swhile iters=%s", ind, t.Iters)
+			if t.Label != "" {
+				fmt.Fprintf(b, " label=%q", t.Label)
+			}
+			b.WriteByte('\n')
+			writeBody(b, t.Body, depth+1)
+			fmt.Fprintf(b, "%send\n", ind)
+		case *If:
+			for i, c := range t.Cases {
+				kw := "if"
+				if i > 0 {
+					kw = "elif"
+				}
+				switch c.Cond.Kind {
+				case CondProb:
+					fmt.Fprintf(b, "%s%s prob=%s\n", ind, kw, c.Cond.X)
+				case CondExpr:
+					fmt.Fprintf(b, "%s%s cond=%s\n", ind, kw, c.Cond.X)
+				}
+				writeBody(b, c.Body, depth+1)
+			}
+			if t.Else != nil {
+				fmt.Fprintf(b, "%selse\n", ind)
+				writeBody(b, t.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%send\n", ind)
+		case *Call:
+			args := make([]string, len(t.Args))
+			for i, a := range t.Args {
+				args[i] = a.String()
+			}
+			fmt.Fprintf(b, "%scall %s(%s)\n", ind, t.Func, strings.Join(args, ", "))
+		case *Set:
+			fmt.Fprintf(b, "%sset %s = %s\n", ind, t.Name, t.Value)
+		case *VarDecl:
+			fmt.Fprintf(b, "%svar %s", ind, t.Name)
+			for _, e := range t.Extents {
+				fmt.Fprintf(b, "[%s]", e)
+			}
+			if v, ok := expr.IsConst(t.DSize); !ok || v != 8 {
+				fmt.Fprintf(b, " dsize=%s", t.DSize)
+			}
+			b.WriteByte('\n')
+		case *Return:
+			writeJump(b, ind, "return", t.Prob)
+		case *Break:
+			writeJump(b, ind, "break", t.Prob)
+		case *Continue:
+			writeJump(b, ind, "continue", t.Prob)
+		}
+	}
+}
+
+// writeMetric emits " key=expr" unless the expression is the constant def.
+func writeMetric(b *strings.Builder, key string, e expr.Expr, def float64) {
+	if e == nil {
+		return
+	}
+	if v, ok := expr.IsConst(e); ok && v == def {
+		return
+	}
+	fmt.Fprintf(b, " %s=%s", key, e)
+}
+
+func writeJump(b *strings.Builder, ind, kw string, prob expr.Expr) {
+	if prob == nil {
+		fmt.Fprintf(b, "%s%s\n", ind, kw)
+		return
+	}
+	fmt.Fprintf(b, "%s%s prob=%s\n", ind, kw, prob)
+}

@@ -1,0 +1,316 @@
+package skeleton
+
+import (
+	"strings"
+	"testing"
+
+	"skope/internal/expr"
+)
+
+// pedagogical is a small skeleton exercising every statement kind; it mirrors
+// the shape of the paper's Figure 2(a) example.
+const pedagogical = `
+# pedagogical example
+def main(n, m)
+  var A[n][m]
+  var B[n*m] dsize=4
+  set knob = 0
+  for i = 0 : n label="outer"
+    comp flops=4 loads=2 stores=1 dsize=8 name="init"
+    if prob=0.3
+      set knob = 1
+    else
+      set knob = 0
+    end
+    call foo(i, knob)
+  end
+  while iters=m/2 label="conv"
+    comp flops=8*m loads=3*m name="solve"
+    break prob=0.01
+  end
+  lib exp count=n name="expcall"
+end
+
+def foo(x, k)
+  if cond = k == 1
+    comp flops=100*x loads=2*x name="heavy"
+  elif prob=0.5
+    for j = 0 : x
+      comp flops=10 loads=1 name="light"
+      continue prob=0.2
+    end
+  end
+  return prob=0.1
+  comp flops=1 name="tail"
+end
+`
+
+func parsePedagogical(t *testing.T) *Program {
+	t.Helper()
+	p, err := Parse("pedagogical", pedagogical)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParsePedagogicalStructure(t *testing.T) {
+	p := parsePedagogical(t)
+	if len(p.Funcs) != 2 {
+		t.Fatalf("got %d funcs, want 2", len(p.Funcs))
+	}
+	main, err := p.Func("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(main.Params) != 2 || main.Params[0] != "n" || main.Params[1] != "m" {
+		t.Errorf("main params = %v", main.Params)
+	}
+	// main body: var, var, set, for, while, lib
+	if len(main.Body) != 6 {
+		t.Fatalf("main body has %d stmts, want 6", len(main.Body))
+	}
+	loop, ok := main.Body[3].(*Loop)
+	if !ok {
+		t.Fatalf("main.Body[3] is %T, want *Loop", main.Body[3])
+	}
+	if loop.Var != "i" || loop.Label != "outer" {
+		t.Errorf("loop = %+v", loop)
+	}
+	if got := expr.MustEval(loop.To, expr.Env{"n": 7}); got != 7 {
+		t.Errorf("loop.To eval = %g", got)
+	}
+	// loop body: comp, if, call
+	if len(loop.Body) != 3 {
+		t.Fatalf("loop body has %d stmts, want 3", len(loop.Body))
+	}
+	comp := loop.Body[0].(*Comp)
+	if comp.Name != "init" {
+		t.Errorf("comp name = %q", comp.Name)
+	}
+	if v := expr.MustEval(comp.M.FLOPs, nil); v != 4 {
+		t.Errorf("comp flops = %g", v)
+	}
+	ifs := loop.Body[1].(*If)
+	if len(ifs.Cases) != 1 || ifs.Cases[0].Cond.Kind != CondProb {
+		t.Errorf("if cases = %+v", ifs.Cases)
+	}
+	if ifs.Else == nil {
+		t.Error("if has no else")
+	}
+	call := loop.Body[2].(*Call)
+	if call.Func != "foo" || len(call.Args) != 2 {
+		t.Errorf("call = %+v", call)
+	}
+	w, ok := main.Body[4].(*While)
+	if !ok || w.Label != "conv" {
+		t.Fatalf("main.Body[4] = %#v", main.Body[4])
+	}
+	if _, ok := w.Body[1].(*Break); !ok {
+		t.Errorf("while body[1] = %T, want *Break", w.Body[1])
+	}
+	lib, ok := main.Body[5].(*Lib)
+	if !ok || lib.Func != "exp" || lib.Name != "expcall" {
+		t.Fatalf("main.Body[5] = %#v", main.Body[5])
+	}
+
+	foo, _ := p.Func("foo")
+	ifs2 := foo.Body[0].(*If)
+	if len(ifs2.Cases) != 2 {
+		t.Fatalf("foo if has %d cases, want 2", len(ifs2.Cases))
+	}
+	if ifs2.Cases[0].Cond.Kind != CondExpr {
+		t.Error("foo if case 0 should be CondExpr")
+	}
+	if ifs2.Cases[1].Cond.Kind != CondProb {
+		t.Error("foo if case 1 should be CondProb")
+	}
+	ret, ok := foo.Body[1].(*Return)
+	if !ok || ret.Prob == nil {
+		t.Fatalf("foo.Body[1] = %#v", foo.Body[1])
+	}
+}
+
+func TestValidatePedagogical(t *testing.T) {
+	if err := Validate(parsePedagogical(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticStatements(t *testing.T) {
+	p := parsePedagogical(t)
+	// Count by hand: main def(1) + var,var,set,for,while,lib(6) +
+	// for body comp,if,call(3) + if arms set,set(2) + while body comp,break(2)
+	// + foo def(1) + if,return,comp(3) + arms comp,for(2) + for body
+	// comp,continue(2) = 22
+	if got := p.StaticStatements(); got != 22 {
+		t.Errorf("StaticStatements = %d, want 22", got)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	p1 := parsePedagogical(t)
+	text := Format(p1)
+	p2, err := Parse("roundtrip", text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	if Format(p2) != text {
+		t.Errorf("Format not a fixed point:\n--- first\n%s\n--- second\n%s", text, Format(p2))
+	}
+	if p1.StaticStatements() != p2.StaticStatements() {
+		t.Errorf("statement count changed across round trip: %d != %d",
+			p1.StaticStatements(), p2.StaticStatements())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no funcs":         "# empty\n",
+		"stmt outside def": "comp flops=1\n",
+		"unclosed def":     "def main()\n",
+		"end extra":        "def main()\nend\nend\n",
+		"bad for":          "def main()\nfor foo\nend\nend\n",
+		"bad range":        "def main()\nfor i = 1\nend\nend\n",
+		"elif outside":     "def main()\nelif prob=0.5\nend\n",
+		"else outside":     "def main()\nelse\nend\n",
+		"dup else":         "def main()\nif prob=0.5\nelse\nelse\nend\nend\n",
+		"elif after else":  "def main()\nif prob=0.5\nelse\nelif prob=0.1\nend\nend\n",
+		"unknown stmt":     "def main()\nfrobnicate\nend\n",
+		"unknown attr":     "def main()\ncomp zops=3\nend\n",
+		"bad while":        "def main()\nwhile\nend\nend\n",
+		"unterminated str": "def main()\ncomp name=\"x\nend\n",
+		"dup func":         "def f()\nend\ndef f()\nend\n",
+		"nested def":       "def f()\ndef g()\nend\nend\n",
+		"bad call":         "def main()\ncall 3()\nend\n",
+		"empty call arg":   "def main()\ncall f(,)\nend\n",
+		"bad set":          "def main()\nset = 3\nend\n",
+		"if bare assign":   "def main()\nif k\nend\nend\n# still ok",
+	}
+	for name, src := range cases {
+		if name == "if bare assign" {
+			continue // bare identifier condition is legal (CondExpr)
+		}
+		if _, err := Parse(name, src); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestBareConditionExpr(t *testing.T) {
+	p, err := Parse("t", "def main(k)\nif k > 3\ncomp flops=1\nend\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := p.Funcs[0].Body[0].(*If)
+	if ifs.Cases[0].Cond.Kind != CondExpr {
+		t.Error("bare comparison should be CondExpr")
+	}
+	v := expr.MustEval(ifs.Cases[0].Cond.X, expr.Env{"k": 5})
+	if v != 1 {
+		t.Errorf("cond eval = %g", v)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined call": "def main()\ncall nosuch()\nend\n",
+		"arity mismatch": "def main()\ncall f(1)\nend\ndef f(a, b)\nend\n",
+		"break outside":  "def main()\nbreak\nend\n",
+		"cont outside":   "def main()\ncontinue\nend\n",
+		"recursion":      "def main()\ncall f()\nend\ndef f()\ncall main()\nend\n",
+		"self recursion": "def main()\ncall main()\nend\n",
+	}
+	for name, src := range cases {
+		p, err := Parse(name, src)
+		if err != nil {
+			t.Fatalf("%s: parse failed: %v", name, err)
+		}
+		if err := Validate(p); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", name)
+		}
+	}
+	// Missing entry.
+	p, _ := Parse("noentry", "def f()\nend\n")
+	if err := Validate(p); err == nil {
+		t.Error("Validate without main succeeded")
+	}
+	if err := ValidateEntry(p, "f"); err != nil {
+		t.Errorf("ValidateEntry(f): %v", err)
+	}
+}
+
+func TestAttributesWithSpaces(t *testing.T) {
+	src := "def main(n)\ncomp flops=4 * n + 1 loads=n * 2 name=\"spaced\"\nend\n"
+	p, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Funcs[0].Body[0].(*Comp)
+	if v := expr.MustEval(c.M.FLOPs, expr.Env{"n": 10}); v != 41 {
+		t.Errorf("flops eval = %g, want 41", v)
+	}
+	if v := expr.MustEval(c.M.Loads, expr.Env{"n": 10}); v != 20 {
+		t.Errorf("loads eval = %g, want 20", v)
+	}
+}
+
+func TestForWithStep(t *testing.T) {
+	p, err := Parse("t", "def main(n)\nfor i = 0 : n : 2\ncomp flops=1\nend\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := p.Funcs[0].Body[0].(*Loop)
+	if loop.Step == nil {
+		t.Fatal("step not parsed")
+	}
+	if v := expr.MustEval(loop.Step, nil); v != 2 {
+		t.Errorf("step = %g", v)
+	}
+}
+
+func TestVarDeclExtents(t *testing.T) {
+	p, err := Parse("t", "def main(n, m)\nvar A[n][m + 1] dsize=4\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.Funcs[0].Body[0].(*VarDecl)
+	if len(v.Extents) != 2 {
+		t.Fatalf("extents = %d, want 2", len(v.Extents))
+	}
+	if got := expr.MustEval(v.Extents[1], expr.Env{"m": 4}); got != 5 {
+		t.Errorf("extent[1] = %g", got)
+	}
+	if got := expr.MustEval(v.DSize, nil); got != 4 {
+		t.Errorf("dsize = %g", got)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "\n# leading comment\n\ndef main()  # trailing comment\n  comp flops=1  # another\n\nend\n"
+	p, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Funcs[0].Body) != 1 {
+		t.Errorf("body = %d stmts", len(p.Funcs[0].Body))
+	}
+}
+
+func TestDefaultCompName(t *testing.T) {
+	p, err := Parse("t", "def main()\ncomp flops=1\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Funcs[0].Body[0].(*Comp)
+	if !strings.HasPrefix(c.Name, "L") {
+		t.Errorf("default comp name = %q", c.Name)
+	}
+}
+
+func TestFuncMissingError(t *testing.T) {
+	p := parsePedagogical(t)
+	if _, err := p.Func("nosuch"); err == nil {
+		t.Error("Func(nosuch) should fail")
+	}
+}

@@ -1,0 +1,122 @@
+package skeleton
+
+import (
+	"fmt"
+)
+
+// Validate performs semantic checks on a parsed program:
+//
+//   - every called function is defined with a matching arity,
+//   - break/continue appear only inside loops,
+//   - the call graph contains no recursion (the BET construction inlines
+//     callee trees, so recursion would not terminate; the paper targets
+//     scientific array codes where this holds),
+//   - entry ("main" by default) exists.
+func Validate(p *Program) error {
+	return ValidateEntry(p, "main")
+}
+
+// ValidateEntry is Validate with a configurable entry function name.
+func ValidateEntry(p *Program, entry string) error {
+	if _, err := p.Func(entry); err != nil {
+		return err
+	}
+	for _, f := range p.Funcs {
+		if err := checkBody(p, f, f.Body, 0); err != nil {
+			return err
+		}
+	}
+	return checkRecursion(p, entry)
+}
+
+func checkBody(p *Program, f *FuncDef, body []Stmt, loopDepth int) error {
+	for _, s := range body {
+		switch t := s.(type) {
+		case *Call:
+			callee, ok := p.ByName[t.Func]
+			if !ok {
+				return fmt.Errorf("%s:%d: call to undefined function %q", p.Source, t.Pos(), t.Func)
+			}
+			if len(t.Args) != len(callee.Params) {
+				return fmt.Errorf("%s:%d: call to %q with %d args, want %d",
+					p.Source, t.Pos(), t.Func, len(t.Args), len(callee.Params))
+			}
+		case *Break:
+			if loopDepth == 0 {
+				return fmt.Errorf("%s:%d: break outside loop", p.Source, t.Pos())
+			}
+		case *Continue:
+			if loopDepth == 0 {
+				return fmt.Errorf("%s:%d: continue outside loop", p.Source, t.Pos())
+			}
+		case *Loop:
+			if err := checkBody(p, f, t.Body, loopDepth+1); err != nil {
+				return err
+			}
+		case *While:
+			if err := checkBody(p, f, t.Body, loopDepth+1); err != nil {
+				return err
+			}
+		case *If:
+			for _, c := range t.Cases {
+				if err := checkBody(p, f, c.Body, loopDepth); err != nil {
+					return err
+				}
+			}
+			if err := checkBody(p, f, t.Else, loopDepth); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkRecursion DFS-colors the call graph from entry and reports a cycle.
+func checkRecursion(p *Program, entry string) error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(name string, path []string) error
+	visit = func(name string, path []string) error {
+		switch color[name] {
+		case gray:
+			return fmt.Errorf("%s: recursive call cycle: %v -> %s", p.Source, path, name)
+		case black:
+			return nil
+		}
+		color[name] = gray
+		f := p.ByName[name]
+		if f != nil {
+			for _, callee := range calledFuncs(f.Body, nil) {
+				if err := visit(callee, append(path, name)); err != nil {
+					return err
+				}
+			}
+		}
+		color[name] = black
+		return nil
+	}
+	return visit(entry, nil)
+}
+
+func calledFuncs(body []Stmt, acc []string) []string {
+	for _, s := range body {
+		switch t := s.(type) {
+		case *Call:
+			acc = append(acc, t.Func)
+		case *Loop:
+			acc = calledFuncs(t.Body, acc)
+		case *While:
+			acc = calledFuncs(t.Body, acc)
+		case *If:
+			for _, c := range t.Cases {
+				acc = calledFuncs(c.Body, acc)
+			}
+			acc = calledFuncs(t.Else, acc)
+		}
+	}
+	return acc
+}

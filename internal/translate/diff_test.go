@@ -1,0 +1,243 @@
+package translate
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"skope/internal/bst"
+	"skope/internal/core"
+	"skope/internal/interp"
+	"skope/internal/minilang"
+)
+
+// TestQuickModelMatchesMeasuredTripCounts is the end-to-end differential
+// property: for randomly generated structured programs (nested affine
+// loops, modulo and rand()-probability branches, no context-forking
+// assignments), the BET's expected execution count of every loop
+// (ENR x Iters) must equal the interpreter's measured total trip count.
+//
+// This holds exactly, not just in expectation: deterministic modulo
+// branches are profiled at their true frequency, rand() branches at their
+// realized frequency from the same profiling run, and affine loop bounds
+// evaluated at the expected loop-variable value average correctly — so the
+// model's statistics reproduce the measured totals.
+func TestQuickModelMatchesMeasuredTripCounts(t *testing.T) {
+	f := func(seed uint32) bool {
+		src := genProgram(uint64(seed))
+		prog, err := minilang.Parse("gen", src)
+		if err != nil {
+			t.Logf("seed %d: parse: %v\n%s", seed, err, src)
+			return false
+		}
+		if err := minilang.Check(prog); err != nil {
+			t.Logf("seed %d: check: %v\n%s", seed, err, src)
+			return false
+		}
+		profiler := interp.NewProfiler()
+		eng, err := interp.New(prog, &interp.Options{Observer: profiler, Seed: uint64(seed) + 7})
+		if err != nil {
+			t.Logf("seed %d: new: %v", seed, err)
+			return false
+		}
+		if err := eng.Run(); err != nil {
+			t.Logf("seed %d: run: %v\n%s", seed, err, src)
+			return false
+		}
+		res, err := Translate(prog, profiler.P)
+		if err != nil {
+			t.Logf("seed %d: translate: %v\n%s", seed, err, src)
+			return false
+		}
+		tree, err := bst.Build(res.Prog)
+		if err != nil {
+			t.Logf("seed %d: bst: %v", seed, err)
+			return false
+		}
+		bet, err := core.Build(tree, res.Input, nil)
+		if err != nil {
+			t.Logf("seed %d: bet: %v\n%s", seed, err, res.Text)
+			return false
+		}
+
+		// Model-side: total executions per loop block.
+		modelTrips := map[string]float64{}
+		core.Walk(bet.Root, func(n *core.Node) bool {
+			if n.Kind() == bst.KindLoop || n.Kind() == bst.KindWhile {
+				modelTrips[n.Label()] += n.ENR * n.Iters
+			}
+			return true
+		})
+
+		// Measured side: profiler loop statistics, keyed by source line.
+		for site, st := range profiler.P.Loops {
+			line := lineOfSite(site)
+			label := fmt.Sprintf("for@L%d", line)
+			got, ok := modelTrips[label]
+			if !ok {
+				// Data-dependent loops become while@; the generator emits
+				// only static bounds, so every loop must be found.
+				t.Logf("seed %d: loop %s (label %s) missing from model\n%s\nskeleton:\n%s",
+					seed, site, label, src, res.Text)
+				return false
+			}
+			want := float64(st.Trips)
+			if math.Abs(got-want) > 1e-6*math.Max(want, 1) {
+				t.Logf("seed %d: loop %s: model %.6f vs measured %g\nsource:\n%s\nskeleton:\n%s\nbet:\n%s",
+					seed, site, got, want, src, res.Text, bet.Dump())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func lineOfSite(site string) int {
+	// site = "main@<line>:<col>"
+	var line, col int
+	at := strings.IndexByte(site, '@')
+	fmt.Sscanf(site[at+1:], "%d:%d", &line, &col)
+	return line
+}
+
+// genProgram emits a random structured minilang program: nested counted
+// loops with affine bounds, modulo branches, rand-probability branches,
+// and straight-line float work. No assignments feed control flow, so the
+// BET needs no context forking and expectations are exact.
+//
+// Two deliberate restrictions isolate the exact-equality regime:
+//
+//   - loops under a branch use only constant or global bounds: a bound
+//     referencing an outer loop variable inside a branch conditioned on
+//     that variable makes the conditional mean of the bound differ from
+//     the unconditional mean the model uses (correlated branch outcomes);
+//   - at most one variable-dependent bound on any loop-nest path: chained
+//     or repeated dependence (k bounded by i inside j bounded by i) makes
+//     totals quadratic in the outer variable, which a first-order
+//     expected-value model cannot reproduce (Jensen-style error).
+//
+// Both excluded cases are real, inherent errors of the paper's statistical
+// approach (its §VII-C "jittering" discussion), not implementation bugs;
+// inside the independent/affine regime the model must be exact.
+func genProgram(seed uint64) string {
+	r := &lcg{state: seed*2654435761 + 12345}
+	var b strings.Builder
+	n := 4 + r.intn(8)
+	fmt.Fprintf(&b, "global n: int = %d;\nglobal acc: float;\nglobal a: [64]float;\n\n", n)
+	b.WriteString("func main() {\n")
+	genBlock(r, &b, 1, 0, nil)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+type lcg struct{ state uint64 }
+
+func (l *lcg) next() uint64 {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return l.state >> 11
+}
+
+func (l *lcg) intn(n int) int { return int(l.next() % uint64(n)) }
+
+var loopVarNames = []string{"i", "j", "k", "m2", "p"}
+
+// genVar is a loop variable in scope; chainable marks variables of
+// constant-range loops, safe to use in a nested bound.
+type genVar struct {
+	name      string
+	chainable bool
+}
+
+func genBlock(r *lcg, b *strings.Builder, depth, loopDepth int, vars []genVar) {
+	genBlockB(r, b, depth, loopDepth, vars, false)
+}
+
+// nonChainable returns vars with every entry marked non-chainable, for
+// subtrees where no further variable-dependent bounds are allowed.
+func nonChainable(vars []genVar) []genVar {
+	out := make([]genVar, len(vars))
+	for i, v := range vars {
+		out[i] = genVar{v.name, false}
+	}
+	return out
+}
+
+func pickVar(r *lcg, vars []genVar) string {
+	return vars[r.intn(len(vars))].name
+}
+
+func genBlockB(r *lcg, b *strings.Builder, depth, loopDepth int, vars []genVar, underBranch bool) {
+	ind := strings.Repeat("  ", depth)
+	stmts := 1 + r.intn(3)
+	for s := 0; s < stmts; s++ {
+		switch choice := r.intn(6); {
+		case choice <= 1 && loopDepth < 3 && depth < 5:
+			// Counted loop with affine bounds.
+			v := loopVarNames[loopDepth]
+			from := r.intn(3)
+			var to string
+			chainable := true
+			var chainables []genVar
+			for _, gv := range vars {
+				if gv.chainable {
+					chainables = append(chainables, gv)
+				}
+			}
+			switch r.intn(3) {
+			case 0:
+				to = fmt.Sprintf("%d", from+1+r.intn(6))
+			case 1:
+				to = "n"
+			default:
+				if len(chainables) > 0 && !underBranch {
+					to = pickVar(r, chainables) + " + 2"
+					chainable = false
+				} else {
+					to = "n"
+				}
+			}
+			fmt.Fprintf(b, "%sfor %s = %d .. %s {\n", ind, v, from, to)
+			inner := append(vars, genVar{v, chainable})
+			if !chainable {
+				// Variable-dependent loop: its whole subtree must stay
+				// free of further variable-dependent bounds.
+				inner = nonChainable(inner)
+			}
+			genBlockB(r, b, depth+1, loopDepth+1, inner, underBranch)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case choice == 2 && depth < 5:
+			// Modulo branch on a loop variable (deterministic, profiled).
+			if len(vars) == 0 {
+				fmt.Fprintf(b, "%sacc = acc + 1.0;\n", ind)
+				continue
+			}
+			v := pickVar(r, vars)
+			k := 2 + r.intn(3)
+			fmt.Fprintf(b, "%sif (%s %% %d == 0) {\n", ind, v, k)
+			genBlockB(r, b, depth+1, loopDepth, vars, true)
+			if r.intn(2) == 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				genBlockB(r, b, depth+1, loopDepth, vars, true)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case choice == 3 && depth < 5:
+			// Probabilistic branch on rand().
+			p := 0.2 + 0.6*float64(r.intn(100))/100
+			fmt.Fprintf(b, "%sif (rand() < %.2f) {\n", ind, p)
+			genBlockB(r, b, depth+1, loopDepth, vars, true)
+			fmt.Fprintf(b, "%s}\n", ind)
+		default:
+			// Straight-line work.
+			idx := "1"
+			if len(vars) > 0 {
+				idx = fmt.Sprintf("mod(%s, 64.0)", pickVar(r, vars))
+			}
+			fmt.Fprintf(b, "%sacc = acc + a[%s] * 1.5 + 0.25;\n", ind, idx)
+		}
+	}
+}
