@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet fmt-check test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file needs reformatting (gofmt -l prints offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrency-heavy packages (worker pools, memo caches).
+race:
+	$(GO) test -race ./internal/pipeline/... ./internal/explore/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+check: build vet fmt-check test

@@ -1,6 +1,7 @@
 package skope_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -301,7 +302,7 @@ func BenchmarkFullPipeline(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pipeline.Prepare(w); err != nil {
+		if _, err := pipeline.Prepare(context.Background(), w); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -432,7 +433,7 @@ func BenchmarkEvaluateManyParallel(b *testing.B) {
 	machines := []*hw.Machine{hw.BGQ(), hw.XeonE5()}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pipeline.EvaluateMany(run, machines, hotspot.ScaledCriteria()); err != nil {
+		if _, err := pipeline.EvaluateMany(context.Background(), run, machines, pipeline.WithCriteria(hotspot.ScaledCriteria())); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,30 +4,39 @@
 // performance on a target machine with the extended roofline model, and
 // reports hot spots, bottleneck breakdowns and the hot path. With
 // -validate it additionally runs the machine timing simulator and reports
-// the selection quality against the measured profile.
+// the selection quality against the measured profile. With -sweep it
+// switches to design-space exploration: the flag (repeatable) spans a grid
+// of machine variants around the base machine, evaluated analytically
+// through the bounded, memoizing exploration engine.
 //
 // Usage:
 //
 //	skope -bench sord -machine bgq [-scale 1] [-show all] [-validate]
 //	skope -source app.ml -machine xeon -validate     # your own minilang file
+//	skope -bench sord -machine bgq -sweep mem-bandwidth=16,32,64 -sweep net-latency-us=1,2,4
 //
 // Benchmarks: sord, chargei, srad, cfd, stassuij.
 // Machines: bgq, xeon, future.
 // Sections (-show, comma separated): skeleton, bet, spots, breakdown,
 // path, dot, all.
+// Sweep parameters: skope -list prints the full set.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
+	"skope/internal/explore"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
 	"skope/internal/pipeline"
+	"skope/internal/report"
 	"skope/internal/workloads"
 )
 
@@ -43,23 +52,40 @@ func main() {
 	flag.Float64Var(&cfg.coverage, "coverage", 0.90, "hot-spot time coverage target")
 	flag.Float64Var(&cfg.leanness, "leanness", 0.50, "hot-spot code leanness budget")
 	flag.IntVar(&cfg.maxSpots, "spots", 10, "maximum hot spots to select (0 = unlimited)")
-	flag.BoolVar(&cfg.list, "list", false, "list benchmarks and machine presets, then exit")
+	flag.BoolVar(&cfg.list, "list", false, "list benchmarks, machine presets and sweep parameters, then exit")
+	flag.Var(&cfg.sweeps, "sweep", "design-space axis param=v1,v2,... (repeatable; switches to sweep mode)")
+	flag.IntVar(&cfg.workers, "workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.top, "top", 10, "sweep mode: variants to print (0 = all)")
 	flag.Parse()
-	if err := run(os.Stdout, cfg); err != nil {
+	if err := run(context.Background(), os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "skope:", err)
 		os.Exit(1)
 	}
+}
+
+// axisList collects repeated -sweep flags.
+type axisList []string
+
+func (a *axisList) String() string { return strings.Join(*a, "; ") }
+
+func (a *axisList) Set(v string) error {
+	if _, err := explore.ParseAxis(v); err != nil {
+		return err
+	}
+	*a = append(*a, v)
+	return nil
 }
 
 // config carries the parsed command line.
 type config struct {
 	bench, source, machine, machineFile, show string
 	scale, coverage, leanness                 float64
-	maxSpots                                  int
+	maxSpots, workers, top                    int
 	validate, list                            bool
+	sweeps                                    axisList
 }
 
-func run(out io.Writer, cfg config) error {
+func run(ctx context.Context, out io.Writer, cfg config) error {
 	if cfg.list {
 		fmt.Fprintln(out, "benchmarks:")
 		for _, n := range workloads.Names() {
@@ -77,6 +103,10 @@ func run(out io.Writer, cfg config) error {
 			fmt.Fprintf(out, "  %-10s %s (%.2g GHz, %d-wide, %.3g GB/s)\n",
 				n, m.Name, m.FreqGHz, m.IssueWidth, m.MemBandwidthGBs)
 		}
+		fmt.Fprintln(out, "sweep parameters (-sweep param=v1,v2,...):")
+		for _, h := range explore.ParamHelp() {
+			fmt.Fprintf(out, "  %s\n", h)
+		}
 		return nil
 	}
 	var m *hw.Machine
@@ -88,15 +118,6 @@ func run(out io.Writer, cfg config) error {
 	}
 	if err != nil {
 		return err
-	}
-	sections := map[string]bool{}
-	for _, s := range strings.Split(cfg.show, ",") {
-		sections[strings.TrimSpace(s)] = true
-	}
-	if sections["all"] {
-		for _, s := range []string{"skeleton", "bet", "spots", "breakdown", "path", "dot"} {
-			sections[s] = true
-		}
 	}
 
 	var w *workloads.Workload
@@ -118,7 +139,7 @@ func run(out io.Writer, cfg config) error {
 		}
 	}
 	fmt.Fprintf(out, "# %s\n\n", w.Description)
-	run, err := pipeline.Prepare(w)
+	run, err := pipeline.Prepare(ctx, w)
 	if err != nil {
 		return err
 	}
@@ -128,6 +149,20 @@ func run(out io.Writer, cfg config) error {
 			fmt.Fprintln(out, " -", warn)
 		}
 		fmt.Fprintln(out)
+	}
+
+	if len(cfg.sweeps) > 0 {
+		return sweep(ctx, out, cfg, run, m)
+	}
+
+	sections := map[string]bool{}
+	for _, s := range strings.Split(cfg.show, ",") {
+		sections[strings.TrimSpace(s)] = true
+	}
+	if sections["all"] {
+		for _, s := range []string{"skeleton", "bet", "spots", "breakdown", "path", "dot"} {
+			sections[s] = true
+		}
 	}
 	if sections["skeleton"] {
 		fmt.Fprintln(out, "## generated code skeleton")
@@ -140,7 +175,7 @@ func run(out io.Writer, cfg config) error {
 	}
 
 	crit := hotspot.Criteria{TimeCoverage: cfg.coverage, CodeLeanness: cfg.leanness, MaxSpots: cfg.maxSpots}
-	ev, err := pipeline.Evaluate(run, m, crit)
+	ev, err := pipeline.Evaluate(ctx, run, m, pipeline.WithCriteria(crit))
 	if err != nil {
 		return err
 	}
@@ -184,5 +219,87 @@ func run(out io.Writer, cfg config) error {
 		fmt.Fprintf(out, "selection quality (top-10): %.3f\n", ev.Quality)
 		fmt.Fprintf(out, "selection quality (criteria selection): %.3f\n", ev.SelectionQuality)
 	}
+	return nil
+}
+
+// sweep runs the design-space exploration mode: a grid of machine variants
+// around the base machine, evaluated analytically (no simulation) through
+// the bounded, memoizing engine, reported as a ranked table plus the
+// time/cost Pareto frontier.
+func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, base *hw.Machine) error {
+	grid := explore.Grid{Base: base}
+	for _, spec := range cfg.sweeps {
+		ax, err := explore.ParseAxis(spec)
+		if err != nil {
+			return err
+		}
+		grid.Axes = append(grid.Axes, ax)
+	}
+	variants, err := grid.Variants()
+	if err != nil {
+		return err
+	}
+
+	eng, err := pipeline.Explorer(run, pipeline.WithWorkers(cfg.workers))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	analyses, err := eng.Sweep(ctx, variants)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	baseline, err := hotspot.Analyze(run.BET, hw.NewModel(base), run.Libs)
+	if err != nil {
+		return err
+	}
+
+	order := make([]int, len(analyses))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return analyses[order[a]].TotalTime < analyses[order[b]].TotalTime
+	})
+	shown := len(order)
+	if cfg.top > 0 && cfg.top < shown {
+		shown = cfg.top
+	}
+	t := &report.Table{
+		Title:  fmt.Sprintf("design-space sweep: %d variants of %s on %s", len(variants), run.Workload.Name, base.Name),
+		Header: []string{"rank", "variant", "time (s)", "speedup", "top spot", "bottleneck"},
+	}
+	for rank, i := range order[:shown] {
+		a := analyses[i]
+		top := a.Blocks[0]
+		bound := "compute"
+		if top.MemoryBound {
+			bound = "memory"
+		}
+		t.AddRow(rank+1, variants[i].Name,
+			fmt.Sprintf("%.4g", a.TotalTime),
+			fmt.Sprintf("%.2fx", baseline.TotalTime/a.TotalTime),
+			top.BlockID, bound)
+	}
+	fmt.Fprintln(out, t)
+	if shown < len(order) {
+		fmt.Fprintf(out, "(showing %d of %d variants; -top 0 for all)\n", shown, len(order))
+	}
+
+	frontier := explore.Pareto(variants, analyses, explore.RelativeCost)
+	fmt.Fprintln(out, "\n## Pareto frontier (projected time vs relative hardware cost)")
+	for _, p := range frontier {
+		fmt.Fprintf(out, "  cost %7.2f  time %.4g s  %s\n", p.Cost, p.Time, p.Machine.Name)
+	}
+	if best := explore.Best(analyses); best >= 0 {
+		fmt.Fprintf(out, "\nbest variant: %s (%.4g s, %.2fx over %s)\n",
+			variants[best].Name, analyses[best].TotalTime,
+			baseline.TotalTime/analyses[best].TotalTime, base.Name)
+	}
+	stats := eng.CacheStats()
+	fmt.Fprintf(out, "sweep stats: %d variants in %s, cache hit rate %.1f%% (%d hits / %d misses)\n",
+		len(variants), wall.Round(time.Microsecond), 100*stats.HitRate(), stats.Hits, stats.Misses)
 	return nil
 }

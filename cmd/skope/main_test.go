@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 
 func TestRunList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, config{list: true, scale: 1}); err != nil {
+	if err := run(context.Background(), &buf, config{list: true, scale: 1}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -29,7 +30,7 @@ func TestRunAnalysis(t *testing.T) {
 		bench: "srad", machine: "bgq", scale: 1,
 		show: "spots,breakdown,path", coverage: 0.9, leanness: 0.5, maxSpots: 10,
 	}
-	if err := run(&buf, cfg); err != nil {
+	if err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -46,7 +47,7 @@ func TestRunValidate(t *testing.T) {
 		bench: "stassuij", machine: "xeon", scale: 1,
 		show: "spots", coverage: 0.9, leanness: 0.5, maxSpots: 10, validate: true,
 	}
-	if err := run(&buf, cfg); err != nil {
+	if err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "selection quality (top-10):") {
@@ -66,7 +67,7 @@ func TestRunMachineFile(t *testing.T) {
 		bench: "srad", machineFile: path, scale: 1,
 		show: "spots", coverage: 0.9, leanness: 0.5, maxSpots: 3,
 	}
-	if err := run(&buf, cfg); err != nil {
+	if err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "CustomQ") {
@@ -74,15 +75,64 @@ func TestRunMachineFile(t *testing.T) {
 	}
 }
 
+func TestRunSweep(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := config{
+		bench: "sord", machine: "bgq", scale: 1, top: 5,
+		sweeps: axisList{"mem-bandwidth=14,28,56", "net-latency-us=1,2,4"},
+	}
+	if err := run(context.Background(), &buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"design-space sweep: 9 variants",
+		"Pareto frontier",
+		"best variant:",
+		"cache hit rate",
+		"mem-bandwidth=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunListShowsSweepParams(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, config{list: true, scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sweep parameters", "mem-bandwidth", "net-latency-us"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestAxisListRejectsBadSpec(t *testing.T) {
+	var a axisList
+	if err := a.Set("nosuch-param=1,2"); err == nil {
+		t.Error("unknown sweep parameter accepted")
+	}
+	if err := a.Set("mem-bandwidth=abc"); err == nil {
+		t.Error("non-numeric sweep value accepted")
+	}
+	if err := a.Set("mem-bandwidth=14,28"); err != nil {
+		t.Errorf("valid axis rejected: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, config{bench: "nosuch", machine: "bgq", scale: 1, show: "spots"}); err == nil {
+	if err := run(context.Background(), &buf, config{bench: "nosuch", machine: "bgq", scale: 1, show: "spots"}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run(&buf, config{bench: "srad", machine: "vax", scale: 1, show: "spots"}); err == nil {
+	if err := run(context.Background(), &buf, config{bench: "srad", machine: "vax", scale: 1, show: "spots"}); err == nil {
 		t.Error("unknown machine accepted")
 	}
-	if err := run(&buf, config{bench: "srad", machineFile: "/nonexistent.json", scale: 1, show: "spots"}); err == nil {
+	if err := run(context.Background(), &buf, config{bench: "srad", machineFile: "/nonexistent.json", scale: 1, show: "spots"}); err == nil {
 		t.Error("missing machine file accepted")
 	}
 }
@@ -106,7 +156,7 @@ func main() {
 		source: path, machine: "future", scale: 1,
 		show: "spots", coverage: 0.9, leanness: 1, maxSpots: 5, validate: true,
 	}
-	if err := run(&buf, cfg); err != nil {
+	if err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

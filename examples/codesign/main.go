@@ -1,8 +1,11 @@
 // Codesign: sweep hypothetical architecture configurations and watch hot
 // spots and bottlenecks move — the software-hardware co-design use case the
 // paper motivates. No simulation runs: every point is an analytical
-// projection over the same Bayesian Execution Tree, so the sweep covers a
-// design space in milliseconds.
+// projection over the same Bayesian Execution Tree, driven through the
+// design-space exploration engine — a bounded worker pool with memoized
+// per-block characterization, so a grid of hundreds of variants costs
+// little more than the handful of distinct roofline characterizations
+// inside it.
 //
 // The workload is CHARGEI (particle-in-cell deposition), whose balance
 // between the compute-heavy weight loop and the memory-bound scatter makes
@@ -12,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"skope/internal/explore"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
 	"skope/internal/pipeline"
@@ -22,40 +27,87 @@ import (
 )
 
 func main() {
-	run, err := pipeline.PrepareByName("chargei", workloads.ScaleTest)
+	ctx := context.Background()
+	run, err := pipeline.PrepareByName(ctx, "chargei", workloads.ScaleTest)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("workload: %s\n\n", run.Workload.Description)
 
-	fmt.Println("sweep 1: memory concurrency (outstanding misses; base: BG/Q-like)")
-	fmt.Printf("%-10s %-26s %-10s %-14s\n", "MLP", "top hot spot", "cov%", "bottleneck")
-	for _, mlp := range []float64{1, 2, 4, 8, 16, 32} {
-		m := hw.BGQ()
-		m.Name = fmt.Sprintf("bgq-mlp%g", mlp)
-		m.MemConcurrency = mlp
-		reportTop(run, m)
+	// One engine for the whole study: the memo cache carries across
+	// sweeps, so re-visited parameter subsets are free.
+	eng, err := pipeline.Explorer(run)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	fmt.Println("\nsweep 2: memory latency")
-	fmt.Printf("%-10s %-26s %-10s %-14s\n", "lat (cyc)", "top hot spot", "cov%", "bottleneck")
-	for _, lat := range []int{60, 120, 180, 360, 720} {
-		m := hw.BGQ()
-		m.Name = fmt.Sprintf("bgq-lat%d", lat)
-		m.MemLatencyCyc = lat
-		reportTop(run, m)
+	// Three one-dimensional sweeps around a BG/Q-like base, as in the
+	// paper's narrative: vary one first-order parameter, watch the top hot
+	// spot and its roofline verdict flip.
+	oneD := []struct {
+		title string
+		axis  explore.Axis
+	}{
+		{"sweep 1: memory concurrency (outstanding misses; base: BG/Q-like)",
+			explore.Axis{Param: "mem-concurrency", Values: []float64{1, 2, 4, 8, 16, 32}}},
+		{"sweep 2: memory latency (cycles)",
+			explore.Axis{Param: "mem-latency", Values: []float64{60, 120, 180, 360, 720}}},
+		{"sweep 3: scalar FP throughput (flops/cycle)",
+			explore.Axis{Param: "fp-per-cycle", Values: []float64{1, 2, 4, 8, 16}}},
+	}
+	for _, sw := range oneD {
+		fmt.Println(sw.title)
+		fmt.Printf("%-28s %-26s %-10s %-14s\n", "variant", "top hot spot", "cov%", "bottleneck")
+		grid := explore.Grid{Base: hw.BGQ(), Axes: []explore.Axis{sw.axis}}
+		variants, err := grid.Variants()
+		if err != nil {
+			log.Fatal(err)
+		}
+		analyses, err := eng.Sweep(ctx, variants)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, a := range analyses {
+			reportTop(variants[i], a)
+		}
+		fmt.Println()
 	}
 
-	fmt.Println("\nsweep 3: scalar FP throughput (flops/cycle)")
-	fmt.Printf("%-10s %-26s %-10s %-14s\n", "fp/cyc", "top hot spot", "cov%", "bottleneck")
-	for _, fp := range []float64{1, 2, 4, 8, 16} {
-		m := hw.BGQ()
-		m.Name = fmt.Sprintf("bgq-fp%g", fp)
-		m.FPOpsPerCycle = fp
-		reportTop(run, m)
+	// The full co-design loop: a 3-D grid (bandwidth x concurrency x FP
+	// throughput), ranked by projected time and reduced to its time/cost
+	// Pareto frontier. The engine's cache statistics show how much of the
+	// grid was repeated characterization work.
+	grid := explore.Grid{Base: hw.BGQ(), Axes: []explore.Axis{
+		{Param: "mem-bandwidth", Values: []float64{14, 28, 56, 112}},
+		{Param: "mem-concurrency", Values: []float64{2, 4, 8, 16}},
+		{Param: "fp-per-cycle", Values: []float64{2, 4, 8}},
+	}}
+	variants, err := grid.Variants()
+	if err != nil {
+		log.Fatal(err)
 	}
+	analyses, err := eng.Sweep(ctx, variants)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := hotspot.Analyze(run.BET, hw.NewModel(hw.BGQ()), run.Libs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep 4: %d-variant grid, time/cost Pareto frontier\n", len(variants))
+	for _, p := range explore.Pareto(variants, analyses, explore.RelativeCost) {
+		fmt.Printf("  cost %6.2f  time %.4g s  speedup %5.2fx  %s\n",
+			p.Cost, p.Time, base.TotalTime/p.Time, p.Machine.Name)
+	}
+	if best := explore.Best(analyses); best >= 0 {
+		fmt.Printf("fastest design: %s (%.2fx over BG/Q)\n",
+			variants[best].Name, base.TotalTime/analyses[best].TotalTime)
+	}
+	stats := eng.CacheStats()
+	fmt.Printf("engine cache: %.0f%% hit rate over the whole study (%d hits, %d misses)\n\n",
+		100*stats.HitRate(), stats.Hits, stats.Misses)
 
-	fmt.Println("\nreading the sweeps: with few outstanding misses or slow memory the")
+	fmt.Println("reading the sweeps: with few outstanding misses or slow memory the")
 	fmt.Println("indirect gather/scatter dominates (memory-bound); as the memory")
 	fmt.Println("system improves or FP throughput shrinks, the per-particle weight")
 	fmt.Println("computation takes over (compute-bound). A balanced design sits where")
@@ -63,19 +115,17 @@ func main() {
 	fmt.Println("with no simulation of any configuration.")
 }
 
-// reportTop projects the workload on m analytically — no simulation — and
-// prints the top hot spot and its roofline verdict.
-func reportTop(run *pipeline.Run, m *hw.Machine) {
-	analysis, err := hotspot.Analyze(run.BET, hw.NewModel(m), run.Libs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	top := analysis.Blocks[0]
+// reportTop prints a variant's top hot spot and its roofline verdict.
+func reportTop(m *hw.Machine, a *hotspot.Analysis) {
+	top := a.Blocks[0]
 	bound := "compute"
 	if top.MemoryBound {
 		bound = "memory"
 	}
-	// Identify the varying parameter value from the synthetic name.
-	fmt.Printf("%-10s %-26s %-10.1f %-14s\n",
-		m.Name[len("bgq-"):], top.BlockID, 100*analysis.Coverage(top), bound)
+	// The grid names variants "BG/Q[param=value]"; show just the tag.
+	tag := m.Name
+	if i := len("BG/Q["); len(tag) > i && tag[i-1] == '[' {
+		tag = tag[i : len(tag)-1]
+	}
+	fmt.Printf("%-28s %-26s %-10.1f %-14s\n", tag, top.BlockID, 100*a.Coverage(top), bound)
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,16 +21,16 @@ import (
 )
 
 func main() {
-	run, err := pipeline.PrepareByName("sord", workloads.ScaleTest)
+	run, err := pipeline.PrepareByName(context.Background(), "sord", workloads.ScaleTest)
 	if err != nil {
 		log.Fatal(err)
 	}
 	crit := hotspot.ScaledCriteria()
-	bgq, err := pipeline.Evaluate(run, hw.BGQ(), crit)
+	bgq, err := pipeline.Evaluate(context.Background(), run, hw.BGQ(), pipeline.WithCriteria(crit))
 	if err != nil {
 		log.Fatal(err)
 	}
-	xeon, err := pipeline.Evaluate(run, hw.XeonE5(), crit)
+	xeon, err := pipeline.Evaluate(context.Background(), run, hw.XeonE5(), pipeline.WithCriteria(crit))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,12 +26,12 @@ import (
 )
 
 func main() {
-	run, err := pipeline.PrepareByName("sord", workloads.ScaleTest)
+	run, err := pipeline.PrepareByName(context.Background(), "sord", workloads.ScaleTest)
 	if err != nil {
 		log.Fatal(err)
 	}
 	machine := hw.BGQ()
-	ev, err := pipeline.Evaluate(run, machine, hotspot.ScaledCriteria())
+	ev, err := pipeline.Evaluate(context.Background(), run, machine, pipeline.WithCriteria(hotspot.ScaledCriteria()))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -108,7 +108,7 @@ func (b *builder) newNode(bn *bst.Node, parent *Node, env expr.Env, prob float64
 	return n
 }
 
-func (b *builder) errf(bn *bst.Node, format string, args ...interface{}) error {
+func (b *builder) errf(bn *bst.Node, format string, args ...any) error {
 	return fmt.Errorf("bet: %s:%d (%s): %s",
 		b.bet.Tree.Prog.Source, bn.Line, bn.Label(), fmt.Sprintf(format, args...))
 }

@@ -99,7 +99,7 @@ func (s *sampler) rand() float64 {
 	return float64(x*0x2545F4914F6CDD1D>>11) / float64(1<<53)
 }
 
-func (s *sampler) errf(n *bst.Node, format string, args ...interface{}) error {
+func (s *sampler) errf(n *bst.Node, format string, args ...any) error {
 	return fmt.Errorf("montecarlo: %s:%d (%s): %s",
 		s.tree.Prog.Source, n.Line, n.Label(), fmt.Sprintf(format, args...))
 }

@@ -23,6 +23,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -67,7 +68,7 @@ func (c *Context) Run(name string) (*pipeline.Run, error) {
 	if r, ok := c.runs[name]; ok {
 		return r, nil
 	}
-	r, err := pipeline.PrepareByName(name, c.Scale)
+	r, err := pipeline.PrepareByName(context.Background(), name, c.Scale)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +91,7 @@ func (c *Context) Eval(name, mach string) (*pipeline.Eval, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := pipeline.Evaluate(run, m, c.Crit)
+	e, err := pipeline.Evaluate(context.Background(), run, m, pipeline.WithCriteria(c.Crit))
 	if err != nil {
 		return nil, err
 	}
@@ -454,7 +455,8 @@ func Ablations(c *Context) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	divEval, err := pipeline.EvaluateWithModel(cfdRun, hw.NewDivAwareModel(hw.BGQ()), c.Crit)
+	divEval, err := pipeline.Evaluate(context.Background(), cfdRun, hw.BGQ(),
+		pipeline.WithModelFunc(hw.NewDivAwareModel), pipeline.WithCriteria(c.Crit))
 	if err != nil {
 		return nil, err
 	}
@@ -474,7 +476,8 @@ func Ablations(c *Context) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	vecEval, err := pipeline.EvaluateWithModel(stRun, hw.NewVectorAwareModel(hw.BGQ()), c.Crit)
+	vecEval, err := pipeline.Evaluate(context.Background(), stRun, hw.BGQ(),
+		pipeline.WithModelFunc(hw.NewVectorAwareModel), pipeline.WithCriteria(c.Crit))
 	if err != nil {
 		return nil, err
 	}

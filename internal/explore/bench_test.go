@@ -1,0 +1,68 @@
+package explore_test
+
+import (
+	"context"
+	"testing"
+
+	"skope/internal/explore"
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+)
+
+// benchVariants builds the acceptance-criteria sweep: 1000 sord variants
+// where most changes touch only the interconnect (so compute/memory
+// characterizations are reusable) and a handful of bandwidth steps force
+// occasional re-characterization.
+func benchVariants(b *testing.B) []*hw.Machine {
+	g := explore.Grid{Base: hw.BGQ(), Axes: []explore.Axis{
+		{Param: "mem-bandwidth", Values: []float64{14, 28, 56, 112}},
+		{Param: "net-latency-us", Values: seq(1, 250)},
+	}}
+	variants, err := g.Variants()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(variants) != 1000 {
+		b.Fatalf("grid produced %d variants", len(variants))
+	}
+	return variants
+}
+
+// BenchmarkExploreSweep compares the memoizing exploration engine against
+// naive repeated hotspot.Analyze over the same 1000-variant design space.
+// The engine must win by >= 2x here: 996 of the 1000 variants reuse a
+// cached compute characterization and only re-time the interconnect.
+func BenchmarkExploreSweep(b *testing.B) {
+	run := prepared(b, "sord")
+	variants := benchVariants(b)
+
+	b.Run("memoized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Fresh engine per iteration: the benchmark measures a cold
+			// sweep, not a pre-warmed cache.
+			eng, err := explore.New(run.BET, run.Libs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			analyses, err := eng.Sweep(context.Background(), variants)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(analyses) != len(variants) {
+				b.Fatal("short sweep")
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, m := range variants {
+				if err := m.Validate(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := hotspot.Analyze(run.BET, hw.NewModel(m), run.Libs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

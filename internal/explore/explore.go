@@ -1,0 +1,350 @@
+// Package explore is the design-space exploration engine: it drives the
+// analytical model of packages core/hw/hotspot over large grids of machine
+// variants — the software-hardware co-design loop the paper motivates in
+// §VI–§VII, where purely analytical projection makes sweeping thousands of
+// hypothetical architectures cheap.
+//
+// The engine adds three things over calling hotspot.Analyze in a loop:
+//
+//   - a bounded worker pool (default runtime.GOMAXPROCS) with
+//     context.Context cancellation and a first-error-cancels policy, so a
+//     million-variant sweep never spawns a million goroutines;
+//   - memoized per-block characterization: a block's projected time depends
+//     only on a subset of machine parameters (the roofline inputs for
+//     comp/lib blocks, the network parameters for comm blocks), so variants
+//     that leave that subset unchanged reuse cached times — and because the
+//     cache stores the exact hotspot.BlockTimes the uncached path computes,
+//     cached results are bit-identical to fresh hotspot.Analyze calls;
+//   - incremental result streaming with progress counters (variants done,
+//     cache hit rate, wall time) plus selection helpers (best variant,
+//     Pareto frontier over projected time versus a cost metric).
+package explore
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"skope/internal/core"
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+)
+
+// compKey is the subset of machine parameters the roofline characterization
+// of comp and lib blocks can depend on (across the base, vector-aware and
+// division-aware models). Variants that agree on every field share the same
+// per-block compute/memory times.
+type compKey struct {
+	freqGHz, fpOps, intOps         float64
+	hitL1, hitLLC                  float64
+	memConc, memBWGBs              float64
+	issueWidth, vectorWidth        int
+	divLatCyc                      int
+	l1LatCyc, llcLatCyc, memLatCyc int
+}
+
+func compKeyOf(m *hw.Machine) compKey {
+	return compKey{
+		freqGHz: m.FreqGHz, fpOps: m.FPOpsPerCycle, intOps: m.IntOpsPerCycle,
+		hitL1: m.HitL1, hitLLC: m.HitLLC,
+		memConc: m.MemConcurrency, memBWGBs: m.MemBandwidthGBs,
+		issueWidth: m.IssueWidth, vectorWidth: m.VectorWidth,
+		divLatCyc: m.DivLatencyCyc,
+		l1LatCyc:  m.L1LatencyCyc, llcLatCyc: m.LLCLatencyCyc, memLatCyc: m.MemLatencyCyc,
+	}
+}
+
+// commKey is the subset of machine parameters comm-block times depend on.
+type commKey struct {
+	netLatUs, netBWGBs float64
+}
+
+func commKeyOf(m *hw.Machine) commKey {
+	return commKey{netLatUs: m.NetLatencyUs, netBWGBs: m.NetBandwidthGBs}
+}
+
+// CacheStats counts memoization outcomes. A lookup that finds per-block
+// times already characterized for the parameter subset is a hit; one that
+// has to run the roofline (or interconnect) characterization is a miss.
+type CacheStats struct {
+	Hits, Misses int
+}
+
+// HitRate returns the fraction of lookups served from cache (0 when no
+// lookup happened yet).
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Progress is a sweep-level snapshot delivered to the OnProgress callback
+// after each completed variant.
+type Progress struct {
+	// Done and Total count variants.
+	Done, Total int
+	// Cache aggregates memoization counters over the engine's lifetime.
+	Cache CacheStats
+	// Elapsed is the wall time since the sweep started.
+	Elapsed time.Duration
+}
+
+// Result is one evaluated variant, streamed as soon as it completes.
+// Index is the variant's position in the input slice (results arrive in
+// completion order, not input order).
+type Result struct {
+	Index    int
+	Machine  *hw.Machine
+	Analysis *hotspot.Analysis
+}
+
+// Engine evaluates machine variants over one fixed prepared workload.
+// It is safe for concurrent use; the memo cache is shared across sweeps,
+// so repeated or overlapping grids keep getting cheaper.
+type Engine struct {
+	layout   *hotspot.Layout
+	newModel func(*hw.Machine) *hw.Model
+	workers  int
+	progress func(Progress)
+
+	mu    sync.Mutex
+	comp  map[compKey][]hotspot.BlockTimes
+	comm  map[commKey][]hotspot.BlockTimes
+	stats CacheStats
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// Workers bounds the evaluation pool at n concurrent workers. Values < 1
+// leave the default (runtime.GOMAXPROCS) in place.
+func Workers(n int) Option {
+	return func(e *Engine) {
+		if n >= 1 {
+			e.workers = n
+		}
+	}
+}
+
+// ModelFunc substitutes the roofline model constructor (default
+// hw.NewModel) — e.g. hw.NewVectorAwareModel or hw.NewDivAwareModel for
+// the ablation variants. The constructor must derive the model purely from
+// the machine's parameters, which all hw model constructors do; otherwise
+// the memo cache could serve stale times.
+func ModelFunc(f func(*hw.Machine) *hw.Model) Option {
+	return func(e *Engine) {
+		if f != nil {
+			e.newModel = f
+		}
+	}
+}
+
+// OnProgress installs a callback invoked (serially) after each completed
+// variant with a sweep-level snapshot.
+func OnProgress(f func(Progress)) Option {
+	return func(e *Engine) { e.progress = f }
+}
+
+// New builds an exploration engine for one modeled workload: the BET and
+// the library model of a prepared pipeline run. The machine-independent
+// analysis layout is resolved once, here; per-variant work is timing only.
+func New(bet *core.BET, libs hotspot.LibModeler, opts ...Option) (*Engine, error) {
+	l, err := hotspot.NewLayout(bet, libs)
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	e := &Engine{
+		layout:   l,
+		newModel: hw.NewModel,
+		workers:  runtime.GOMAXPROCS(0),
+		comp:     make(map[compKey][]hotspot.BlockTimes),
+		comm:     make(map[commKey][]hotspot.BlockTimes),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}
+
+// CacheStats returns the cumulative memoization counters.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// evaluate projects one variant, reusing cached per-block times when the
+// relevant parameter subset has been characterized before.
+func (e *Engine) evaluate(m *hw.Machine) (*hotspot.Analysis, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	comp, ok := e.lookupComp(m)
+	if !ok {
+		comp = e.layout.CompTimes(e.newModel(m))
+		e.storeComp(m, comp)
+	}
+	comm, ok := e.lookupComm(m)
+	if !ok {
+		comm = e.layout.CommTimes(m)
+		e.storeComm(m, comm)
+	}
+	return e.layout.Assemble(m, comp, comm), nil
+}
+
+func (e *Engine) lookupComp(m *hw.Machine) ([]hotspot.BlockTimes, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bt, ok := e.comp[compKeyOf(m)]
+	if ok {
+		e.stats.Hits++
+	} else {
+		e.stats.Misses++
+	}
+	return bt, ok
+}
+
+func (e *Engine) storeComp(m *hw.Machine, bt []hotspot.BlockTimes) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.comp[compKeyOf(m)] = bt
+}
+
+func (e *Engine) lookupComm(m *hw.Machine) ([]hotspot.BlockTimes, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bt, ok := e.comm[commKeyOf(m)]
+	if ok {
+		e.stats.Hits++
+	} else {
+		e.stats.Misses++
+	}
+	return bt, ok
+}
+
+func (e *Engine) storeComm(m *hw.Machine, bt []hotspot.BlockTimes) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.comm[commKeyOf(m)] = bt
+}
+
+// Stream evaluates the variants through the bounded pool, sending each
+// Result on the returned channel as it completes. The channel closes when
+// every variant is done, the context is canceled, or a variant fails
+// (first error cancels the rest). The returned wait function blocks until
+// all workers have exited and reports the sweep's outcome: nil, the first
+// variant error, or the context's error — always wrapped, so callers can
+// errors.Is against context.Canceled and friends.
+func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Result, func() error) {
+	out := make(chan Result)
+	sctx, cancel := context.WithCancel(ctx)
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	work := make(chan int)
+	go func() {
+		defer close(work)
+		for i := range variants {
+			select {
+			case work <- i:
+			case <-sctx.Done():
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	var (
+		doneMu sync.Mutex
+		done   int
+	)
+	finish := func() {
+		doneMu.Lock()
+		defer doneMu.Unlock()
+		done++
+		if e.progress != nil {
+			e.progress(Progress{
+				Done: done, Total: len(variants),
+				Cache:   e.CacheStats(),
+				Elapsed: time.Since(start),
+			})
+		}
+	}
+
+	workers := e.workers
+	if workers > len(variants) {
+		workers = len(variants)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if sctx.Err() != nil {
+					return
+				}
+				a, err := e.evaluate(variants[i])
+				if err != nil {
+					fail(fmt.Errorf("explore: variant %d (%s): %w", i, variants[i].Name, err))
+					return
+				}
+				select {
+				case out <- Result{Index: i, Machine: variants[i], Analysis: a}:
+					finish()
+				case <-sctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	finished := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(out)
+		close(finished)
+	}()
+	wait := func() error {
+		<-finished
+		defer cancel()
+		if firstErr != nil {
+			return firstErr
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("explore: sweep canceled: %w", err)
+		}
+		return nil
+	}
+	return out, wait
+}
+
+// Sweep evaluates every variant and returns the analyses index-aligned
+// with the input. On error (or cancellation) it returns the first error
+// and no results.
+func (e *Engine) Sweep(ctx context.Context, variants []*hw.Machine) ([]*hotspot.Analysis, error) {
+	out := make([]*hotspot.Analysis, len(variants))
+	results, wait := e.Stream(ctx, variants)
+	for r := range results {
+		out[r.Index] = r.Analysis
+	}
+	if err := wait(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -5,13 +5,8 @@
 package hotspot
 
 import (
-	"fmt"
-	"sort"
-
-	"skope/internal/bst"
 	"skope/internal/core"
 	"skope/internal/hw"
-	"skope/internal/skeleton"
 )
 
 // LibModeler supplies semi-analytical performance characterizations of
@@ -76,82 +71,16 @@ type Analysis struct {
 
 // Analyze characterizes every comp and lib block of the BET with the given
 // roofline model, following §V-A: per-invocation estimate times ENR,
-// aggregated per source block.
+// aggregated per source block. It is NewLayout followed by Layout.Analyze;
+// callers that project the same BET onto many machines should build the
+// Layout once (or use the exploration engine, which additionally caches
+// per-block times across machine variants).
 func Analyze(bet *core.BET, model *hw.Model, libs LibModeler) (*Analysis, error) {
-	a := &Analysis{
-		Machine:          model.Machine(),
-		ByID:             make(map[string]*Block),
-		TotalStaticInsts: bet.Tree.TotalStaticInsts(),
-		BET:              bet,
+	l, err := NewLayout(bet, libs)
+	if err != nil {
+		return nil, err
 	}
-	for _, n := range bet.Leaves() {
-		id := n.BlockID()
-		b := a.ByID[id]
-		if b == nil {
-			b = &Block{
-				BlockID: id, Label: n.Label(), FuncName: n.BST.FuncName,
-				Line: n.BST.Line, IsLib: n.Kind() == bst.KindLib,
-			}
-			switch n.Kind() {
-			case bst.KindComp:
-				b.StaticInsts = bst.StaticInsts(n.BST.Stmt.(*skeleton.Comp))
-			case bst.KindLib:
-				b.StaticInsts = bst.LibStaticInsts
-			case bst.KindComm:
-				b.IsComm = true
-				b.StaticInsts = bst.CommStaticInsts
-			}
-			a.ByID[id] = b
-			a.Blocks = append(a.Blocks, b)
-		}
-		if n.Kind() == bst.KindComm {
-			// Communication phases: latency + bandwidth time on the
-			// interconnect; no computation overlap modeled (first order).
-			t := model.Machine().CommTime(n.CommBytes, n.CommMsgs) * n.ENR
-			b.Invocations += n.ENR
-			b.CommBytes += n.CommBytes * n.ENR
-			b.Tm += t
-			b.T += t
-			b.MemoryBound = true
-			b.Nodes = append(b.Nodes, n)
-			a.TotalTime += t
-			continue
-		}
-		var perInv hw.BlockWork
-		switch n.Kind() {
-		case bst.KindComp:
-			perInv = n.Work
-		case bst.KindLib:
-			if libs == nil {
-				return nil, fmt.Errorf("hotspot: block %s calls library %q but no library model was supplied", id, n.LibFunc)
-			}
-			lw, err := libs.LibWork(n.LibFunc)
-			if err != nil {
-				return nil, fmt.Errorf("hotspot: block %s: %v", id, err)
-			}
-			perInv = lw.Scale(n.LibCount)
-		}
-		est := model.Estimate(perInv)
-		b.Invocations += n.ENR
-		b.Work.Add(perInv.Scale(n.ENR))
-		tcontrib := est.T * n.ENR
-		b.Tc += est.Tc * n.ENR
-		b.Tm += est.Tm * n.ENR
-		b.To += est.To * n.ENR
-		b.T += tcontrib
-		if est.MemoryBound && tcontrib >= b.T/2 {
-			b.MemoryBound = true
-		}
-		b.Nodes = append(b.Nodes, n)
-		a.TotalTime += tcontrib
-	}
-	sort.SliceStable(a.Blocks, func(i, j int) bool {
-		if a.Blocks[i].T != a.Blocks[j].T {
-			return a.Blocks[i].T > a.Blocks[j].T
-		}
-		return a.Blocks[i].BlockID < a.Blocks[j].BlockID
-	})
-	return a, nil
+	return l.Analyze(model), nil
 }
 
 // Coverage returns the fraction of total projected time spent in block b.

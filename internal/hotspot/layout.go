@@ -1,0 +1,214 @@
+package hotspot
+
+import (
+	"fmt"
+	"sort"
+
+	"skope/internal/bst"
+	"skope/internal/core"
+	"skope/internal/hw"
+	"skope/internal/skeleton"
+)
+
+// BlockTimes is the machine-dependent half of one block's characterization:
+// the aggregate projected times over all of the block's BET leaves. It is
+// the unit the design-space exploration engine caches — a block's times
+// depend only on a small subset of machine parameters (the roofline inputs
+// for comp/lib blocks, the network parameters for comm blocks), so variants
+// that leave that subset unchanged can reuse them verbatim.
+type BlockTimes struct {
+	// Tc, Tm, To, T are the aggregate projected times in seconds.
+	Tc, Tm, To, T float64
+	// MemoryBound is the roofline verdict for the block's dominant node.
+	MemoryBound bool
+}
+
+// layoutLeaf is one BET leaf's machine-independent contribution record.
+type layoutLeaf struct {
+	// perInv is the per-invocation workload of comp/lib leaves.
+	perInv hw.BlockWork
+	// bytes and msgs describe comm leaves.
+	bytes, msgs float64
+	// enr scales the per-invocation estimate.
+	enr float64
+}
+
+// layoutBlock groups the leaves of one source block in leaf order.
+type layoutBlock struct {
+	// proto carries the static fields and machine-independent aggregates;
+	// its time fields are zero and filled per machine by Assemble.
+	proto  Block
+	leaves []layoutLeaf
+}
+
+// Layout is the machine-independent skeleton of an Analysis: which BET
+// leaves aggregate into which source blocks, with every per-invocation
+// workload already resolved (including library models). Building it once
+// and projecting it onto many machines is the heart of the exploration
+// engine; Analyze itself is NewLayout + Layout.Analyze, so cached and
+// uncached projections follow the identical floating-point path.
+type Layout struct {
+	bet              *core.BET
+	totalStaticInsts int
+	// blocks is every source block in first-encounter (leaf) order; comp
+	// and comm are the non-comm and comm subsets in the same order.
+	blocks []*layoutBlock
+	comp   []*layoutBlock
+	comm   []*layoutBlock
+}
+
+// NewLayout resolves the machine-independent half of the analysis: block
+// grouping, per-invocation workloads, library characterizations, and the
+// ENR-scaled aggregate work. It fails on library blocks the modeler does
+// not know.
+func NewLayout(bet *core.BET, libs LibModeler) (*Layout, error) {
+	l := &Layout{bet: bet, totalStaticInsts: bet.Tree.TotalStaticInsts()}
+	byID := make(map[string]*layoutBlock)
+	for _, n := range bet.Leaves() {
+		id := n.BlockID()
+		lb := byID[id]
+		if lb == nil {
+			lb = &layoutBlock{proto: Block{
+				BlockID: id, Label: n.Label(), FuncName: n.BST.FuncName,
+				Line: n.BST.Line, IsLib: n.Kind() == bst.KindLib,
+			}}
+			switch n.Kind() {
+			case bst.KindComp:
+				lb.proto.StaticInsts = bst.StaticInsts(n.BST.Stmt.(*skeleton.Comp))
+			case bst.KindLib:
+				lb.proto.StaticInsts = bst.LibStaticInsts
+			case bst.KindComm:
+				lb.proto.IsComm = true
+				lb.proto.StaticInsts = bst.CommStaticInsts
+			}
+			byID[id] = lb
+			l.blocks = append(l.blocks, lb)
+			if lb.proto.IsComm {
+				l.comm = append(l.comm, lb)
+			} else {
+				l.comp = append(l.comp, lb)
+			}
+		}
+		lb.proto.Invocations += n.ENR
+		lb.proto.Nodes = append(lb.proto.Nodes, n)
+		if n.Kind() == bst.KindComm {
+			lb.proto.CommBytes += n.CommBytes * n.ENR
+			lb.leaves = append(lb.leaves, layoutLeaf{
+				bytes: n.CommBytes, msgs: n.CommMsgs, enr: n.ENR,
+			})
+			continue
+		}
+		var perInv hw.BlockWork
+		switch n.Kind() {
+		case bst.KindComp:
+			perInv = n.Work
+		case bst.KindLib:
+			if libs == nil {
+				return nil, fmt.Errorf("hotspot: block %s calls library %q but no library model was supplied", id, n.LibFunc)
+			}
+			lw, err := libs.LibWork(n.LibFunc)
+			if err != nil {
+				return nil, fmt.Errorf("hotspot: block %s: %w", id, err)
+			}
+			perInv = lw.Scale(n.LibCount)
+		}
+		lb.proto.Work.Add(perInv.Scale(n.ENR))
+		lb.leaves = append(lb.leaves, layoutLeaf{perInv: perInv, enr: n.ENR})
+	}
+	return l, nil
+}
+
+// NumComp and NumComm report how many comp/lib and comm blocks the layout
+// holds — the lengths CompTimes and CommTimes return and Assemble expects.
+func (l *Layout) NumComp() int { return len(l.comp) }
+func (l *Layout) NumComm() int { return len(l.comm) }
+
+// CompTimes projects every comp and lib block onto the given roofline
+// model, in the layout's block order. The result depends only on the
+// machine parameters the model reads (clocks, issue rates, cache/memory
+// latencies, hit ratios, concurrency, bandwidth — never the network).
+func (l *Layout) CompTimes(model *hw.Model) []BlockTimes {
+	out := make([]BlockTimes, len(l.comp))
+	for i, lb := range l.comp {
+		bt := &out[i]
+		for _, lf := range lb.leaves {
+			est := model.Estimate(lf.perInv)
+			tcontrib := est.T * lf.enr
+			bt.Tc += est.Tc * lf.enr
+			bt.Tm += est.Tm * lf.enr
+			bt.To += est.To * lf.enr
+			bt.T += tcontrib
+			if est.MemoryBound && tcontrib >= bt.T/2 {
+				bt.MemoryBound = true
+			}
+		}
+	}
+	return out
+}
+
+// CommTimes projects every comm block onto machine m's interconnect, in
+// the layout's block order. The result depends only on the network
+// parameters (NetLatencyUs, NetBandwidthGBs).
+func (l *Layout) CommTimes(m *hw.Machine) []BlockTimes {
+	out := make([]BlockTimes, len(l.comm))
+	for i, lb := range l.comm {
+		bt := &out[i]
+		for _, lf := range lb.leaves {
+			t := m.CommTime(lf.bytes, lf.msgs) * lf.enr
+			bt.Tm += t
+			bt.T += t
+		}
+		bt.MemoryBound = true
+	}
+	return out
+}
+
+// Assemble combines per-block times (as produced by CompTimes and
+// CommTimes, possibly from a cache) into a full Analysis for machine m.
+// It panics if the slices do not match the layout's block counts.
+func (l *Layout) Assemble(m *hw.Machine, comp, comm []BlockTimes) *Analysis {
+	if len(comp) != len(l.comp) || len(comm) != len(l.comm) {
+		panic(fmt.Sprintf("hotspot: Assemble with %d comp and %d comm times, layout has %d and %d",
+			len(comp), len(comm), len(l.comp), len(l.comm)))
+	}
+	a := &Analysis{
+		Machine:          m,
+		ByID:             make(map[string]*Block, len(l.blocks)),
+		TotalStaticInsts: l.totalStaticInsts,
+		BET:              l.bet,
+		Blocks:           make([]*Block, 0, len(l.blocks)),
+	}
+	backing := make([]Block, len(l.blocks))
+	ci, mi := 0, 0
+	for bi, lb := range l.blocks {
+		b := &backing[bi]
+		*b = lb.proto
+		var bt BlockTimes
+		if lb.proto.IsComm {
+			bt = comm[mi]
+			mi++
+		} else {
+			bt = comp[ci]
+			ci++
+		}
+		b.Tc, b.Tm, b.To, b.T = bt.Tc, bt.Tm, bt.To, bt.T
+		b.MemoryBound = bt.MemoryBound
+		a.ByID[b.BlockID] = b
+		a.Blocks = append(a.Blocks, b)
+		a.TotalTime += bt.T
+	}
+	sort.SliceStable(a.Blocks, func(i, j int) bool {
+		if a.Blocks[i].T != a.Blocks[j].T {
+			return a.Blocks[i].T > a.Blocks[j].T
+		}
+		return a.Blocks[i].BlockID < a.Blocks[j].BlockID
+	})
+	return a
+}
+
+// Analyze projects the layout onto one machine — the single-variant path
+// Analyze (the package function) uses, and the uncached path the
+// exploration engine's memoization must match bit for bit.
+func (l *Layout) Analyze(model *hw.Model) *Analysis {
+	return l.Assemble(model.Machine(), l.CompTimes(model), l.CommTimes(model.Machine()))
+}

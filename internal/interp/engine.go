@@ -328,7 +328,7 @@ type frame struct {
 	vec VecLevel
 }
 
-func (e *Engine) errf(pos minilang.Pos, format string, args ...interface{}) error {
+func (e *Engine) errf(pos minilang.Pos, format string, args ...any) error {
 	return fmt.Errorf("%s:%s: runtime: %s", e.prog.Source, pos, fmt.Sprintf(format, args...))
 }
 

@@ -36,7 +36,7 @@ func Lex(name, src string) ([]Token, error) {
 	}
 }
 
-func (lx *Lexer) errf(pos Pos, format string, args ...interface{}) error {
+func (lx *Lexer) errf(pos Pos, format string, args ...any) error {
 	return fmt.Errorf("%s:%s: %s", lx.name, pos, fmt.Sprintf(format, args...))
 }
 

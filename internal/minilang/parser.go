@@ -33,7 +33,7 @@ type mparser struct {
 func (p *mparser) cur() Token  { return p.toks[p.i] }
 func (p *mparser) next() Token { t := p.toks[p.i]; p.i++; return t }
 
-func (p *mparser) errf(t Token, format string, args ...interface{}) error {
+func (p *mparser) errf(t Token, format string, args ...any) error {
 	return fmt.Errorf("%s:%s: %s", p.name, t.Pos, fmt.Sprintf(format, args...))
 }
 

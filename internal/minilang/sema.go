@@ -56,7 +56,7 @@ type checker struct {
 	loopDepth int
 }
 
-func (c *checker) errf(pos Pos, format string, args ...interface{}) error {
+func (c *checker) errf(pos Pos, format string, args ...any) error {
 	return fmt.Errorf("%s:%s: %s", c.p.Source, pos, fmt.Sprintf(format, args...))
 }
 

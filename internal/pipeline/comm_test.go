@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -41,7 +42,7 @@ func sweep() {
 `
 
 func TestExchangeEndToEnd(t *testing.T) {
-	run, err := Prepare(&workloads.Workload{Name: "dist", Source: distSrc, Seed: 9})
+	run, err := Prepare(context.Background(), &workloads.Workload{Name: "dist", Source: distSrc, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestExchangeEndToEnd(t *testing.T) {
 		!strings.Contains(run.Skeleton.Text, "comm bytes=") {
 		t.Fatalf("translator lost exchange:\n%s", run.Skeleton.Text)
 	}
-	ev, err := Evaluate(run, hw.BGQ(), hotspot.ScaledCriteria())
+	ev, err := Evaluate(context.Background(), run, hw.BGQ(), WithCriteria(hotspot.ScaledCriteria()))
 	if err != nil {
 		t.Fatal(err)
 	}

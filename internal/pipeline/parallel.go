@@ -1,62 +1,116 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
+	"skope/internal/explore"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
 )
 
-// EvaluateMany projects a prepared workload onto several machines
-// concurrently, one goroutine per machine. Preparation (the profiling run)
-// is shared and machine independent; each evaluation touches only its own
-// analysis and simulator state, so the fan-out is embarrassingly parallel.
-// Results are returned in the order of machines; the first error wins.
-func EvaluateMany(run *Run, machines []*hw.Machine, crit hotspot.Criteria) ([]*Eval, error) {
-	evals := make([]*Eval, len(machines))
-	errs := make([]error, len(machines))
-	var wg sync.WaitGroup
-	for i, m := range machines {
-		wg.Add(1)
-		go func(i int, m *hw.Machine) {
-			defer wg.Done()
-			evals[i], errs[i] = Evaluate(run, m, crit)
-		}(i, m)
+// EvaluateMany projects a prepared workload onto several machines through
+// a bounded worker pool (WithWorkers, default runtime.GOMAXPROCS).
+// Preparation (the profiling run) is shared and machine independent; each
+// evaluation touches only its own analysis and simulator state, so the
+// fan-out is embarrassingly parallel. Results are returned in the order of
+// machines. The first error cancels the remaining evaluations and is
+// returned wrapped; canceling ctx does the same with ctx's error.
+func EvaluateMany(ctx context.Context, run *Run, machines []*hw.Machine, opts ...Option) ([]*Eval, error) {
+	o := buildOptions(opts)
+	workers := o.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: machine %s: %v", machines[i].Name, err)
+	if workers > len(machines) {
+		workers = len(machines)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	ectx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	evals := make([]*Eval, len(machines))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				ev, err := Evaluate(ectx, run, machines[i], opts...)
+				if err != nil {
+					fail(fmt.Errorf("pipeline: machine %s: %w", machines[i].Name, err))
+					return
+				}
+				evals[i] = ev
+			}
+		}()
+	}
+feed:
+	for i := range machines {
+		select {
+		case work <- i:
+		case <-ectx.Done():
+			break feed
 		}
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: evaluate many %s: %w", run.Workload.Name, err)
 	}
 	return evals, nil
 }
 
-// Sweep projects a prepared workload over a set of machine variants purely
-// analytically (no simulation), concurrently — the co-design design-space
-// exploration loop. The returned analyses are index-aligned with the
-// variants.
-func Sweep(run *Run, variants []*hw.Machine) ([]*hotspot.Analysis, error) {
-	out := make([]*hotspot.Analysis, len(variants))
-	errs := make([]error, len(variants))
-	var wg sync.WaitGroup
-	for i, m := range variants {
-		wg.Add(1)
-		go func(i int, m *hw.Machine) {
-			defer wg.Done()
-			if err := m.Validate(); err != nil {
-				errs[i] = err
-				return
-			}
-			out[i], errs[i] = hotspot.Analyze(run.BET, hw.NewModel(m), run.Libs)
-		}(i, m)
+// Explorer builds a design-space exploration engine over the prepared
+// workload's BET and library model — the entry point for co-design studies
+// that need the engine's streaming or cache-statistics API directly.
+// WithModelFunc, WithWorkers and WithProgress carry over.
+func Explorer(run *Run, opts ...Option) (*explore.Engine, error) {
+	o := buildOptions(opts)
+	eopts := []explore.Option{explore.ModelFunc(o.modelFunc), explore.Workers(o.workers)}
+	if o.progress != nil {
+		eopts = append(eopts, explore.OnProgress(o.progress))
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: variant %d (%s): %v", i, variants[i].Name, err)
-		}
+	eng, err := explore.New(run.BET, run.Libs, eopts...)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %s: %w", run.Workload.Name, err)
+	}
+	return eng, nil
+}
+
+// Sweep projects a prepared workload over a set of machine variants purely
+// analytically (no simulation) — the co-design design-space exploration
+// loop. It runs on the exploration engine: a bounded worker pool with
+// memoized per-block characterization, so large grids that vary only a few
+// parameters cost a fraction of naive repeated analysis. The returned
+// analyses are index-aligned with the variants.
+func Sweep(ctx context.Context, run *Run, variants []*hw.Machine, opts ...Option) ([]*hotspot.Analysis, error) {
+	eng, err := Explorer(run, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out, err := eng.Sweep(ctx, variants)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: sweep %s: %w", run.Workload.Name, err)
 	}
 	return out, nil
 }

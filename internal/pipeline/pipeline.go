@@ -5,14 +5,20 @@
 // paths), and validation against the machine timing simulator.
 //
 // It is the high-level API used by the command-line tools, the examples,
-// and the benchmark harness.
+// and the benchmark harness. Every entry point takes a context.Context and
+// stops promptly when it is canceled; configuration beyond the required
+// arguments travels through functional Options (WithCriteria,
+// WithModelFunc, WithWorkers, WithProgress).
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"skope/internal/bst"
 	"skope/internal/core"
+	"skope/internal/explore"
 	"skope/internal/hotpath"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
@@ -24,6 +30,36 @@ import (
 	"skope/internal/translate"
 	"skope/internal/workloads"
 )
+
+// Stage sentinels. Every error the pipeline returns wraps both its
+// underlying cause and the sentinel of the stage that failed, so callers
+// can errors.Is(err, pipeline.ErrParse) to distinguish, say, a frontend
+// rejection from a simulator failure without string matching.
+var (
+	// ErrParse marks frontend failures (parse or semantic check).
+	ErrParse = errors.New("source analysis failed")
+	// ErrProfile marks failures of the local profiling run.
+	ErrProfile = errors.New("profiling failed")
+	// ErrModel marks failures building or projecting the execution model
+	// (translation, BST/BET construction, library models, roofline).
+	ErrModel = errors.New("performance modeling failed")
+	// ErrSimulate marks machine timing simulator failures.
+	ErrSimulate = errors.New("simulation failed")
+)
+
+// stageError tags an error with a stage sentinel while leaving its message
+// untouched; both the sentinel and the cause stay on the %w chain.
+type stageError struct {
+	stage error
+	err   error
+}
+
+func (e *stageError) Error() string   { return e.err.Error() }
+func (e *stageError) Unwrap() []error { return []error{e.stage, e.err} }
+
+func stage(sentinel error, err error) error {
+	return &stageError{stage: sentinel, err: err}
+}
 
 // Run is a prepared workload: parsed, profiled once locally (the paper's
 // single hardware-independent profiling pass), translated to a skeleton,
@@ -39,14 +75,67 @@ type Run struct {
 	Libs     *libmodel.Model
 }
 
+// Option configures Evaluate, EvaluateMany, Sweep, and Explorer.
+type Option func(*options)
+
+type options struct {
+	crit      hotspot.Criteria
+	modelFunc func(*hw.Machine) *hw.Model
+	workers   int
+	progress  func(explore.Progress)
+}
+
+func buildOptions(opts []Option) options {
+	o := options{
+		crit:      hotspot.DefaultCriteria(),
+		modelFunc: hw.NewModel,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithCriteria overrides the hot-spot selection criteria (default
+// hotspot.DefaultCriteria — the paper's 90% coverage within 10% of the
+// instructions).
+func WithCriteria(crit hotspot.Criteria) Option {
+	return func(o *options) { o.crit = crit }
+}
+
+// WithModelFunc substitutes the roofline model constructor (default
+// hw.NewModel) — e.g. hw.NewDivAwareModel or hw.NewVectorAwareModel for
+// the paper's ablation studies.
+func WithModelFunc(f func(*hw.Machine) *hw.Model) Option {
+	return func(o *options) {
+		if f != nil {
+			o.modelFunc = f
+		}
+	}
+}
+
+// WithWorkers bounds the worker pools of EvaluateMany and Sweep (default
+// runtime.GOMAXPROCS). Values < 1 leave the default in place.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithProgress installs a per-variant progress callback on Sweep.
+func WithProgress(f func(explore.Progress)) Option {
+	return func(o *options) { o.progress = f }
+}
+
 // Prepare runs the machine-independent half of the pipeline on a workload.
-func Prepare(w *workloads.Workload) (*Run, error) {
+func Prepare(ctx context.Context, w *workloads.Workload) (*Run, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: prepare %s: %w", w.Name, err)
+	}
 	prog, err := minilang.Parse(w.Name, w.Source)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: parse %s: %v", w.Name, err)
+		return nil, stage(ErrParse, fmt.Errorf("pipeline: parse %s: %w", w.Name, err))
 	}
 	if err := minilang.Check(prog); err != nil {
-		return nil, fmt.Errorf("pipeline: check %s: %v", w.Name, err)
+		return nil, stage(ErrParse, fmt.Errorf("pipeline: check %s: %w", w.Name, err))
 	}
 
 	// Local profiling pass (gcov substitute). One run, reused across all
@@ -54,30 +143,33 @@ func Prepare(w *workloads.Workload) (*Run, error) {
 	profiler := interp.NewProfiler()
 	eng, err := interp.New(prog, &interp.Options{Observer: profiler, Seed: w.Seed})
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: profile %s: %v", w.Name, err)
+		return nil, stage(ErrProfile, fmt.Errorf("pipeline: profile %s: %w", w.Name, err))
 	}
 	if err := eng.Run(); err != nil {
-		return nil, fmt.Errorf("pipeline: profile %s: %v", w.Name, err)
+		return nil, stage(ErrProfile, fmt.Errorf("pipeline: profile %s: %w", w.Name, err))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: prepare %s: %w", w.Name, err)
 	}
 
 	// Source-to-source translation into the code skeleton.
 	sk, err := translate.Translate(prog, profiler.P)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: translate %s: %v", w.Name, err)
+		return nil, stage(ErrModel, fmt.Errorf("pipeline: translate %s: %w", w.Name, err))
 	}
 
 	// Execution-flow model.
 	tree, err := bst.Build(sk.Prog)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: bst %s: %v", w.Name, err)
+		return nil, stage(ErrModel, fmt.Errorf("pipeline: bst %s: %w", w.Name, err))
 	}
 	bet, err := core.Build(tree, sk.Input, nil)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: bet %s: %v", w.Name, err)
+		return nil, stage(ErrModel, fmt.Errorf("pipeline: bet %s: %w", w.Name, err))
 	}
 	libs, err := libmodel.Default()
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: %v", err)
+		return nil, stage(ErrModel, fmt.Errorf("pipeline: %w", err))
 	}
 	return &Run{
 		Workload: w, Prog: prog, Profile: profiler.P,
@@ -86,12 +178,12 @@ func Prepare(w *workloads.Workload) (*Run, error) {
 }
 
 // PrepareByName prepares a named benchmark at the given scale.
-func PrepareByName(name string, s workloads.Scale) (*Run, error) {
+func PrepareByName(ctx context.Context, name string, s workloads.Scale) (*Run, error) {
 	w, err := workloads.Get(name, s)
 	if err != nil {
 		return nil, err
 	}
-	return Prepare(w)
+	return Prepare(ctx, w)
 }
 
 // Eval is a machine-specific evaluation: the analytical projection plus the
@@ -119,37 +211,31 @@ type Eval struct {
 	HotPath *hotpath.Path
 }
 
-// Evaluate projects the prepared workload onto machine m with the given
-// hot-spot criteria, simulates the measured baseline on the same machine,
-// and computes the selection quality.
-func Evaluate(run *Run, m *hw.Machine, crit hotspot.Criteria) (*Eval, error) {
-	return evaluate(run, m, crit, hw.NewModel(m))
-}
-
-// EvaluateWithModel is Evaluate with a custom roofline model (the
-// vector-aware and division-aware ablations).
-func EvaluateWithModel(run *Run, model *hw.Model, crit hotspot.Criteria) (*Eval, error) {
-	return evaluate(run, model.Machine(), crit, model)
-}
-
-func evaluate(run *Run, m *hw.Machine, crit hotspot.Criteria, model *hw.Model) (*Eval, error) {
-	analysis, err := hotspot.Analyze(run.BET, model, run.Libs)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: analyze %s on %s: %v", run.Workload.Name, m.Name, err)
+// Evaluate projects the prepared workload onto machine m, simulates the
+// measured baseline on the same machine, and computes the selection
+// quality. Criteria default to hotspot.DefaultCriteria and the roofline
+// model to hw.NewModel; override with WithCriteria and WithModelFunc.
+func Evaluate(ctx context.Context, run *Run, m *hw.Machine, opts ...Option) (*Eval, error) {
+	o := buildOptions(opts)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: evaluate %s on %s: %w", run.Workload.Name, m.Name, err)
 	}
-	sel := hotspot.Select(analysis, crit)
+	analysis, err := hotspot.Analyze(run.BET, o.modelFunc(m), run.Libs)
+	if err != nil {
+		return nil, stage(ErrModel, fmt.Errorf("pipeline: analyze %s on %s: %w", run.Workload.Name, m.Name, err))
+	}
+	sel := hotspot.Select(analysis, o.crit)
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: evaluate %s on %s: %w", run.Workload.Name, m.Name, err)
+	}
 	simRes, err := sim.Run(run.Prog, m, &sim.Options{Seed: run.Workload.Seed})
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: simulate %s on %s: %v", run.Workload.Name, m.Name, err)
+		return nil, stage(ErrSimulate, fmt.Errorf("pipeline: simulate %s on %s: %w", run.Workload.Name, m.Name, err))
 	}
 
 	modl := profile.FromAnalysis(analysis)
 	prof := profile.FromSim(simRes)
-	ids := make([]string, len(sel.Spots))
-	for i, s := range sel.Spots {
-		ids[i] = s.BlockID
-	}
 	return &Eval{
 		Machine:          m,
 		Analysis:         analysis,
@@ -158,16 +244,21 @@ func evaluate(run *Run, m *hw.Machine, crit hotspot.Criteria, model *hw.Model) (
 		Prof:             prof,
 		Sim:              simRes,
 		Quality:          profile.SelectionQuality(prof, modl.TopIDs(10)),
-		SelectionQuality: profile.SelectionQuality(prof, ids),
+		SelectionQuality: profile.SelectionQuality(prof, spotIDs(sel.Spots)),
 		HotPath:          hotpath.Extract(run.BET.Root, sel.Spots),
 	}, nil
 }
 
-// SpotIDs returns the selection's block IDs in rank order.
-func (e *Eval) SpotIDs() []string {
-	ids := make([]string, len(e.Selection.Spots))
-	for i, s := range e.Selection.Spots {
+// spotIDs extracts the block IDs of a selection in rank order.
+func spotIDs(spots []*hotspot.Block) []string {
+	ids := make([]string, len(spots))
+	for i, s := range spots {
 		ids[i] = s.BlockID
 	}
 	return ids
+}
+
+// SpotIDs returns the selection's block IDs in rank order.
+func (e *Eval) SpotIDs() []string {
+	return spotIDs(e.Selection.Spots)
 }

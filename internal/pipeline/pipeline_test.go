@@ -1,9 +1,14 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
+	"skope/internal/explore"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
 	"skope/internal/profile"
@@ -19,7 +24,7 @@ func prepared(t *testing.T, name string) *Run {
 	if r, ok := runCache[name]; ok {
 		return r
 	}
-	r, err := PrepareByName(name, workloads.ScaleTest)
+	r, err := PrepareByName(context.Background(), name, workloads.ScaleTest)
 	if err != nil {
 		t.Fatalf("prepare %s: %v", name, err)
 	}
@@ -50,7 +55,7 @@ func TestEvaluateSORDOnBothMachines(t *testing.T) {
 	run := prepared(t, "sord")
 	crit := hotspot.DefaultCriteria()
 	for _, m := range []*hw.Machine{hw.BGQ(), hw.XeonE5()} {
-		ev, err := Evaluate(run, m, crit)
+		ev, err := Evaluate(context.Background(), run, m, WithCriteria(crit))
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name, err)
 		}
@@ -78,7 +83,7 @@ func TestEvaluateAllQualityFloor(t *testing.T) {
 	for _, name := range workloads.Names() {
 		run := prepared(t, name)
 		for _, m := range []*hw.Machine{hw.BGQ(), hw.XeonE5()} {
-			ev, err := Evaluate(run, m, crit)
+			ev, err := Evaluate(context.Background(), run, m, WithCriteria(crit))
 			if err != nil {
 				t.Fatalf("%s on %s: %v", name, m.Name, err)
 			}
@@ -103,11 +108,11 @@ func TestCrossMachineHotSpotsDiffer(t *testing.T) {
 	// spot lists differ (only 4 of 10 shared on the real machines), so
 	// empirical knowledge is not portable.
 	run := prepared(t, "sord")
-	q, err := Evaluate(run, hw.BGQ(), hotspot.DefaultCriteria())
+	q, err := Evaluate(context.Background(), run, hw.BGQ())
 	if err != nil {
 		t.Fatal(err)
 	}
-	x, err := Evaluate(run, hw.XeonE5(), hotspot.DefaultCriteria())
+	x, err := Evaluate(context.Background(), run, hw.XeonE5())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +132,7 @@ func TestCrossMachineHotSpotsDiffer(t *testing.T) {
 
 func TestEvalSpotIDsOrdered(t *testing.T) {
 	run := prepared(t, "chargei")
-	ev, err := Evaluate(run, hw.BGQ(), hotspot.DefaultCriteria())
+	ev, err := Evaluate(context.Background(), run, hw.BGQ())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,11 +149,11 @@ func TestEvalSpotIDsOrdered(t *testing.T) {
 
 func TestAblationModels(t *testing.T) {
 	run := prepared(t, "cfd")
-	base, err := Evaluate(run, hw.BGQ(), hotspot.DefaultCriteria())
+	base, err := Evaluate(context.Background(), run, hw.BGQ())
 	if err != nil {
 		t.Fatal(err)
 	}
-	divAware, err := EvaluateWithModel(run, hw.NewDivAwareModel(hw.BGQ()), hotspot.DefaultCriteria())
+	divAware, err := Evaluate(context.Background(), run, hw.BGQ(), WithModelFunc(hw.NewDivAwareModel))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,12 +183,12 @@ func TestEvaluateManyMatchesSequential(t *testing.T) {
 	run := prepared(t, "srad")
 	crit := hotspot.ScaledCriteria()
 	machines := []*hw.Machine{hw.BGQ(), hw.XeonE5()}
-	par, err := EvaluateMany(run, machines, crit)
+	par, err := EvaluateMany(context.Background(), run, machines, WithCriteria(crit))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, m := range machines {
-		seq, err := Evaluate(run, m, crit)
+		seq, err := Evaluate(context.Background(), run, m, WithCriteria(crit))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +209,7 @@ func TestEvaluateManyPropagatesError(t *testing.T) {
 	run := prepared(t, "srad")
 	bad := hw.BGQ()
 	bad.FreqGHz = 0
-	if _, err := EvaluateMany(run, []*hw.Machine{hw.XeonE5(), bad}, hotspot.ScaledCriteria()); err == nil {
+	if _, err := EvaluateMany(context.Background(), run, []*hw.Machine{hw.XeonE5(), bad}, WithCriteria(hotspot.ScaledCriteria())); err == nil {
 		t.Error("invalid machine not reported")
 	}
 }
@@ -218,7 +223,7 @@ func TestSweepParallel(t *testing.T) {
 		m.MemBandwidthGBs = bw
 		variants = append(variants, m)
 	}
-	analyses, err := Sweep(run, variants)
+	analyses, err := Sweep(context.Background(), run, variants)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,14 +238,115 @@ func TestSweepParallel(t *testing.T) {
 	// Invalid variant rejected.
 	bad := hw.BGQ()
 	bad.IssueWidth = 0
-	if _, err := Sweep(run, []*hw.Machine{bad}); err == nil {
+	if _, err := Sweep(context.Background(), run, []*hw.Machine{bad}); err == nil {
 		t.Error("invalid variant accepted")
 	}
 }
 
+// noLeakedGoroutines waits for the goroutine count to settle back near the
+// level observed before the test body ran.
+func noLeakedGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPrepareStageSentinels(t *testing.T) {
+	bad := &workloads.Workload{Name: "broken", Source: "func main( {"}
+	_, err := Prepare(context.Background(), bad)
+	if err == nil {
+		t.Fatal("malformed source accepted")
+	}
+	if !errors.Is(err, ErrParse) {
+		t.Errorf("parse failure not tagged ErrParse: %v", err)
+	}
+	if errors.Is(err, ErrSimulate) || errors.Is(err, ErrModel) {
+		t.Errorf("parse failure tagged with a later stage: %v", err)
+	}
+}
+
+func TestPrepareCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w, err := workloads.Get("sord", workloads.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prepare(ctx, w); !errors.Is(err, context.Canceled) {
+		t.Errorf("Prepare on canceled ctx = %v, want context.Canceled in chain", err)
+	}
+}
+
+func TestEvaluateCanceledContext(t *testing.T) {
+	run := prepared(t, "sord")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Evaluate(ctx, run, hw.BGQ()); !errors.Is(err, context.Canceled) {
+		t.Errorf("Evaluate on canceled ctx = %v, want context.Canceled in chain", err)
+	}
+}
+
+func TestEvaluateManyCanceledContext(t *testing.T) {
+	run := prepared(t, "sord")
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	machines := make([]*hw.Machine, 64)
+	for i := range machines {
+		machines[i] = hw.BGQ()
+	}
+	start := time.Now()
+	_, err := EvaluateMany(ctx, run, machines, WithCriteria(hotspot.ScaledCriteria()))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("EvaluateMany on canceled ctx = %v, want context.Canceled in chain", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("canceled EvaluateMany took %s, want prompt return", el)
+	}
+	noLeakedGoroutines(t, before)
+}
+
+func TestSweepCanceledMidFlight(t *testing.T) {
+	run := prepared(t, "sord")
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// A sweep far too large to finish before the progress callback cancels
+	// it after the second variant.
+	variants := make([]*hw.Machine, 2000)
+	for i := range variants {
+		m := hw.BGQ()
+		m.NetLatencyUs = 1 + float64(i)
+		variants[i] = m
+	}
+	start := time.Now()
+	_, err := Sweep(ctx, run, variants,
+		WithWorkers(2),
+		WithProgress(func(p explore.Progress) {
+			if p.Done >= 2 {
+				cancel()
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled Sweep = %v, want context.Canceled in chain", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("canceled Sweep took %s, want prompt return", el)
+	}
+	noLeakedGoroutines(t, before)
+}
+
 func TestAnalysisJSONExport(t *testing.T) {
 	run := prepared(t, "cfd")
-	ev, err := Evaluate(run, hw.BGQ(), hotspot.ScaledCriteria())
+	ev, err := Evaluate(context.Background(), run, hw.BGQ(), WithCriteria(hotspot.ScaledCriteria()))
 	if err != nil {
 		t.Fatal(err)
 	}

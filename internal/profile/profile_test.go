@@ -6,7 +6,7 @@ import (
 	"testing/quick"
 )
 
-func mk(label string, pairs ...interface{}) *Ranked {
+func mk(label string, pairs ...any) *Ranked {
 	var entries []Entry
 	for i := 0; i < len(pairs); i += 2 {
 		entries = append(entries, Entry{ID: pairs[i].(string), Time: pairs[i+1].(float64)})

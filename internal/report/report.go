@@ -16,7 +16,7 @@ type Table struct {
 }
 
 // AddRow appends a row of stringified cells.
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -125,7 +125,7 @@ func (s *Series) Add(x float64, ys ...float64) {
 func (s *Series) String() string {
 	t := &Table{Title: s.Title, Header: append([]string{s.XLabel}, s.Names...)}
 	for i, x := range s.X {
-		cells := make([]interface{}, 0, 1+len(s.Names))
+		cells := make([]any, 0, 1+len(s.Names))
 		cells = append(cells, fmt.Sprintf("%g", x))
 		for j := range s.Names {
 			cells = append(cells, fmt.Sprintf("%.4f", s.Y[j][i]))

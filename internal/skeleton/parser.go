@@ -33,7 +33,7 @@ type ltok struct {
 	isString bool // was a quoted string literal
 }
 
-func (p *sparser) errf(line int, format string, args ...interface{}) error {
+func (p *sparser) errf(line int, format string, args ...any) error {
 	return fmt.Errorf("%s:%d: %s", p.source, line, fmt.Sprintf(format, args...))
 }
 

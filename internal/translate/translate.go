@@ -159,7 +159,7 @@ type translator struct {
 	dirtyGlobals map[string]bool
 }
 
-func (tr *translator) warnf(pos minilang.Pos, format string, args ...interface{}) {
+func (tr *translator) warnf(pos minilang.Pos, format string, args ...any) {
 	tr.warnings = append(tr.warnings,
 		fmt.Sprintf("%s:%s: %s", tr.prog.Source, pos, fmt.Sprintf(format, args...)))
 }
