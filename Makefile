@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench check
+.PHONY: all build vet fmt-check test race bench fuzz-short check
 
 all: check
 
@@ -17,8 +17,10 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-test:
-	$(GO) test ./...
+# One gate: vet + the full suite under the race detector (worker pools,
+# memo caches, and fault-injection points are all concurrency-sensitive).
+test: vet
+	$(GO) test -race ./...
 
 # Race-detect the concurrency-heavy packages (worker pools, memo caches).
 race:
@@ -26,5 +28,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz smoke over the three parser frontiers (10s per target).
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test ./internal/expr -run FuzzExprParse -fuzz FuzzExprParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/skeleton -run FuzzSkeletonParse -fuzz FuzzSkeletonParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/minilang -run FuzzMinilangParse -fuzz FuzzMinilangParse -fuzztime $(FUZZTIME)
 
 check: build vet fmt-check test

@@ -226,7 +226,7 @@ func BenchmarkBETConstruction(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Build(run.Tree, run.Skeleton.Input, nil); err != nil {
+				if _, err := core.Build(context.Background(), run.Tree, run.Skeleton.Input, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -238,7 +238,10 @@ func BenchmarkBETConstruction(b *testing.B) {
 // selection over a built BET.
 func BenchmarkAnalyze(b *testing.B) {
 	c := ctx(b)
-	libs := libmodel.MustDefault()
+	libs, err := libmodel.Default()
+	if err != nil {
+		b.Fatal(err)
+	}
 	model := hw.NewModel(hw.BGQ())
 	for _, name := range workloads.Names() {
 		run, err := c.Run(name)
@@ -247,7 +250,7 @@ func BenchmarkAnalyze(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				a, err := hotspot.Analyze(run.BET, model, libs)
+				a, err := hotspot.Analyze(context.Background(), run.BET, model, libs)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -268,7 +271,7 @@ func BenchmarkModelInputInvariance(b *testing.B) {
 		input := expr.Env{"n": n, "m": n}
 		b.Run(expr.Const(n).String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Build(tree, input, nil); err != nil {
+				if _, err := core.Build(context.Background(), tree, input, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -287,7 +290,7 @@ func BenchmarkSimulator(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(run.Prog, hw.BGQ(), &sim.Options{Seed: run.Workload.Seed}); err != nil {
+		if _, err := sim.Run(context.Background(), run.Prog, hw.BGQ(), &sim.Options{Seed: run.Workload.Seed}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -409,13 +412,13 @@ end
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, ranks := range []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
-			bet, err := core.Build(tree, expr.Env{
+			bet, err := core.Build(context.Background(), tree, expr.Env{
 				"nx": 256, "ny": 256, "nz": 512, "ranks": ranks, "nt": 50,
 			}, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := hotspot.Analyze(bet, model, nil); err != nil {
+			if _, err := hotspot.Analyze(context.Background(), bet, model, nil); err != nil {
 				b.Fatal(err)
 			}
 		}

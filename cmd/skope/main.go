@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"skope/internal/explore"
+	"skope/internal/guard"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
 	"skope/internal/pipeline"
@@ -56,6 +58,7 @@ func main() {
 	flag.Var(&cfg.sweeps, "sweep", "design-space axis param=v1,v2,... (repeatable; switches to sweep mode)")
 	flag.IntVar(&cfg.workers, "workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.top, "top", 10, "sweep mode: variants to print (0 = all)")
+	flag.StringVar(&cfg.limits, "limits", "", "guard limit overrides, e.g. \"nest-depth=32,bet-nodes=100000\"; keys: "+strings.Join(guard.LimitKeys(), ", "))
 	flag.Parse()
 	if err := run(context.Background(), os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "skope:", err)
@@ -79,6 +82,7 @@ func (a *axisList) Set(v string) error {
 // config carries the parsed command line.
 type config struct {
 	bench, source, machine, machineFile, show string
+	limits                                    string
 	scale, coverage, leanness                 float64
 	maxSpots, workers, top                    int
 	validate, list                            bool
@@ -105,6 +109,10 @@ func run(ctx context.Context, out io.Writer, cfg config) error {
 		}
 		fmt.Fprintln(out, "sweep parameters (-sweep param=v1,v2,...):")
 		for _, h := range explore.ParamHelp() {
+			fmt.Fprintf(out, "  %s\n", h)
+		}
+		fmt.Fprintln(out, "guard limits (-limits key=value,...):")
+		for _, h := range guard.Help() {
 			fmt.Fprintf(out, "  %s\n", h)
 		}
 		return nil
@@ -138,15 +146,19 @@ func run(ctx context.Context, out io.Writer, cfg config) error {
 			return err
 		}
 	}
+	lim, err := guard.ParseLimits(cfg.limits)
+	if err != nil {
+		return fmt.Errorf("-limits: %w", err)
+	}
 	fmt.Fprintf(out, "# %s\n\n", w.Description)
-	run, err := pipeline.Prepare(ctx, w)
+	run, err := pipeline.Prepare(ctx, w, pipeline.WithLimits(lim))
 	if err != nil {
 		return err
 	}
-	if len(run.Skeleton.Warnings) > 0 {
-		fmt.Fprintln(out, "## translation warnings")
-		for _, warn := range run.Skeleton.Warnings {
-			fmt.Fprintln(out, " -", warn)
+	if len(run.Diagnostics) > 0 {
+		fmt.Fprintln(out, "## preparation diagnostics")
+		for _, d := range run.Diagnostics {
+			fmt.Fprintln(out, " -", d)
 		}
 		fmt.Fprintln(out)
 	}
@@ -178,6 +190,9 @@ func run(ctx context.Context, out io.Writer, cfg config) error {
 	ev, err := pipeline.Evaluate(ctx, run, m, pipeline.WithCriteria(crit))
 	if err != nil {
 		return err
+	}
+	for _, d := range ev.Analysis.Diagnostics {
+		fmt.Fprintln(os.Stderr, "skope: warning:", d)
 	}
 
 	if sections["spots"] {
@@ -247,18 +262,28 @@ func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, ba
 	start := time.Now()
 	analyses, err := eng.Sweep(ctx, variants)
 	if err != nil {
-		return err
+		var sweepErr *explore.SweepError
+		if !errors.As(err, &sweepErr) {
+			return err
+		}
+		// Degraded sweep: report the poisoned variants and continue with
+		// the healthy ones rather than discarding the whole grid.
+		for _, v := range sweepErr.Variants {
+			fmt.Fprintln(os.Stderr, "skope: warning:", v)
+		}
 	}
 	wall := time.Since(start)
 
-	baseline, err := hotspot.Analyze(run.BET, hw.NewModel(base), run.Libs)
+	baseline, err := hotspot.Analyze(ctx, run.BET, hw.NewModel(base), run.Libs)
 	if err != nil {
 		return err
 	}
 
-	order := make([]int, len(analyses))
-	for i := range order {
-		order[i] = i
+	var order []int
+	for i, a := range analyses {
+		if a != nil {
+			order = append(order, i)
+		}
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		return analyses[order[a]].TotalTime < analyses[order[b]].TotalTime

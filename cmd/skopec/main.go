@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"skope/internal/bst"
 	"skope/internal/core"
 	"skope/internal/expr"
+	"skope/internal/guard"
 	"skope/internal/hotpath"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
@@ -41,6 +43,7 @@ func main() {
 	flag.IntVar(&cfg.maxSpots, "spots", 10, "maximum hot spots (0 = unlimited)")
 	flag.Float64Var(&cfg.coverage, "coverage", 0.90, "time coverage target")
 	flag.Float64Var(&cfg.leanness, "leanness", 1.0, "code leanness budget")
+	flag.StringVar(&cfg.limits, "limits", "", "guard limit overrides, e.g. \"nest-depth=32,bet-nodes=100000\"; keys: "+strings.Join(guard.LimitKeys(), ", "))
 	flag.Parse()
 	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "skopec:", err)
@@ -50,6 +53,7 @@ func main() {
 
 type config struct {
 	file, input, entry, machine, machineFile, show string
+	limits                                         string
 	maxSpots                                       int
 	coverage, leanness                             float64
 }
@@ -90,11 +94,15 @@ func run(out io.Writer, cfg config) error {
 	if cfg.file == "" {
 		return fmt.Errorf("-file is required")
 	}
+	lim, err := guard.ParseLimits(cfg.limits)
+	if err != nil {
+		return fmt.Errorf("-limits: %w", err)
+	}
 	text, err := os.ReadFile(cfg.file)
 	if err != nil {
 		return err
 	}
-	prog, err := skeleton.Parse(cfg.file, string(text))
+	prog, err := skeleton.ParseWithLimits(cfg.file, string(text), lim)
 	if err != nil {
 		return err
 	}
@@ -119,7 +127,9 @@ func run(out io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
-	bet, err := core.Build(tree, input, &core.Options{Entry: cfg.entry})
+	bet, err := core.Build(context.Background(), tree, input, &core.Options{
+		Entry: cfg.entry, MaxContexts: lim.MaxContexts, MaxNodes: lim.MaxBETNodes,
+	})
 	if err != nil {
 		return err
 	}
@@ -127,9 +137,12 @@ func run(out io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
-	analysis, err := hotspot.Analyze(bet, hw.NewModel(m), libs)
+	analysis, err := hotspot.Analyze(context.Background(), bet, hw.NewModel(m), libs)
 	if err != nil {
 		return err
+	}
+	for _, d := range analysis.Diagnostics {
+		fmt.Fprintln(os.Stderr, "skopec: warning:", d)
 	}
 	sel := hotspot.Select(analysis, hotspot.Criteria{
 		TimeCoverage: cfg.coverage, CodeLeanness: cfg.leanness, MaxSpots: cfg.maxSpots,

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -78,7 +79,7 @@ func run(out io.Writer, cfg config) error {
 	if err := minilang.Check(prog); err != nil {
 		return err
 	}
-	res, err := sim.Run(prog, m, &sim.Options{Seed: seed})
+	res, err := sim.Run(context.Background(), prog, m, &sim.Options{Seed: seed})
 	if err != nil {
 		return err
 	}

@@ -90,7 +90,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := hotspot.Analyze(run.BET, hw.NewModel(hw.BGQ()), run.Libs)
+	base, err := hotspot.Analyze(context.Background(), run.BET, hw.NewModel(hw.BGQ()), run.Libs)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -61,11 +61,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	miniBET, err := core.Build(miniTree, nil, nil)
+	miniBET, err := core.Build(context.Background(), miniTree, nil, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	miniAnalysis, err := hotspot.Analyze(miniBET, hw.NewModel(machine), run.Libs)
+	miniAnalysis, err := hotspot.Analyze(context.Background(), miniBET, hw.NewModel(machine), run.Libs)
 	if err != nil {
 		log.Fatal(err)
 	}

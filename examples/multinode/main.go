@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -68,11 +69,11 @@ func main() {
 		base := 0.0
 		for _, ranks := range []float64{1, 4, 16, 64, 128, 256, 512, 1024} {
 			input := expr.Env{"nx": nx, "ny": ny, "nz": nz, "ranks": ranks, "nt": nt}
-			bet, err := core.Build(tree, input, nil)
+			bet, err := core.Build(context.Background(), tree, input, nil)
 			if err != nil {
 				log.Fatal(err)
 			}
-			a, err := hotspot.Analyze(bet, model, nil)
+			a, err := hotspot.Analyze(context.Background(), bet, model, nil)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,7 +66,7 @@ func main() {
 		log.Fatal(err)
 	}
 	input := expr.Env{"n": 2048, "m": 2048}
-	bet, err := core.Build(tree, input, nil)
+	bet, err := core.Build(context.Background(), tree, input, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,9 +75,12 @@ func main() {
 
 	// 3. Project per-block times on a target machine with the extended
 	//    roofline model and select hot spots.
-	libs := libmodel.MustDefault()
+	libs, err := libmodel.Default()
+	if err != nil {
+		log.Fatal(err)
+	}
 	machine := hw.BGQ()
-	analysis, err := hotspot.Analyze(bet, hw.NewModel(machine), libs)
+	analysis, err := hotspot.Analyze(context.Background(), bet, hw.NewModel(machine), libs)
 	if err != nil {
 		log.Fatal(err)
 	}

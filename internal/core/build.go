@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"skope/internal/bst"
 	"skope/internal/expr"
+	"skope/internal/guard"
 	"skope/internal/hw"
 	"skope/internal/skeleton"
 )
@@ -15,16 +17,18 @@ type Options struct {
 	// Entry is the entry function name (default "main").
 	Entry string
 	// MaxContexts bounds the number of simultaneously live contexts per
-	// statement; exceeding it is an error (default 256). The paper's bound
-	// on context blowup is 2^B for B independent branches; real workloads
-	// stay near 1.
+	// statement; exceeding it is an error (default 256, matching
+	// guard.Default). The paper's bound on context blowup is 2^B for B
+	// independent branches; real workloads stay near 1.
 	MaxContexts int
-	// MaxNodes bounds the BET size (default 1 << 20).
+	// MaxNodes bounds the BET size (default 1 << 20, matching
+	// guard.Default).
 	MaxNodes int
 }
 
 func (o *Options) withDefaults() Options {
-	out := Options{Entry: "main", MaxContexts: 256, MaxNodes: 1 << 20}
+	def := guard.Default()
+	out := Options{Entry: "main", MaxContexts: def.MaxContexts, MaxNodes: def.MaxBETNodes}
 	if o == nil {
 		return out
 	}
@@ -40,9 +44,16 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
+// ctxCheckInterval is how many BET nodes are built between context
+// deadline checks — fine enough that cancellation lands within
+// microseconds, coarse enough to keep the check off the profile.
+const ctxCheckInterval = 1024
+
 // Build constructs the Bayesian Execution Tree for the program underlying
 // tree, with the given input bindings (array dimensions, developer hints).
-func Build(tree *bst.Tree, input expr.Env, opts *Options) (*BET, error) {
+// ctx bounds the construction: cancellation or a deadline is honored at
+// statement granularity, so even pathologically large trees stop promptly.
+func Build(ctx context.Context, tree *bst.Tree, input expr.Env, opts *Options) (*BET, error) {
 	o := opts.withDefaults()
 	entry, err := tree.Func(o.Entry)
 	if err != nil {
@@ -51,14 +62,18 @@ func Build(tree *bst.Tree, input expr.Env, opts *Options) (*BET, error) {
 	if err := skeleton.ValidateEntry(tree.Prog, o.Entry); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("bet: %s: %w", tree.Prog.Source, err)
+	}
 	b := &builder{
 		bet:   &BET{Input: input.Clone(), Tree: tree},
 		opts:  o,
 		input: input.Clone(),
+		ctx:   ctx,
 	}
 	root := b.newNode(entry, nil, b.input.Clone(), 1)
 	// The entry function executes once with the full input context.
-	if _, _, err := b.body(root, entry.Children, []ctx{{env: b.input.Clone(), prob: 1}}); err != nil {
+	if _, _, err := b.body(root, entry.Children, []ectx{{env: b.input.Clone(), prob: 1}}); err != nil {
 		return nil, err
 	}
 	b.bet.Root = root
@@ -69,17 +84,17 @@ func Build(tree *bst.Tree, input expr.Env, opts *Options) (*BET, error) {
 
 // MustBuild builds a BET and panics on error; for fixtures and examples.
 func MustBuild(tree *bst.Tree, input expr.Env, opts *Options) *BET {
-	bet, err := Build(tree, input, opts)
+	bet, err := Build(context.Background(), tree, input, opts)
 	if err != nil {
 		panic(err)
 	}
 	return bet
 }
 
-// ctx is a live execution context during construction: bindings plus the
+// ectx is a live execution context during construction: bindings plus the
 // probability of being in this context, relative to one execution of the
 // node whose body is being processed.
-type ctx struct {
+type ectx struct {
 	env  expr.Env
 	prob float64
 }
@@ -93,10 +108,25 @@ type escape struct {
 const probEps = 1e-12
 
 type builder struct {
-	bet   *BET
-	opts  Options
-	input expr.Env
-	nodes int
+	bet     *BET
+	opts    Options
+	input   expr.Env
+	nodes   int
+	ctx     context.Context
+	checked int // node count at the last context-deadline check
+}
+
+// checkCtx honors cancellation at block granularity plus every
+// ctxCheckInterval nodes within huge flat bodies. The guard.Hit call is a
+// fault-injection point (no-op unless a test arms "core.body") that lets
+// tests cancel or fail mid-construction deterministically.
+func (b *builder) checkCtx(where string) error {
+	guard.Hit("core.body", where)
+	if err := b.ctx.Err(); err != nil {
+		return fmt.Errorf("bet: %s (%s): %w", b.bet.Tree.Prog.Source, where, err)
+	}
+	b.checked = b.nodes
+	return nil
 }
 
 func (b *builder) newNode(bn *bst.Node, parent *Node, env expr.Env, prob float64) *Node {
@@ -116,20 +146,31 @@ func (b *builder) errf(bn *bst.Node, format string, args ...any) error {
 // body models the execution of a statement list under parent, starting from
 // the given contexts. It returns the continuation contexts (those that fall
 // through the end of the list) and the escaped probability mass.
-func (b *builder) body(parent *Node, stmts []*bst.Node, ctxs []ctx) ([]ctx, escape, error) {
+func (b *builder) body(parent *Node, stmts []*bst.Node, ctxs []ectx) ([]ectx, escape, error) {
 	var esc escape
+	if err := b.checkCtx(parent.BST.Label()); err != nil {
+		return nil, esc, err
+	}
 	live := ctxs
 	for _, sn := range stmts {
 		if b.nodes > b.opts.MaxNodes {
-			return nil, esc, b.errf(sn, "BET exceeds %d nodes", b.opts.MaxNodes)
+			return nil, esc, fmt.Errorf("bet: %s:%d (%s): %w",
+				b.bet.Tree.Prog.Source, sn.Line, sn.Label(),
+				guard.Exceeded("BET nodes", b.nodes, b.opts.MaxNodes))
+		}
+		if b.nodes-b.checked >= ctxCheckInterval {
+			if err := b.checkCtx(sn.Label()); err != nil {
+				return nil, esc, err
+			}
 		}
 		live = prune(live)
 		if len(live) == 0 {
 			break
 		}
 		if len(live) > b.opts.MaxContexts {
-			return nil, esc, b.errf(sn, "context explosion: %d live contexts (max %d)",
-				len(live), b.opts.MaxContexts)
+			return nil, esc, fmt.Errorf("bet: %s:%d (%s): context explosion: %w",
+				b.bet.Tree.Prog.Source, sn.Line, sn.Label(),
+				guard.Exceeded("live contexts", len(live), b.opts.MaxContexts))
 		}
 		var err error
 		live, err = b.stmt(parent, sn, live, &esc)
@@ -142,7 +183,7 @@ func (b *builder) body(parent *Node, stmts []*bst.Node, ctxs []ctx) ([]ctx, esca
 
 // stmt models one statement under every live context, returning the updated
 // context set.
-func (b *builder) stmt(parent *Node, sn *bst.Node, live []ctx, esc *escape) ([]ctx, error) {
+func (b *builder) stmt(parent *Node, sn *bst.Node, live []ectx, esc *escape) ([]ectx, error) {
 	switch sn.Kind {
 	case bst.KindComp:
 		comp := sn.Stmt.(*skeleton.Comp)
@@ -194,7 +235,7 @@ func (b *builder) stmt(parent *Node, sn *bst.Node, live []ctx, esc *escape) ([]c
 
 	case bst.KindSet:
 		set := sn.Stmt.(*skeleton.Set)
-		out := make([]ctx, 0, len(live))
+		out := make([]ectx, 0, len(live))
 		for _, c := range live {
 			v, err := set.Value.Eval(c.env)
 			if err != nil {
@@ -203,7 +244,7 @@ func (b *builder) stmt(parent *Node, sn *bst.Node, live []ctx, esc *escape) ([]c
 			b.newNode(sn, parent, c.env, c.prob)
 			env := c.env.Clone()
 			env[set.Name] = v
-			out = append(out, ctx{env: env, prob: c.prob})
+			out = append(out, ectx{env: env, prob: c.prob})
 		}
 		return mergeCtxs(out), nil
 
@@ -233,8 +274,8 @@ func (b *builder) stmt(parent *Node, sn *bst.Node, live []ctx, esc *escape) ([]c
 
 // jump models return/break/continue: a fraction p of each live context's
 // probability escapes; the remainder continues past the statement.
-func (b *builder) jump(parent *Node, sn *bst.Node, live []ctx, probX expr.Expr, sink *float64) ([]ctx, error) {
-	out := make([]ctx, 0, len(live))
+func (b *builder) jump(parent *Node, sn *bst.Node, live []ectx, probX expr.Expr, sink *float64) ([]ectx, error) {
+	out := make([]ectx, 0, len(live))
 	for _, c := range live {
 		p := 1.0
 		if probX != nil {
@@ -246,7 +287,7 @@ func (b *builder) jump(parent *Node, sn *bst.Node, live []ctx, probX expr.Expr, 
 		}
 		b.newNode(sn, parent, c.env, c.prob)
 		*sink += c.prob * p
-		out = append(out, ctx{env: c.env, prob: c.prob * (1 - p)})
+		out = append(out, ectx{env: c.env, prob: c.prob * (1 - p)})
 	}
 	return out, nil
 }
@@ -256,8 +297,8 @@ func (b *builder) jump(parent *Node, sn *bst.Node, live []ctx, probX expr.Expr, 
 // variables bound to their expected value over the range), with the
 // expected iteration count attached. break/return mass inside the body
 // truncates the expectation per the geometric formula.
-func (b *builder) loop(parent *Node, sn *bst.Node, live []ctx, esc *escape) ([]ctx, error) {
-	out := make([]ctx, 0, len(live))
+func (b *builder) loop(parent *Node, sn *bst.Node, live []ectx, esc *escape) ([]ectx, error) {
+	out := make([]ectx, 0, len(live))
 	for _, c := range live {
 		n := b.newNode(sn, parent, c.env, c.prob)
 		bodyEnv := c.env.Clone()
@@ -286,7 +327,7 @@ func (b *builder) loop(parent *Node, sn *bst.Node, live []ctx, esc *escape) ([]c
 			out = append(out, c)
 			continue
 		}
-		_, bodyEsc, err := b.body(n, sn.Children, []ctx{{env: bodyEnv, prob: 1}})
+		_, bodyEsc, err := b.body(n, sn.Children, []ectx{{env: bodyEnv, prob: 1}})
 		if err != nil {
 			return nil, err
 		}
@@ -301,9 +342,9 @@ func (b *builder) loop(parent *Node, sn *bst.Node, live []ctx, esc *escape) ([]c
 		pExit := clamp01(r + brk)
 		n.Iters = expectedIters(rangeIters, pExit)
 		if r > 0 {
-			pRetTotal := r / pExit * (1 - math.Pow(1-pExit, rangeIters))
+			pRetTotal := clamp01(r / pExit * (1 - math.Pow(1-pExit, rangeIters)))
 			esc.ret += c.prob * pRetTotal
-			c = ctx{env: c.env, prob: c.prob * (1 - pRetTotal)}
+			c = ectx{env: c.env, prob: c.prob * (1 - pRetTotal)}
 		}
 		out = append(out, c)
 	}
@@ -328,8 +369,8 @@ func expectedIters(n, p float64) float64 {
 // Deterministic conditions (cond=...) evaluate under the context bindings;
 // statistical ones (prob=...) use the profiled fall-through probability.
 // Contexts surviving different arms are merged by identical bindings.
-func (b *builder) branch(parent *Node, sn *bst.Node, live []ctx, esc *escape) ([]ctx, error) {
-	var out []ctx
+func (b *builder) branch(parent *Node, sn *bst.Node, live []ectx, esc *escape) ([]ectx, error) {
+	var out []ectx
 	for _, c := range live {
 		n := b.newNode(sn, parent, c.env, c.prob)
 		remaining := 1.0
@@ -357,14 +398,14 @@ func (b *builder) branch(parent *Node, sn *bst.Node, live []ctx, esc *escape) ([
 			case bst.KindElse:
 				pArm = remaining
 			}
-			remaining -= pArm
+			remaining = clamp01(remaining - pArm)
 			if pArm <= probEps {
 				continue
 			}
 			// One group node per taken arm; its statements execute with
 			// probability 1 relative to the arm being taken.
 			armNode := b.newNode(arm, n, c.env, pArm)
-			armOut, armEsc, err := b.body(armNode, arm.Children, []ctx{{env: c.env, prob: 1}})
+			armOut, armEsc, err := b.body(armNode, arm.Children, []ectx{{env: c.env, prob: 1}})
 			if err != nil {
 				return nil, err
 			}
@@ -372,13 +413,13 @@ func (b *builder) branch(parent *Node, sn *bst.Node, live []ctx, esc *escape) ([
 			esc.brk += c.prob * pArm * armEsc.brk
 			esc.cont += c.prob * pArm * armEsc.cont
 			for _, ac := range armOut {
-				out = append(out, ctx{env: ac.env, prob: c.prob * pArm * ac.prob})
+				out = append(out, ectx{env: ac.env, prob: c.prob * pArm * ac.prob})
 			}
 		}
 		// Mass that took no arm (no else, or conditions false) falls
 		// through with the original bindings.
 		if remaining > probEps {
-			out = append(out, ctx{env: c.env, prob: c.prob * remaining})
+			out = append(out, ectx{env: c.env, prob: c.prob * remaining})
 		}
 	}
 	return mergeCtxs(out), nil
@@ -388,7 +429,7 @@ func (b *builder) branch(parent *Node, sn *bst.Node, live []ctx, esc *escape) ([
 // rebinding the callee parameters from the evaluated arguments. Return mass
 // is absorbed at the call boundary; the caller continues unaffected (the
 // skeleton language has no cross-function side effects).
-func (b *builder) call(parent *Node, sn *bst.Node, live []ctx) ([]ctx, error) {
+func (b *builder) call(parent *Node, sn *bst.Node, live []ectx) ([]ectx, error) {
 	callStmt := sn.Stmt.(*skeleton.Call)
 	calleeRoot, err := b.bet.Tree.Func(callStmt.Func)
 	if err != nil {
@@ -406,7 +447,7 @@ func (b *builder) call(parent *Node, sn *bst.Node, live []ctx) ([]ctx, error) {
 			}
 			env[param] = v
 		}
-		if _, _, err := b.body(n, calleeRoot.Children, []ctx{{env: env, prob: 1}}); err != nil {
+		if _, _, err := b.body(n, calleeRoot.Children, []ectx{{env: env, prob: 1}}); err != nil {
 			return nil, err
 		}
 	}
@@ -513,7 +554,7 @@ func clamp01(v float64) float64 {
 }
 
 // prune drops contexts with negligible probability.
-func prune(ctxs []ctx) []ctx {
+func prune(ctxs []ectx) []ectx {
 	out := ctxs[:0]
 	for _, c := range ctxs {
 		if c.prob > probEps {
@@ -525,12 +566,12 @@ func prune(ctxs []ctx) []ctx {
 
 // mergeCtxs merges contexts with identical bindings, summing probabilities.
 // Order of first occurrence is preserved for determinism.
-func mergeCtxs(ctxs []ctx) []ctx {
+func mergeCtxs(ctxs []ectx) []ectx {
 	if len(ctxs) <= 1 {
 		return ctxs
 	}
 	idx := make(map[string]int, len(ctxs))
-	var out []ctx
+	var out []ectx
 	for _, c := range ctxs {
 		k := envKey(c.env)
 		if i, ok := idx[k]; ok {

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"skope/internal/bst"
+	"skope/internal/expr"
+	"skope/internal/guard"
+	"skope/internal/skeleton"
+)
+
+// cancelSrc nests calls under loops so BET construction enters body() many
+// times, giving cancellation checks plenty of chances to fire.
+const cancelSrc = `
+def main(n)
+  for i = 0 : n label="outer"
+    call work(n)
+  end
+end
+
+def work(n)
+  for j = 0 : n label="inner"
+    comp flops=j name="k"
+    if prob=0.5
+      comp flops=1 name="b"
+    end
+  end
+end
+`
+
+func cancelTree(t *testing.T) *bst.Tree {
+	t.Helper()
+	prog, err := skeleton.Parse("cancel", cancelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := bst.Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestBuildPreCanceledContext(t *testing.T) {
+	tree := cancelTree(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bet, err := Build(ctx, tree, expr.Env{"n": 10}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Build = %v, want wrapped context.Canceled", err)
+	}
+	if bet != nil {
+		t.Error("partial BET returned from canceled build")
+	}
+}
+
+// TestBuildCancelMidBuild cancels from inside the builder's per-body check
+// (via the core.body fault point) and verifies construction stops promptly
+// with the partial tree discarded.
+func TestBuildCancelMidBuild(t *testing.T) {
+	tree := cancelTree(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hits := 0
+	disarm := guard.Arm("core.body", func(string) {
+		hits++
+		if hits == 3 { // let construction make real progress first
+			cancel()
+		}
+	})
+	t.Cleanup(disarm)
+	start := time.Now()
+	bet, err := Build(ctx, tree, expr.Env{"n": 10}, nil)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("canceled build took %v to stop", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Build = %v, want wrapped context.Canceled", err)
+	}
+	if bet != nil {
+		t.Error("partial BET returned from canceled build")
+	}
+	if hits < 3 {
+		t.Errorf("fault point hit %d times; cancellation did not happen mid-build", hits)
+	}
+}
+
+func TestBuildDeadlineExceeded(t *testing.T) {
+	tree := cancelTree(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := Build(ctx, tree, expr.Env{"n": 10}, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Build = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func buildBET(t *testing.T, src string, input expr.Env) *BET {
 	if err != nil {
 		t.Fatalf("bst: %v", err)
 	}
-	bet, err := Build(tree, input, nil)
+	bet, err := Build(context.Background(), tree, input, nil)
 	if err != nil {
 		t.Fatalf("bet: %v", err)
 	}
@@ -447,7 +448,7 @@ func TestBuildErrors(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: bst: %v", name, err)
 		}
-		if _, err := Build(tree, c.input, nil); err == nil {
+		if _, err := Build(context.Background(), tree, c.input, nil); err == nil {
 			t.Errorf("%s: Build succeeded, want error", name)
 		}
 	}
@@ -545,7 +546,7 @@ end
 		if err != nil {
 			return false
 		}
-		bet, err := Build(tree, expr.Env{"n": float64(n)}, nil)
+		bet, err := Build(context.Background(), tree, expr.Env{"n": float64(n)}, nil)
 		if err != nil {
 			return false
 		}
@@ -591,12 +592,12 @@ end
 `
 	prog := skeleton.MustParse("q", src)
 	tree := bst.MustBuild(prog)
-	ref, err := Build(tree, expr.Env{"n": 2, "m": 2}, nil)
+	ref, err := Build(context.Background(), tree, expr.Env{"n": 2, "m": 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	f := func(n, m uint16) bool {
-		bet, err := Build(tree, expr.Env{"n": float64(n%1000) + 1, "m": float64(m%1000) + 1}, nil)
+		bet, err := Build(context.Background(), tree, expr.Env{"n": float64(n%1000) + 1, "m": float64(m%1000) + 1}, nil)
 		if err != nil {
 			return false
 		}
@@ -611,7 +612,7 @@ func TestMaxNodesGuard(t *testing.T) {
 	src := "def main(n)\nfor i = 0:n\ncomp flops=1\ncomp flops=1\ncomp flops=1\nend\nend\n"
 	prog := skeleton.MustParse("g", src)
 	tree := bst.MustBuild(prog)
-	if _, err := Build(tree, expr.Env{"n": 5}, &Options{MaxNodes: 2}); err == nil {
+	if _, err := Build(context.Background(), tree, expr.Env{"n": 5}, &Options{MaxNodes: 2}); err == nil {
 		t.Error("MaxNodes guard did not fire")
 	}
 }
@@ -620,7 +621,7 @@ func TestCustomEntry(t *testing.T) {
 	src := "def kernel(n)\ncomp flops=n name=\"k\"\nend\n"
 	prog := skeleton.MustParse("e", src)
 	tree := bst.MustBuild(prog)
-	bet, err := Build(tree, expr.Env{"n": 3}, &Options{Entry: "kernel"})
+	bet, err := Build(context.Background(), tree, expr.Env{"n": 3}, &Options{Entry: "kernel"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -665,7 +666,7 @@ func TestCommEvalErrors(t *testing.T) {
 	src := "def main()\ncomm bytes=q\nend\n"
 	prog := skeleton.MustParse("c", src)
 	tree := bst.MustBuild(prog)
-	if _, err := Build(tree, nil, nil); err == nil {
+	if _, err := Build(context.Background(), tree, nil, nil); err == nil {
 		t.Error("unbound comm bytes accepted")
 	}
 }

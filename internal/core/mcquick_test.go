@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -39,7 +40,7 @@ func TestQuickBETMatchesMonteCarlo(t *testing.T) {
 			return false
 		}
 		input := expr.Env{"n": 6}
-		bet, err := Build(tree, input, nil)
+		bet, err := Build(context.Background(), tree, input, nil)
 		if err != nil {
 			t.Logf("seed %d: bet: %v\n%s", seed, err, src)
 			return false

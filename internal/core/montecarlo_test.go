@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"skope/internal/bst"
@@ -25,7 +26,7 @@ func assertBETMatchesMC(t *testing.T, src string, input expr.Env, relTol float64
 	t.Helper()
 	prog := skeleton.MustParse("mc", src)
 	tree := bst.MustBuild(prog)
-	bet, err := Build(tree, input, nil)
+	bet, err := Build(context.Background(), tree, input, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

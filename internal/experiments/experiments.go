@@ -130,7 +130,7 @@ func Fig3(c *Context) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	a, err := hotspot.Analyze(bet, hw.NewModel(hw.BGQ()), libs)
+	a, err := hotspot.Analyze(context.Background(), bet, hw.NewModel(hw.BGQ()), libs)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"skope/internal/hotspot"
@@ -32,7 +33,7 @@ func FutureProjection(c *Context) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		fa, err := hotspot.Analyze(run.BET, fut, run.Libs)
+		fa, err := hotspot.Analyze(context.Background(), run.BET, fut, run.Libs)
 		if err != nil {
 			return nil, err
 		}

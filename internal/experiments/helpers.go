@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"skope/internal/bst"
 	"skope/internal/core"
 	"skope/internal/expr"
@@ -16,7 +17,7 @@ func pedagogicalBET() (*skeleton.Program, expr.Env, *core.BET, error) {
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	bet, err := core.Build(tree, env, nil)
+	bet, err := core.Build(context.Background(), tree, env, nil)
 	if err != nil {
 		return nil, nil, nil, err
 	}

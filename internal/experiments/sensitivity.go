@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
 	"skope/internal/profile"
@@ -28,7 +29,7 @@ func HitRateSensitivity(c *Context) (*report.Series, error) {
 	for _, hit := range []float64{0.75, 0.80, 0.85, 0.90, 0.95} {
 		m := hw.BGQ()
 		m.HitL1, m.HitLLC = hit, hit
-		analysis, err := hotspot.Analyze(run.BET, hw.NewModel(m), run.Libs)
+		analysis, err := hotspot.Analyze(context.Background(), run.BET, hw.NewModel(m), run.Libs)
 		if err != nil {
 			return nil, err
 		}

@@ -59,7 +59,7 @@ func BenchmarkExploreSweep(b *testing.B) {
 				if err := m.Validate(); err != nil {
 					b.Fatal(err)
 				}
-				if _, err := hotspot.Analyze(run.BET, hw.NewModel(m), run.Libs); err != nil {
+				if _, err := hotspot.Analyze(context.Background(), run.BET, hw.NewModel(m), run.Libs); err != nil {
 					b.Fatal(err)
 				}
 			}

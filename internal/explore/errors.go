@@ -1,0 +1,58 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"skope/internal/hw"
+)
+
+// VariantError attributes one failed variant of a sweep: which input index,
+// which machine, and why. The cause stays on the %w chain, so
+// errors.Is(err, guard.ErrPanic) and errors.Is(err, guard.ErrLimit) see
+// through it.
+type VariantError struct {
+	// Index is the variant's position in the input slice.
+	Index int
+	// Machine is the variant that failed.
+	Machine *hw.Machine
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *VariantError) Error() string {
+	return fmt.Sprintf("explore: variant %d (%s): %v", e.Index, e.Machine.Name, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *VariantError) Unwrap() error { return e.Err }
+
+// SweepError aggregates every variant failure of one sweep. The sweep
+// itself completed: every healthy variant produced its analysis; only the
+// listed variants are missing. Unwrap exposes each *VariantError, so
+// errors.Is/As reach the individual causes.
+type SweepError struct {
+	// Variants lists the failures in input-index order.
+	Variants []*VariantError
+}
+
+// Error implements error, naming every failed variant.
+func (e *SweepError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "explore: %d of the sweep's variants failed:", len(e.Variants))
+	for _, v := range e.Variants {
+		sb.WriteString("\n\t")
+		sb.WriteString(v.Error())
+	}
+	return sb.String()
+}
+
+// Unwrap exposes the individual variant errors.
+func (e *SweepError) Unwrap() []error {
+	errs := make([]error, len(e.Variants))
+	for i, v := range e.Variants {
+		errs[i] = v
+	}
+	return errs
+}

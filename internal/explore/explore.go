@@ -7,8 +7,10 @@
 // The engine adds three things over calling hotspot.Analyze in a loop:
 //
 //   - a bounded worker pool (default runtime.GOMAXPROCS) with
-//     context.Context cancellation and a first-error-cancels policy, so a
-//     million-variant sweep never spawns a million goroutines;
+//     context.Context cancellation and per-variant fault isolation: a
+//     variant that fails validation — or panics — yields a Result carrying
+//     a *VariantError while the rest of the sweep completes, so one
+//     poisoned variant never voids a thousand healthy ones;
 //   - memoized per-block characterization: a block's projected time depends
 //     only on a subset of machine parameters (the roofline inputs for
 //     comp/lib blocks, the network parameters for comm blocks), so variants
@@ -22,12 +24,15 @@ package explore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"skope/internal/core"
+	"skope/internal/guard"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
 )
@@ -94,11 +99,15 @@ type Progress struct {
 
 // Result is one evaluated variant, streamed as soon as it completes.
 // Index is the variant's position in the input slice (results arrive in
-// completion order, not input order).
+// completion order, not input order). Exactly one of Analysis and Err is
+// set: a failed variant carries its *VariantError instead of an analysis.
 type Result struct {
 	Index    int
 	Machine  *hw.Machine
 	Analysis *hotspot.Analysis
+	// Err is the variant's failure (validation, modeling, or a recovered
+	// panic), nil on success.
+	Err error
 }
 
 // Engine evaluates machine variants over one fixed prepared workload.
@@ -177,8 +186,14 @@ func (e *Engine) CacheStats() CacheStats {
 }
 
 // evaluate projects one variant, reusing cached per-block times when the
-// relevant parameter subset has been characterized before.
-func (e *Engine) evaluate(m *hw.Machine) (*hotspot.Analysis, error) {
+// relevant parameter subset has been characterized before. A panic anywhere
+// below (a poisoned model constructor, a corrupted cache entry) is recovered
+// into an error wrapping guard.ErrPanic — the worker pool stays alive. The
+// guard.Hit call is a fault-injection point (no-op unless a test arms
+// "explore.evaluate").
+func (e *Engine) evaluate(m *hw.Machine) (a *hotspot.Analysis, err error) {
+	defer guard.Recover(&err, "evaluate %s", m.Name)
+	guard.Hit("explore.evaluate", m.Name)
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -192,7 +207,7 @@ func (e *Engine) evaluate(m *hw.Machine) (*hotspot.Analysis, error) {
 		comm = e.layout.CommTimes(m)
 		e.storeComm(m, comm)
 	}
-	return e.layout.Assemble(m, comp, comm), nil
+	return e.layout.Assemble(m, comp, comm)
 }
 
 func (e *Engine) lookupComp(m *hw.Machine) ([]hotspot.BlockTimes, bool) {
@@ -232,26 +247,18 @@ func (e *Engine) storeComm(m *hw.Machine, bt []hotspot.BlockTimes) {
 }
 
 // Stream evaluates the variants through the bounded pool, sending each
-// Result on the returned channel as it completes. The channel closes when
-// every variant is done, the context is canceled, or a variant fails
-// (first error cancels the rest). The returned wait function blocks until
-// all workers have exited and reports the sweep's outcome: nil, the first
-// variant error, or the context's error — always wrapped, so callers can
-// errors.Is against context.Canceled and friends.
+// Result on the returned channel as it completes. Variant failures are
+// isolated: a variant that fails validation, modeling, or panics yields a
+// Result whose Err is a *VariantError, and the remaining variants keep
+// going. Only context cancellation stops the sweep early; the channel
+// closes when every variant is done or the context is canceled. The
+// returned wait function blocks until all workers have exited and reports
+// the sweep's outcome: nil, or the context's error — always wrapped, so
+// callers can errors.Is against context.Canceled and friends. Per-variant
+// errors travel on the Results, not through wait.
 func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Result, func() error) {
 	out := make(chan Result)
 	sctx, cancel := context.WithCancel(ctx)
-
-	var (
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
-	}
 
 	work := make(chan int)
 	go func() {
@@ -299,13 +306,15 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 				if sctx.Err() != nil {
 					return
 				}
+				r := Result{Index: i, Machine: variants[i]}
 				a, err := e.evaluate(variants[i])
 				if err != nil {
-					fail(fmt.Errorf("explore: variant %d (%s): %w", i, variants[i].Name, err))
-					return
+					r.Err = &VariantError{Index: i, Machine: variants[i], Err: err}
+				} else {
+					r.Analysis = a
 				}
 				select {
-				case out <- Result{Index: i, Machine: variants[i], Analysis: a}:
+				case out <- r:
 					finish()
 				case <-sctx.Done():
 					return
@@ -323,9 +332,6 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 	wait := func() error {
 		<-finished
 		defer cancel()
-		if firstErr != nil {
-			return firstErr
-		}
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("explore: sweep canceled: %w", err)
 		}
@@ -335,16 +341,32 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 }
 
 // Sweep evaluates every variant and returns the analyses index-aligned
-// with the input. On error (or cancellation) it returns the first error
-// and no results.
+// with the input. Failed variants leave a nil at their index, and the
+// failures come back aggregated in a *SweepError alongside the healthy
+// results — a sweep with errors is degraded, not void. Cancellation (the
+// only way to lose healthy results) returns nil analyses and the wrapped
+// context error.
 func (e *Engine) Sweep(ctx context.Context, variants []*hw.Machine) ([]*hotspot.Analysis, error) {
 	out := make([]*hotspot.Analysis, len(variants))
+	var failures []*VariantError
 	results, wait := e.Stream(ctx, variants)
 	for r := range results {
+		if r.Err != nil {
+			var ve *VariantError
+			if !errors.As(r.Err, &ve) {
+				ve = &VariantError{Index: r.Index, Machine: r.Machine, Err: r.Err}
+			}
+			failures = append(failures, ve)
+			continue
+		}
 		out[r.Index] = r.Analysis
 	}
 	if err := wait(); err != nil {
 		return nil, err
+	}
+	if len(failures) > 0 {
+		sort.Slice(failures, func(i, j int) bool { return failures[i].Index < failures[j].Index })
+		return out, &SweepError{Variants: failures}
 	}
 	return out, nil
 }

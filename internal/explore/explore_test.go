@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"skope/internal/explore"
+	"skope/internal/guard"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
 	"skope/internal/pipeline"
@@ -163,7 +164,7 @@ func TestSweepMatchesAnalyze(t *testing.T) {
 					t.Fatal(err)
 				}
 				for i, a := range analyses {
-					fresh, err := hotspot.Analyze(run.BET, hw.NewModel(variants[i]), run.Libs)
+					fresh, err := hotspot.Analyze(context.Background(), run.BET, hw.NewModel(variants[i]), run.Libs)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -228,27 +229,68 @@ func TestSweepCacheReuseAcrossCommOnlyChanges(t *testing.T) {
 	}
 }
 
-func TestSweepFirstErrorCancels(t *testing.T) {
+// TestSweepIsolatesFailures: a sweep containing one invalid machine (zero
+// memory bandwidth) and one panic-injected variant must still complete,
+// attribute both failures to their variants, and return analyses for every
+// healthy variant that match an uncached hotspot.Analyze bit for bit.
+func TestSweepIsolatesFailures(t *testing.T) {
 	run := prepared(t, "srad")
 	var variants []*hw.Machine
-	for i := 0; i < 50; i++ {
+	for i := 0; i < 20; i++ {
 		m := hw.BGQ()
 		m.Name = fmt.Sprintf("v%d", i)
 		m.NetLatencyUs = float64(i + 1)
 		variants = append(variants, m)
 	}
-	variants[7].FreqGHz = 0 // invalid
+	variants[7].MemBandwidthGBs = 0 // fails hw.Machine.Validate
+	disarm := guard.Arm("explore.evaluate", func(detail string) {
+		if detail == "v13" {
+			panic("injected fault")
+		}
+	})
+	t.Cleanup(disarm)
+
 	eng, err := explore.New(run.BET, run.Libs, explore.Workers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := runtime.NumGoroutine()
-	_, err = eng.Sweep(context.Background(), variants)
-	if err == nil {
-		t.Fatal("invalid variant not reported")
+	analyses, err := eng.Sweep(context.Background(), variants)
+	var sweepErr *explore.SweepError
+	if !errors.As(err, &sweepErr) {
+		t.Fatalf("Sweep error = %v, want *SweepError", err)
 	}
-	if !strings.Contains(err.Error(), "variant 7") || !strings.Contains(err.Error(), "v7") {
-		t.Errorf("error does not identify the failing variant: %v", err)
+	if len(sweepErr.Variants) != 2 {
+		t.Fatalf("failures = %d, want 2: %v", len(sweepErr.Variants), sweepErr)
+	}
+	if v := sweepErr.Variants[0]; v.Index != 7 || !strings.Contains(v.Error(), "v7") ||
+		!strings.Contains(v.Error(), "bandwidth") {
+		t.Errorf("first failure not attributed to the invalid machine: %v", v)
+	}
+	if v := sweepErr.Variants[1]; v.Index != 13 || !strings.Contains(v.Error(), "v13") ||
+		!errors.Is(v, guard.ErrPanic) {
+		t.Errorf("second failure not a recovered panic on v13: %v", v)
+	}
+	if len(analyses) != len(variants) {
+		t.Fatalf("got %d analysis slots, want %d", len(analyses), len(variants))
+	}
+	for i, a := range analyses {
+		if i == 7 || i == 13 {
+			if a != nil {
+				t.Errorf("variant %d: failed variant has a non-nil analysis", i)
+			}
+			continue
+		}
+		if a == nil {
+			t.Fatalf("variant %d: healthy variant missing from degraded sweep", i)
+		}
+		fresh, err := hotspot.Analyze(context.Background(), run.BET, hw.NewModel(variants[i]), run.Libs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.TotalTime != fresh.TotalTime {
+			t.Errorf("variant %d: TotalTime %v != fresh %v", i, a.TotalTime, fresh.TotalTime)
+		}
 	}
 	waitForGoroutines(t, before)
 }

@@ -5,9 +5,12 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+
+	"skope/internal/guard"
 )
 
-// Parse parses a C-like expression string into an Expr.
+// Parse parses a C-like expression string into an Expr, under the default
+// guard limits (source size and nesting depth).
 //
 // Grammar (by descending precedence):
 //
@@ -20,7 +23,18 @@ import (
 //	or       := and ('||' and)*
 //	expr     := or ('?' expr ':' expr)?
 func Parse(src string) (Expr, error) {
-	p := &parser{src: src}
+	return ParseWithLimits(src, nil)
+}
+
+// ParseWithLimits parses src under explicit guard limits (nil means
+// guard.Default). Nesting beyond MaxExprDepth and sources beyond
+// MaxSourceBytes are rejected with guard.ErrLimit errors instead of
+// recursing toward a stack overflow.
+func ParseWithLimits(src string, lim *guard.Limits) (Expr, error) {
+	if err := lim.CheckSource(len(src)); err != nil {
+		return nil, fmt.Errorf("expr: %w", err)
+	}
+	p := &parser{src: src, maxDepth: lim.Or().MaxExprDepth}
 	p.next()
 	e, err := p.parseExpr()
 	if err != nil {
@@ -57,10 +71,25 @@ type token struct {
 }
 
 type parser struct {
-	src string
-	off int
-	tok token
+	src      string
+	off      int
+	tok      token
+	depth    int // current recursion depth, counted at parseExpr/parsePrimary
+	maxDepth int
 }
+
+// enter bumps the recursion depth, failing once the nesting limit is hit.
+// Called on the two recursion anchors of the grammar (parseExpr and
+// parsePrimary), so every level of source nesting costs at least one unit.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > p.maxDepth {
+		return fmt.Errorf("expr: %w", guard.Exceeded("expression depth", p.depth, p.maxDepth))
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) next() {
 	for p.off < len(p.src) && unicode.IsSpace(rune(p.src[p.off])) {
@@ -116,6 +145,10 @@ func (p *parser) expect(text string) error {
 }
 
 func (p *parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	cond, err := p.parseOr()
 	if err != nil {
 		return nil, err
@@ -238,6 +271,12 @@ func (p *parser) parseTerm() (Expr, error) {
 }
 
 func (p *parser) parsePower() (Expr, error) {
+	// Anchored like parseExpr/parsePrimary: '^' right-recurses here
+	// without passing through either, so chains must be counted too.
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	base, err := p.parsePrimary()
 	if err != nil {
 		return nil, err
@@ -254,6 +293,10 @@ func (p *parser) parsePower() (Expr, error) {
 }
 
 func (p *parser) parsePrimary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch {
 	case p.tok.kind == tokNumber:
 		v, err := strconv.ParseFloat(p.tok.text, 64)

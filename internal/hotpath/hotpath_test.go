@@ -1,6 +1,7 @@
 package hotpath
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -45,11 +46,11 @@ func setup(t *testing.T) (*core.BET, *hotspot.Analysis, *hotspot.Selection) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bet, err := core.Build(tree, expr.Env{"n": 50}, nil)
+	bet, err := core.Build(context.Background(), tree, expr.Env{"n": 50}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := hotspot.Analyze(bet, hw.NewModel(hw.BGQ()), nil)
+	a, err := hotspot.Analyze(context.Background(), bet, hw.NewModel(hw.BGQ()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestMiniAppSkeletonParses(t *testing.T) {
 	}
 	// The mini-app must itself be modelable and preserve the hot spots.
 	tree := bst.MustBuild(prog)
-	mbet, err := core.Build(tree, nil, nil)
+	mbet, err := core.Build(context.Background(), tree, nil, nil)
 	if err != nil {
 		t.Fatalf("mini-app BET: %v", err)
 	}

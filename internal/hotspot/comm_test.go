@@ -1,6 +1,7 @@
 package hotspot
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -36,13 +37,13 @@ func commAnalysis(t *testing.T, ranks float64) *Analysis {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bet, err := core.Build(tree, expr.Env{
+	bet, err := core.Build(context.Background(), tree, expr.Env{
 		"nx": 128, "ny": 128, "nz": 64, "ranks": ranks, "nt": 10,
 	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Analyze(bet, hw.NewModel(hw.BGQ()), nil)
+	a, err := Analyze(context.Background(), bet, hw.NewModel(hw.BGQ()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,11 @@
 package hotspot
 
 import (
+	"context"
+	"fmt"
+
 	"skope/internal/core"
+	"skope/internal/guard"
 	"skope/internal/hw"
 )
 
@@ -67,6 +71,10 @@ type Analysis struct {
 	TotalStaticInsts int
 	// BET is the tree the analysis was computed from.
 	BET *core.BET
+	// Diagnostics records numeric-hygiene findings (non-finite projected
+	// times and the like) that did not abort the analysis. Empty on a
+	// clean projection; sorted by stage, code, block.
+	Diagnostics []guard.Diagnostic
 }
 
 // Analyze characterizes every comp and lib block of the BET with the given
@@ -75,12 +83,27 @@ type Analysis struct {
 // callers that project the same BET onto many machines should build the
 // Layout once (or use the exploration engine, which additionally caches
 // per-block times across machine variants).
-func Analyze(bet *core.BET, model *hw.Model, libs LibModeler) (*Analysis, error) {
+//
+// The machine behind the model is validated first, so degenerate variants
+// (zero bandwidth, negative latencies) fail with a descriptive error before
+// any roofline arithmetic can produce NaN rankings. ctx bounds the work:
+// cancellation is honored between the layout and projection stages.
+func Analyze(ctx context.Context, bet *core.BET, model *hw.Model, libs LibModeler) (*Analysis, error) {
+	m := model.Machine()
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("hotspot: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("hotspot: analyze on %s: %w", m.Name, err)
+	}
 	l, err := NewLayout(bet, libs)
 	if err != nil {
 		return nil, err
 	}
-	return l.Analyze(model), nil
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("hotspot: analyze on %s: %w", m.Name, err)
+	}
+	return l.Analyze(model)
 }
 
 // Coverage returns the fraction of total projected time spent in block b.

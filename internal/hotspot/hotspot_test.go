@@ -1,6 +1,7 @@
 package hotspot
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -33,11 +34,11 @@ func analyze(t *testing.T, src string, input expr.Env, libs LibModeler) *Analysi
 	if err != nil {
 		t.Fatal(err)
 	}
-	bet, err := core.Build(tree, input, nil)
+	bet, err := core.Build(context.Background(), tree, input, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Analyze(bet, hw.NewModel(hw.BGQ()), libs)
+	a, err := Analyze(context.Background(), bet, hw.NewModel(hw.BGQ()), libs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,10 +143,10 @@ func TestAnalyzeLibErrors(t *testing.T) {
 	prog := skeleton.MustParse("t", src)
 	tree := bst.MustBuild(prog)
 	bet := core.MustBuild(tree, nil, nil)
-	if _, err := Analyze(bet, hw.NewModel(hw.BGQ()), nil); err == nil {
+	if _, err := Analyze(context.Background(), bet, hw.NewModel(hw.BGQ()), nil); err == nil {
 		t.Error("Analyze without lib model should fail")
 	}
-	if _, err := Analyze(bet, hw.NewModel(hw.BGQ()), stubLibs{}); err == nil {
+	if _, err := Analyze(context.Background(), bet, hw.NewModel(hw.BGQ()), stubLibs{}); err == nil {
 		t.Error("Analyze with unknown lib should fail")
 	}
 }

@@ -2,10 +2,12 @@ package hotspot
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"skope/internal/bst"
 	"skope/internal/core"
+	"skope/internal/guard"
 	"skope/internal/hw"
 	"skope/internal/skeleton"
 )
@@ -165,11 +167,15 @@ func (l *Layout) CommTimes(m *hw.Machine) []BlockTimes {
 
 // Assemble combines per-block times (as produced by CompTimes and
 // CommTimes, possibly from a cache) into a full Analysis for machine m.
-// It panics if the slices do not match the layout's block counts.
-func (l *Layout) Assemble(m *hw.Machine, comp, comm []BlockTimes) *Analysis {
+// It fails if the slices do not match the layout's block counts — the
+// symptom of a cache keyed on a stale layout. Non-finite block times
+// (NaN/Inf from degenerate machine parameters) do not fail the assembly;
+// they are surfaced on Analysis.Diagnostics so callers can degrade
+// gracefully instead of silently ranking on garbage.
+func (l *Layout) Assemble(m *hw.Machine, comp, comm []BlockTimes) (*Analysis, error) {
 	if len(comp) != len(l.comp) || len(comm) != len(l.comm) {
-		panic(fmt.Sprintf("hotspot: Assemble with %d comp and %d comm times, layout has %d and %d",
-			len(comp), len(comm), len(l.comp), len(l.comm)))
+		return nil, fmt.Errorf("hotspot: Assemble on %s with %d comp and %d comm times, layout has %d and %d (per-block cache built from a different layout?)",
+			m.Name, len(comp), len(comm), len(l.comp), len(l.comm))
 	}
 	a := &Analysis{
 		Machine:          m,
@@ -193,6 +199,13 @@ func (l *Layout) Assemble(m *hw.Machine, comp, comm []BlockTimes) *Analysis {
 		}
 		b.Tc, b.Tm, b.To, b.T = bt.Tc, bt.Tm, bt.To, bt.T
 		b.MemoryBound = bt.MemoryBound
+		if !isFinite(bt.T) || !isFinite(bt.Tc) || !isFinite(bt.Tm) || !isFinite(bt.To) {
+			a.Diagnostics = append(a.Diagnostics, guard.Diagnostic{
+				Stage: "roofline", Code: "non-finite-time", BlockID: b.BlockID,
+				Message: fmt.Sprintf("projected times on %s are not finite (Tc=%g Tm=%g To=%g T=%g); check the machine parameters",
+					m.Name, bt.Tc, bt.Tm, bt.To, bt.T),
+			})
+		}
 		a.ByID[b.BlockID] = b
 		a.Blocks = append(a.Blocks, b)
 		a.TotalTime += bt.T
@@ -203,12 +216,15 @@ func (l *Layout) Assemble(m *hw.Machine, comp, comm []BlockTimes) *Analysis {
 		}
 		return a.Blocks[i].BlockID < a.Blocks[j].BlockID
 	})
-	return a
+	guard.SortDiagnostics(a.Diagnostics)
+	return a, nil
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Analyze projects the layout onto one machine — the single-variant path
 // Analyze (the package function) uses, and the uncached path the
 // exploration engine's memoization must match bit for bit.
-func (l *Layout) Analyze(model *hw.Model) *Analysis {
+func (l *Layout) Analyze(model *hw.Model) (*Analysis, error) {
 	return l.Assemble(model.Machine(), l.CompTimes(model), l.CommTimes(model.Machine()))
 }

@@ -15,9 +15,11 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"skope/internal/guard"
 	"skope/internal/minilang"
 )
 
@@ -141,6 +143,9 @@ type Options struct {
 	Seed uint64
 	// Observer receives events; nil means no observation.
 	Observer Observer
+	// Ctx bounds the run: cancellation or a deadline stops execution within
+	// ctxCheckMask+1 statements (default context.Background()).
+	Ctx context.Context
 }
 
 // Engine executes a checked minilang program.
@@ -156,6 +161,7 @@ type Engine struct {
 	rng      uint64
 	steps    int64
 	maxSteps int64
+	ctx      context.Context
 
 	// stmtSeg maps simple statements to their segments, precomputed.
 	stmtSeg map[minilang.Stmt]*minilang.Segment
@@ -175,6 +181,7 @@ func New(prog *minilang.Program, opts *Options) (*Engine, error) {
 		Arrays:   make(map[string]*Array),
 		rng:      1,
 		maxSteps: 1 << 34,
+		ctx:      context.Background(),
 		stmtSeg:  make(map[minilang.Stmt]*minilang.Segment),
 		loopVec:  make(map[*minilang.For]VecLevel),
 	}
@@ -184,6 +191,9 @@ func New(prog *minilang.Program, opts *Options) (*Engine, error) {
 		}
 		if opts.Seed != 0 {
 			e.rng = opts.Seed
+		}
+		if opts.Ctx != nil {
+			e.ctx = opts.Ctx
 		}
 		e.obs = opts.Observer
 	}
@@ -332,6 +342,28 @@ func (e *Engine) errf(pos minilang.Pos, format string, args ...any) error {
 	return fmt.Errorf("%s:%s: runtime: %s", e.prog.Source, pos, fmt.Sprintf(format, args...))
 }
 
+// ctxCheckMask gates the cancellation check to every 1024th statement: fine
+// enough that a deadline lands within microseconds, coarse enough to keep
+// ctx.Err() out of the interpreter's hot path.
+const ctxCheckMask = 1<<10 - 1
+
+// budget charges one statement against the step budget and, periodically,
+// against the run's context deadline. The guard.Hit call is a
+// fault-injection point (no-op unless a test arms "interp.step").
+func (e *Engine) budget(pos minilang.Pos) error {
+	e.steps++
+	if e.steps > e.maxSteps {
+		return e.errf(pos, "step budget exceeded (%d); runaway loop?", e.maxSteps)
+	}
+	if e.steps&ctxCheckMask == 0 {
+		guard.Hit("interp.step", e.prog.Source)
+		if err := e.ctx.Err(); err != nil {
+			return fmt.Errorf("%s:%s: %w", e.prog.Source, pos, err)
+		}
+	}
+	return nil
+}
+
 func (e *Engine) callFunc(fn *minilang.FuncDecl, args []float64) (float64, control, error) {
 	fr := &frame{fn: fn, locals: make(map[string]float64, len(fn.Params)+8)}
 	for i, p := range fn.Params {
@@ -370,9 +402,8 @@ func (e *Engine) enterBlockFor(id string) {
 }
 
 func (e *Engine) execStmt(fr *frame, s minilang.Stmt) (float64, control, error) {
-	e.steps++
-	if e.steps > e.maxSteps {
-		return 0, ctrlNone, e.errf(s.StmtPos(), "step budget exceeded (%d); runaway loop?", e.maxSteps)
+	if err := e.budget(s.StmtPos()); err != nil {
+		return 0, ctrlNone, err
 	}
 	if seg := e.stmtSeg[s]; seg != nil {
 		e.enterBlockFor(seg.BlockID())
@@ -498,9 +529,8 @@ func (e *Engine) execFor(fr *frame, t *minilang.For) (float64, control, error) {
 			return ret, ctrlReturn, nil
 		}
 		i += step
-		e.steps++
-		if e.steps > e.maxSteps {
-			return 0, ctrlNone, e.errf(t.Pos, "step budget exceeded (%d)", e.maxSteps)
+		if err := e.budget(t.Pos); err != nil {
+			return 0, ctrlNone, err
 		}
 	}
 	e.obs.LoopTrips(Site(fr.fn.Name, t.Pos), trips)
@@ -532,9 +562,8 @@ func (e *Engine) execWhile(fr *frame, t *minilang.While) (float64, control, erro
 			e.obs.LoopTrips(Site(fr.fn.Name, t.Pos), trips)
 			return ret, ctrlReturn, nil
 		}
-		e.steps++
-		if e.steps > e.maxSteps {
-			return 0, ctrlNone, e.errf(t.Pos, "step budget exceeded (%d)", e.maxSteps)
+		if err := e.budget(t.Pos); err != nil {
+			return 0, ctrlNone, err
 		}
 	}
 	e.obs.LoopTrips(Site(fr.fn.Name, t.Pos), trips)

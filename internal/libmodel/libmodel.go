@@ -71,15 +71,6 @@ func Default() (*Model, error) {
 	return defaultModel, defaultErr
 }
 
-// MustDefault panics if calibration fails; for examples and benchmarks.
-func MustDefault() *Model {
-	m, err := Default()
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // counter tallies engine events over a whole run.
 type counter struct {
 	interp.NopObserver

@@ -53,8 +53,18 @@ func TestRelativeCosts(t *testing.T) {
 	}
 }
 
+// mustModel fetches the calibrated model, failing the test on error.
+func mustModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestDivisionsDetected(t *testing.T) {
-	m := MustDefault()
+	m := mustModel(t)
 	w, _ := m.LibWork("sqrt")
 	if w.Divs == 0 {
 		t.Error("sqrt kernel (Newton) should contain divisions")
@@ -62,7 +72,7 @@ func TestDivisionsDetected(t *testing.T) {
 }
 
 func TestUnknownFunction(t *testing.T) {
-	m := MustDefault()
+	m := mustModel(t)
 	if _, err := m.LibWork("fft"); err == nil {
 		t.Error("unknown function accepted")
 	}
@@ -96,7 +106,7 @@ func TestCalibrationDeterministic(t *testing.T) {
 }
 
 func TestFunctionsList(t *testing.T) {
-	m := MustDefault()
+	m := mustModel(t)
 	if len(m.Functions()) != len(kernels) {
 		t.Errorf("Functions = %d, want %d", len(m.Functions()), len(kernels))
 	}
@@ -105,7 +115,7 @@ func TestFunctionsList(t *testing.T) {
 // The model's coverage must include every minilang builtin that the
 // simulator charges, so Analyze never fails on a translated workload.
 func TestCoversSimulatedBuiltins(t *testing.T) {
-	m := MustDefault()
+	m := mustModel(t)
 	for _, name := range []string{"exp", "log", "sqrt", "sin", "cos", "pow", "rand", "abs", "floor", "min", "max", "mod"} {
 		if _, err := m.LibWork(name); err != nil {
 			t.Errorf("builtin %s unmodeled: %v", name, err)

@@ -1,0 +1,42 @@
+package minilang_test
+
+import (
+	"strings"
+	"testing"
+
+	"skope/internal/minilang"
+	"skope/internal/workloads"
+)
+
+// FuzzMinilangParse checks that the minilang front end never panics or
+// overflows the stack on arbitrary input: Parse and Check either succeed
+// or return a descriptive error (guard limits bound nesting and size).
+func FuzzMinilangParse(f *testing.F) {
+	// Seed with the five real benchmark programs, so mutations explore the
+	// grammar the pipeline actually exercises.
+	for _, w := range workloads.All(workloads.ScaleTest) {
+		f.Add(w.Source)
+	}
+	for _, s := range []string{
+		"func main() {}",
+		"global n: int = 8;\nfunc main() { for i = 0 .. n { } }",
+		"func main() { if 1 < 2 { } else if 2 < 3 { } else { } }",
+		"func main() {" + strings.Repeat(" if 1 < 2 {", 300) + strings.Repeat(" }", 300) + " }",
+		"func main() { x = " + strings.Repeat("(", 400) + "1" + strings.Repeat(")", 400) + "; }",
+		"func f(" + strings.Repeat("a,", 100) + "b: int) {}",
+		"",
+		"func",
+		"\x00\xff",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := minilang.Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		// Whatever parses must survive semantic analysis and formatting.
+		_ = minilang.Check(prog)
+		_ = minilang.Format(prog)
+	})
+}

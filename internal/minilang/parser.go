@@ -3,15 +3,32 @@ package minilang
 import (
 	"fmt"
 	"strconv"
+
+	"skope/internal/guard"
 )
 
-// Parse lexes and parses minilang source; name labels diagnostics.
+// Parse lexes and parses minilang source under the default guard limits;
+// name labels diagnostics.
 func Parse(name, src string) (*Program, error) {
+	return ParseWithLimits(name, src, nil)
+}
+
+// ParseWithLimits parses under explicit guard limits (nil means
+// guard.Default): source size, token count, expression nesting, and
+// statement-block nesting are all capped, returning guard.ErrLimit errors
+// instead of unbounded recursion or allocation.
+func ParseWithLimits(name, src string, lim *guard.Limits) (*Program, error) {
+	if err := lim.CheckSource(len(src)); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
 	toks, err := Lex(name, src)
 	if err != nil {
 		return nil, err
 	}
-	p := &mparser{name: name, toks: toks}
+	if err := lim.CheckTokens(len(toks)); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	p := &mparser{name: name, toks: toks, lim: lim.Or()}
 	return p.parseProgram()
 }
 
@@ -28,6 +45,26 @@ type mparser struct {
 	name string
 	toks []Token
 	i    int
+	lim  *guard.Limits
+	// exprDepth and nestDepth track live parser recursion against the
+	// guard limits (anchored at parseExpr/parseUnary and parseBlock).
+	exprDepth, nestDepth int
+}
+
+func (p *mparser) enterExpr() error {
+	p.exprDepth++
+	if err := p.lim.CheckExprDepth(p.exprDepth); err != nil {
+		return fmt.Errorf("%s:%s: %w", p.name, p.cur().Pos, err)
+	}
+	return nil
+}
+
+func (p *mparser) enterBlock() error {
+	p.nestDepth++
+	if err := p.lim.CheckNestDepth(p.nestDepth); err != nil {
+		return fmt.Errorf("%s:%s: %w", p.name, p.cur().Pos, err)
+	}
+	return nil
 }
 
 func (p *mparser) cur() Token  { return p.toks[p.i] }
@@ -209,6 +246,10 @@ func (p *mparser) parseFunc() (*FuncDecl, error) {
 }
 
 func (p *mparser) parseBlock() (*Block, error) {
+	if err := p.enterBlock(); err != nil {
+		return nil, err
+	}
+	defer func() { p.nestDepth-- }()
 	open, err := p.expectPunct("{")
 	if err != nil {
 		return nil, err
@@ -385,6 +426,12 @@ func (p *mparser) parseWhile() (Stmt, error) {
 }
 
 func (p *mparser) parseIf() (Stmt, error) {
+	// "else if" chains recurse here without passing through parseBlock,
+	// so the chain counts against the nesting limit as well.
+	if err := p.enterBlock(); err != nil {
+		return nil, err
+	}
+	defer func() { p.nestDepth-- }()
 	kw, _ := p.expectKw("if")
 	if _, err := p.expectPunct("("); err != nil {
 		return nil, err
@@ -421,7 +468,16 @@ func (p *mparser) parseIf() (Stmt, error) {
 
 // Expression parsing with C-like precedence:
 // or > and > comparison > additive > multiplicative > unary > postfix.
-func (p *mparser) parseExpr() (Expr, error) { return p.parseOr() }
+// parseExpr and parseUnary are the recursion anchors for the expression
+// nesting limit: parenthesized/indexed/call subexpressions re-enter via
+// parseExpr, unary chains recurse in parseUnary.
+func (p *mparser) parseExpr() (Expr, error) {
+	if err := p.enterExpr(); err != nil {
+		return nil, err
+	}
+	defer func() { p.exprDepth-- }()
+	return p.parseOr()
+}
 
 func (p *mparser) parseOr() (Expr, error) {
 	l, err := p.parseAnd()
@@ -524,6 +580,10 @@ func (p *mparser) parseMul() (Expr, error) {
 
 func (p *mparser) parseUnary() (Expr, error) {
 	if p.atPunct("-") || p.atPunct("!") {
+		if err := p.enterExpr(); err != nil {
+			return nil, err
+		}
+		defer func() { p.exprDepth-- }()
 		t := p.next()
 		x, err := p.parseUnary()
 		if err != nil {

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -16,8 +17,13 @@ import (
 // Preparation (the profiling run) is shared and machine independent; each
 // evaluation touches only its own analysis and simulator state, so the
 // fan-out is embarrassingly parallel. Results are returned in the order of
-// machines. The first error cancels the remaining evaluations and is
-// returned wrapped; canceling ctx does the same with ctx's error.
+// machines.
+//
+// Machine failures are isolated: a machine that fails validation, modeling,
+// simulation — or panics — leaves a nil at its index, and the failures come
+// back joined into one error naming each machine, alongside the healthy
+// evaluations. Only canceling ctx discards results, returning ctx's error
+// wrapped.
 func EvaluateMany(ctx context.Context, run *Run, machines []*hw.Machine, opts ...Option) ([]*Eval, error) {
 	o := buildOptions(opts)
 	workers := o.workers
@@ -31,20 +37,8 @@ func EvaluateMany(ctx context.Context, run *Run, machines []*hw.Machine, opts ..
 		workers = 1
 	}
 
-	ectx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var (
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
-	}
-
 	evals := make([]*Eval, len(machines))
+	errs := make([]error, len(machines))
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -52,10 +46,10 @@ func EvaluateMany(ctx context.Context, run *Run, machines []*hw.Machine, opts ..
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				ev, err := Evaluate(ectx, run, machines[i], opts...)
+				ev, err := Evaluate(ctx, run, machines[i], opts...)
 				if err != nil {
-					fail(fmt.Errorf("pipeline: machine %s: %w", machines[i].Name, err))
-					return
+					errs[i] = fmt.Errorf("pipeline: machine %s: %w", machines[i].Name, err)
+					continue
 				}
 				evals[i] = ev
 			}
@@ -65,19 +59,16 @@ feed:
 	for i := range machines {
 		select {
 		case work <- i:
-		case <-ectx.Done():
+		case <-ctx.Done():
 			break feed
 		}
 	}
 	close(work)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pipeline: evaluate many %s: %w", run.Workload.Name, err)
 	}
-	return evals, nil
+	return evals, errors.Join(errs...)
 }
 
 // Explorer builds a design-space exploration engine over the prepared
@@ -102,7 +93,9 @@ func Explorer(run *Run, opts ...Option) (*explore.Engine, error) {
 // loop. It runs on the exploration engine: a bounded worker pool with
 // memoized per-block characterization, so large grids that vary only a few
 // parameters cost a fraction of naive repeated analysis. The returned
-// analyses are index-aligned with the variants.
+// analyses are index-aligned with the variants; failed variants (see
+// explore.SweepError) leave nils behind and come back as a wrapped
+// aggregate error alongside the healthy analyses.
 func Sweep(ctx context.Context, run *Run, variants []*hw.Machine, opts ...Option) ([]*hotspot.Analysis, error) {
 	eng, err := Explorer(run, opts...)
 	if err != nil {
@@ -110,7 +103,7 @@ func Sweep(ctx context.Context, run *Run, variants []*hw.Machine, opts ...Option
 	}
 	out, err := eng.Sweep(ctx, variants)
 	if err != nil {
-		return nil, fmt.Errorf("pipeline: sweep %s: %w", run.Workload.Name, err)
+		return out, fmt.Errorf("pipeline: sweep %s: %w", run.Workload.Name, err)
 	}
 	return out, nil
 }

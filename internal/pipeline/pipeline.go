@@ -16,9 +16,12 @@ import (
 	"errors"
 	"fmt"
 
+	"strings"
+
 	"skope/internal/bst"
 	"skope/internal/core"
 	"skope/internal/explore"
+	"skope/internal/guard"
 	"skope/internal/hotpath"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
@@ -73,6 +76,11 @@ type Run struct {
 	Tree     *bst.Tree
 	BET      *core.BET
 	Libs     *libmodel.Model
+	// Diagnostics records the documented degradations the preparation
+	// applied — most importantly translate's missing-profile fallbacks
+	// (a branch with no profile entry assumes p=0.5, a while loop assumes
+	// one iteration). Empty on a fully profiled workload.
+	Diagnostics []guard.Diagnostic
 }
 
 // Option configures Evaluate, EvaluateMany, Sweep, and Explorer.
@@ -83,6 +91,7 @@ type options struct {
 	modelFunc func(*hw.Machine) *hw.Model
 	workers   int
 	progress  func(explore.Progress)
+	lim       *guard.Limits
 }
 
 func buildOptions(opts []Option) options {
@@ -125,12 +134,25 @@ func WithProgress(f func(explore.Progress)) Option {
 	return func(o *options) { o.progress = f }
 }
 
+// WithLimits overrides the guard limits Prepare enforces on workload
+// sources and model construction (default guard.Default — see the -limits
+// flag of cmd/skope). nil leaves the defaults in place.
+func WithLimits(l *guard.Limits) Option {
+	return func(o *options) { o.lim = l }
+}
+
 // Prepare runs the machine-independent half of the pipeline on a workload.
-func Prepare(ctx context.Context, w *workloads.Workload) (*Run, error) {
+// The frontend and model construction run under guard limits (WithLimits,
+// default guard.Default) and under ctx; a recovered panic in any stage
+// comes back as an error wrapping guard.ErrPanic rather than unwinding
+// the caller.
+func Prepare(ctx context.Context, w *workloads.Workload, opts ...Option) (run *Run, err error) {
+	defer guard.Recover(&err, "pipeline: prepare %s", w.Name)
+	o := buildOptions(opts)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pipeline: prepare %s: %w", w.Name, err)
 	}
-	prog, err := minilang.Parse(w.Name, w.Source)
+	prog, err := minilang.ParseWithLimits(w.Name, w.Source, o.lim)
 	if err != nil {
 		return nil, stage(ErrParse, fmt.Errorf("pipeline: parse %s: %w", w.Name, err))
 	}
@@ -163,7 +185,10 @@ func Prepare(ctx context.Context, w *workloads.Workload) (*Run, error) {
 	if err != nil {
 		return nil, stage(ErrModel, fmt.Errorf("pipeline: bst %s: %w", w.Name, err))
 	}
-	bet, err := core.Build(tree, sk.Input, nil)
+	lim := o.lim.Or()
+	bet, err := core.Build(ctx, tree, sk.Input, &core.Options{
+		MaxContexts: lim.MaxContexts, MaxNodes: lim.MaxBETNodes,
+	})
 	if err != nil {
 		return nil, stage(ErrModel, fmt.Errorf("pipeline: bet %s: %w", w.Name, err))
 	}
@@ -174,16 +199,38 @@ func Prepare(ctx context.Context, w *workloads.Workload) (*Run, error) {
 	return &Run{
 		Workload: w, Prog: prog, Profile: profiler.P,
 		Skeleton: sk, Tree: tree, BET: bet, Libs: libs,
+		Diagnostics: translateDiagnostics(w.Name, sk.Warnings),
 	}, nil
 }
 
+// translateDiagnostics converts translate's free-text warnings into
+// structured diagnostics, classifying the documented missing-profile
+// fallbacks separately from other lossy translations.
+func translateDiagnostics(workload string, warnings []string) []guard.Diagnostic {
+	if len(warnings) == 0 {
+		return nil
+	}
+	ds := make([]guard.Diagnostic, 0, len(warnings))
+	for _, w := range warnings {
+		code := "lossy-translation"
+		if strings.Contains(w, "no profile entry") {
+			code = "missing-profile"
+		}
+		ds = append(ds, guard.Diagnostic{
+			Stage: "translate", Code: code, BlockID: workload, Message: w,
+		})
+	}
+	guard.SortDiagnostics(ds)
+	return ds
+}
+
 // PrepareByName prepares a named benchmark at the given scale.
-func PrepareByName(ctx context.Context, name string, s workloads.Scale) (*Run, error) {
+func PrepareByName(ctx context.Context, name string, s workloads.Scale, opts ...Option) (*Run, error) {
 	w, err := workloads.Get(name, s)
 	if err != nil {
 		return nil, err
 	}
-	return Prepare(ctx, w)
+	return Prepare(ctx, w, opts...)
 }
 
 // Eval is a machine-specific evaluation: the analytical projection plus the
@@ -215,12 +262,13 @@ type Eval struct {
 // measured baseline on the same machine, and computes the selection
 // quality. Criteria default to hotspot.DefaultCriteria and the roofline
 // model to hw.NewModel; override with WithCriteria and WithModelFunc.
-func Evaluate(ctx context.Context, run *Run, m *hw.Machine, opts ...Option) (*Eval, error) {
+func Evaluate(ctx context.Context, run *Run, m *hw.Machine, opts ...Option) (ev *Eval, err error) {
+	defer guard.Recover(&err, "pipeline: evaluate %s on %s", run.Workload.Name, m.Name)
 	o := buildOptions(opts)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pipeline: evaluate %s on %s: %w", run.Workload.Name, m.Name, err)
 	}
-	analysis, err := hotspot.Analyze(run.BET, o.modelFunc(m), run.Libs)
+	analysis, err := hotspot.Analyze(ctx, run.BET, o.modelFunc(m), run.Libs)
 	if err != nil {
 		return nil, stage(ErrModel, fmt.Errorf("pipeline: analyze %s on %s: %w", run.Workload.Name, m.Name, err))
 	}
@@ -229,7 +277,7 @@ func Evaluate(ctx context.Context, run *Run, m *hw.Machine, opts ...Option) (*Ev
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pipeline: evaluate %s on %s: %w", run.Workload.Name, m.Name, err)
 	}
-	simRes, err := sim.Run(run.Prog, m, &sim.Options{Seed: run.Workload.Seed})
+	simRes, err := sim.Run(ctx, run.Prog, m, &sim.Options{Seed: run.Workload.Seed})
 	if err != nil {
 		return nil, stage(ErrSimulate, fmt.Errorf("pipeline: simulate %s on %s: %w", run.Workload.Name, m.Name, err))
 	}

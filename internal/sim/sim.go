@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"skope/internal/guard"
 	"skope/internal/hw"
 	"skope/internal/interp"
 	"skope/internal/minilang"
@@ -302,7 +304,13 @@ type Options struct {
 }
 
 // Run executes the program on machine m and returns the measured profile.
-func Run(prog *minilang.Program, m *hw.Machine, opts *Options) (*Result, error) {
+// ctx bounds the run: cancellation or a deadline stops the interpreter at
+// statement granularity. A panic anywhere in the timing model is recovered
+// and returned as an error wrapping guard.ErrPanic, so a poisoned machine
+// description cannot take down a sweep.
+func Run(ctx context.Context, prog *minilang.Program, m *hw.Machine, opts *Options) (res *Result, err error) {
+	defer guard.Recover(&err, "sim: %s on %s", prog.Source, m.Name)
+	guard.Hit("sim.run", m.Name)
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -315,6 +323,7 @@ func Run(prog *minilang.Program, m *hw.Machine, opts *Options) (*Result, error) 
 		iopts.MaxSteps = opts.MaxSteps
 	}
 	iopts.Observer = ms
+	iopts.Ctx = ctx
 	eng, err := interp.New(prog, &iopts)
 	if err != nil {
 		return nil, err
@@ -322,7 +331,7 @@ func Run(prog *minilang.Program, m *hw.Machine, opts *Options) (*Result, error) 
 	if err := eng.Run(); err != nil {
 		return nil, err
 	}
-	res := &Result{
+	res = &Result{
 		Machine: m,
 		ByID:    ms.blocks,
 		L1:      ms.l1,

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -18,7 +19,7 @@ func runSim(t *testing.T, src string, m *hw.Machine) *Result {
 	if err := minilang.Check(prog); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(prog, m, nil)
+	res, err := Run(context.Background(), prog, m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestInvalidMachineRejected(t *testing.T) {
 	prog := minilang.MustCheck(minilang.MustParse("t", "func main() {}"))
 	m := hw.BGQ()
 	m.FreqGHz = 0
-	if _, err := Run(prog, m, nil); err == nil {
+	if _, err := Run(context.Background(), prog, m, nil); err == nil {
 		t.Error("invalid machine accepted")
 	}
 }

@@ -1,0 +1,69 @@
+package skeleton_test
+
+import (
+	"strings"
+	"testing"
+
+	"skope/internal/interp"
+	"skope/internal/minilang"
+	"skope/internal/skeleton"
+	"skope/internal/translate"
+	"skope/internal/workloads"
+)
+
+// workloadSkeletons translates the five benchmarks into skeleton text so
+// the fuzz corpus starts from real generated skeletons. Translation runs
+// without a profile (the documented skeleton-prior fallback): each fuzz
+// worker re-seeds on startup, so the corpus must not cost five profiling
+// executions per process.
+func workloadSkeletons(f *testing.F) []string {
+	f.Helper()
+	var out []string
+	for _, w := range workloads.All(workloads.ScaleTest) {
+		prog, err := minilang.Parse(w.Name, w.Source)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := minilang.Check(prog); err != nil {
+			f.Fatal(err)
+		}
+		res, err := translate.Translate(prog, interp.NewProfile())
+		if err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, res.Text)
+	}
+	return out
+}
+
+// FuzzSkeletonParse checks that the skeleton parser never panics or
+// overflows the stack: arbitrary input either parses (and validates
+// without crashing) or yields a descriptive error, with guard limits
+// bounding nesting depth and source size.
+func FuzzSkeletonParse(f *testing.F) {
+	for _, text := range workloadSkeletons(f) {
+		f.Add(text)
+	}
+	for _, s := range []string{
+		"def main(n)\nend",
+		"def main(n)\n  for i = 0 : n label=\"l\"\n    comp flops=n name=\"k\"\n  end\nend",
+		"def main(n)\n  if prob=0.5\n    call f(n)\n  end\nend\n\ndef f(n)\nend",
+		"def main(n)\n" + strings.Repeat("  for i = 0 : n\n", 200) + strings.Repeat("  end\n", 200) + "end",
+		"def main(n)\n  comp flops=" + strings.Repeat("(", 400) + "1" + strings.Repeat(")", 400) + "\nend",
+		"",
+		"def",
+		"end end end",
+		"\x00\xff",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := skeleton.Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		// Whatever parses must survive validation and printing.
+		_ = skeleton.Validate(prog)
+		_ = skeleton.Format(prog)
+	})
+}

@@ -5,11 +5,23 @@ import (
 	"strings"
 
 	"skope/internal/expr"
+	"skope/internal/guard"
 )
 
-// Parse parses skeleton source text. source names the input for diagnostics.
+// Parse parses skeleton source text under the default guard limits.
+// source names the input for diagnostics.
 func Parse(source, text string) (*Program, error) {
-	p := &sparser{source: source}
+	return ParseWithLimits(source, text, nil)
+}
+
+// ParseWithLimits parses under explicit guard limits (nil means
+// guard.Default): source size, block-nesting depth, and the nesting of
+// every attribute expression are capped, returning guard.ErrLimit errors.
+func ParseWithLimits(source, text string, lim *guard.Limits) (*Program, error) {
+	if err := lim.CheckSource(len(text)); err != nil {
+		return nil, fmt.Errorf("%s: %w", source, err)
+	}
+	p := &sparser{source: source, lim: lim.Or()}
 	return p.parse(text)
 }
 
@@ -25,6 +37,7 @@ func MustParse(source, text string) *Program {
 
 type sparser struct {
 	source string
+	lim    *guard.Limits
 }
 
 // ltok is a lexical token within one line.
@@ -144,7 +157,7 @@ func (p *sparser) parseKV(lineNo int, toks []ltok) (*kvlist, error) {
 			continue
 		}
 		src := joinToks(valToks)
-		e, err := expr.Parse(src)
+		e, err := expr.ParseWithLimits(src, p.lim)
 		if err != nil {
 			return nil, p.errf(lineNo, "attribute %q: %v", key, err)
 		}
@@ -227,6 +240,14 @@ func (p *sparser) parse(text string) (*Program, error) {
 		return nil
 	}
 
+	push := func(f *frame) error {
+		stack = append(stack, f)
+		if err := p.lim.CheckNestDepth(len(stack)); err != nil {
+			return fmt.Errorf("%s:%d: %w", p.source, f.line, err)
+		}
+		return nil
+	}
+
 	lines := strings.Split(text, "\n")
 	for ln, raw := range lines {
 		lineNo := ln + 1
@@ -251,21 +272,27 @@ func (p *sparser) parse(text string) (*Program, error) {
 			if _, dup := prog.ByName[fn.Name]; dup {
 				return nil, p.errf(lineNo, "duplicate function %q", fn.Name)
 			}
-			stack = append(stack, &frame{kind: "def", line: lineNo, fn: fn})
+			if err := push(&frame{kind: "def", line: lineNo, fn: fn}); err != nil {
+				return nil, err
+			}
 
 		case "for":
 			loop, err := p.parseFor(lineNo, rest)
 			if err != nil {
 				return nil, err
 			}
-			stack = append(stack, &frame{kind: "for", line: lineNo, loop: loop})
+			if err := push(&frame{kind: "for", line: lineNo, loop: loop}); err != nil {
+				return nil, err
+			}
 
 		case "while":
 			w, err := p.parseWhile(lineNo, rest)
 			if err != nil {
 				return nil, err
 			}
-			stack = append(stack, &frame{kind: "while", line: lineNo, while: w})
+			if err := push(&frame{kind: "while", line: lineNo, while: w}); err != nil {
+				return nil, err
+			}
 
 		case "if":
 			cond, err := p.parseCond(lineNo, rest)
@@ -274,7 +301,9 @@ func (p *sparser) parse(text string) (*Program, error) {
 			}
 			ifs := &If{stmtBase: stmtBase{Line: lineNo}}
 			ifs.Cases = append(ifs.Cases, IfCase{Cond: cond, Line: lineNo})
-			stack = append(stack, &frame{kind: "if", line: lineNo, ifs: ifs})
+			if err := push(&frame{kind: "if", line: lineNo, ifs: ifs}); err != nil {
+				return nil, err
+			}
 
 		case "elif":
 			if len(stack) == 0 || stack[len(stack)-1].kind != "if" {
@@ -510,7 +539,7 @@ func (p *sparser) parseFor(lineNo int, toks []ltok) (*Loop, error) {
 		if len(part) == 0 {
 			return nil, p.errf(lineNo, "empty range component in for header")
 		}
-		e, err := expr.Parse(joinToks(part))
+		e, err := expr.ParseWithLimits(joinToks(part), p.lim)
 		if err != nil {
 			return nil, p.errf(lineNo, "for range: %v", err)
 		}
@@ -564,7 +593,7 @@ func (p *sparser) parseCond(lineNo int, toks []ltok) (CondSpec, error) {
 		return CondSpec{Kind: CondExpr, X: e}, nil
 	}
 	if len(kv.bare) > 0 && len(kv.keys) == 0 {
-		e, err := expr.Parse(joinToks(kv.bare))
+		e, err := expr.ParseWithLimits(joinToks(kv.bare), kv.p.lim)
 		if err != nil {
 			return CondSpec{}, p.errf(lineNo, "if condition: %v", err)
 		}
@@ -665,7 +694,7 @@ func (p *sparser) parseCall(lineNo int, toks []ltok) (*Call, error) {
 		if len(cur) == 0 {
 			return p.errf(lineNo, "empty argument in call")
 		}
-		e, err := expr.Parse(joinToks(cur))
+		e, err := expr.ParseWithLimits(joinToks(cur), p.lim)
 		if err != nil {
 			return p.errf(lineNo, "call argument: %v", err)
 		}
@@ -698,7 +727,7 @@ func (p *sparser) parseSet(lineNo int, toks []ltok) (*Set, error) {
 	if len(toks) < 3 || !isIdentTok(toks[0].text) || toks[1].text != "=" {
 		return nil, p.errf(lineNo, "malformed set; want: set name = expr")
 	}
-	e, err := expr.Parse(joinToks(toks[2:]))
+	e, err := expr.ParseWithLimits(joinToks(toks[2:]), p.lim)
 	if err != nil {
 		return nil, p.errf(lineNo, "set value: %v", err)
 	}
@@ -730,7 +759,7 @@ func (p *sparser) parseVar(lineNo int, toks []ltok) (*VarDecl, error) {
 		if j >= len(toks) {
 			return nil, p.errf(lineNo, "unterminated [ in var declaration")
 		}
-		e, err := expr.Parse(joinToks(toks[i+1 : j]))
+		e, err := expr.ParseWithLimits(joinToks(toks[i+1:j]), p.lim)
 		if err != nil {
 			return nil, p.errf(lineNo, "var extent: %v", err)
 		}

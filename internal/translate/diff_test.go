@@ -1,6 +1,7 @@
 package translate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -56,7 +57,7 @@ func TestQuickModelMatchesMeasuredTripCounts(t *testing.T) {
 			t.Logf("seed %d: bst: %v", seed, err)
 			return false
 		}
-		bet, err := core.Build(tree, res.Input, nil)
+		bet, err := core.Build(context.Background(), tree, res.Input, nil)
 		if err != nil {
 			t.Logf("seed %d: bet: %v\n%s", seed, err, res.Text)
 			return false

@@ -1,6 +1,7 @@
 package translate
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -110,7 +111,7 @@ func TestTranslatePipeline(t *testing.T) {
 	// The generated skeleton must parse (Translate validates) and build a
 	// BET with no context blowup.
 	tree := bst.MustBuild(res.Prog)
-	bet, err := core.Build(tree, res.Input, nil)
+	bet, err := core.Build(context.Background(), tree, res.Input, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func main() {
 	}
 	// And the BET must evaluate it to 64 iterations.
 	tree := bst.MustBuild(res.Prog)
-	bet, err := core.Build(tree, res.Input, nil)
+	bet, err := core.Build(context.Background(), tree, res.Input, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func work(m: int) {
 		t.Errorf("call args not symbolic:\n%s", res.Text)
 	}
 	tree := bst.MustBuild(res.Prog)
-	bet, err := core.Build(tree, res.Input, nil)
+	bet, err := core.Build(context.Background(), tree, res.Input, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,17 +291,20 @@ func TestSegmentBlockIDsMatchSimulator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	simRes, err := sim.Run(prog, hw.BGQ(), nil)
+	simRes, err := sim.Run(context.Background(), prog, hw.BGQ(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tree := bst.MustBuild(res.Prog)
-	bet, err := core.Build(tree, res.Input, nil)
+	bet, err := core.Build(context.Background(), tree, res.Input, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	libs := libmodel.MustDefault()
-	a, err := hotspot.Analyze(bet, hw.NewModel(hw.BGQ()), libs)
+	libs, err := libmodel.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := hotspot.Analyze(context.Background(), bet, hw.NewModel(hw.BGQ()), libs)
 	if err != nil {
 		t.Fatal(err)
 	}
