@@ -15,6 +15,18 @@
 //	skope -source app.ml -machine xeon -validate     # your own minilang file
 //	skope -bench sord -machine bgq -sweep mem-bandwidth=16,32,64 -sweep net-latency-us=1,2,4
 //
+// Long-running sweeps can be made durable and fault-tolerant:
+//
+//	skope -bench sord -sweep mem-bandwidth=16,32,64 -journal sweep.journal \
+//	      -retries 3 -variant-timeout 30s
+//	skope -bench sord -sweep mem-bandwidth=16,32,64 -journal sweep.journal -resume
+//
+// -journal appends every completed variant to a crash-safe journal
+// (fsync per record); -resume replays the journaled variants of an
+// interrupted sweep bit-identically instead of recomputing them.
+// -retries re-attempts transiently failing variants with exponential
+// backoff, and -variant-timeout bounds each attempt.
+//
 // Benchmarks: sord, chargei, srad, cfd, stassuij.
 // Machines: bgq, xeon, future.
 // Sections (-show, comma separated): skeleton, bet, spots, breakdown,
@@ -39,6 +51,7 @@ import (
 	"skope/internal/hw"
 	"skope/internal/pipeline"
 	"skope/internal/report"
+	"skope/internal/resilience"
 	"skope/internal/workloads"
 )
 
@@ -58,6 +71,10 @@ func main() {
 	flag.Var(&cfg.sweeps, "sweep", "design-space axis param=v1,v2,... (repeatable; switches to sweep mode)")
 	flag.IntVar(&cfg.workers, "workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.top, "top", 10, "sweep mode: variants to print (0 = all)")
+	flag.StringVar(&cfg.journal, "journal", "", "sweep mode: append completed variants to this crash-safe journal file")
+	flag.BoolVar(&cfg.resume, "resume", false, "sweep mode: replay variants already recorded in -journal instead of recomputing them")
+	flag.IntVar(&cfg.retries, "retries", 0, "sweep mode: retries per variant for transient failures (exponential backoff with jitter)")
+	flag.DurationVar(&cfg.variantTimeout, "variant-timeout", 0, "sweep mode: deadline per evaluation attempt, e.g. 30s (0 = none)")
 	flag.StringVar(&cfg.limits, "limits", "", "guard limit overrides, e.g. \"nest-depth=32,bet-nodes=100000\"; keys: "+strings.Join(guard.LimitKeys(), ", "))
 	flag.Parse()
 	if err := run(context.Background(), os.Stdout, cfg); err != nil {
@@ -82,10 +99,11 @@ func (a *axisList) Set(v string) error {
 // config carries the parsed command line.
 type config struct {
 	bench, source, machine, machineFile, show string
-	limits                                    string
+	limits, journal                           string
 	scale, coverage, leanness                 float64
-	maxSpots, workers, top                    int
-	validate, list                            bool
+	maxSpots, workers, top, retries           int
+	variantTimeout                            time.Duration
+	validate, list, resume                    bool
 	sweeps                                    axisList
 }
 
@@ -255,21 +273,55 @@ func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, ba
 		return err
 	}
 
-	eng, err := pipeline.Explorer(run, pipeline.WithWorkers(cfg.workers))
+	var last explore.Progress
+	eng, err := pipeline.Explorer(run,
+		pipeline.WithWorkers(cfg.workers),
+		pipeline.WithRetry(resilience.DefaultPolicy(cfg.retries)),
+		pipeline.WithVariantTimeout(cfg.variantTimeout),
+		pipeline.WithProgress(func(p explore.Progress) { last = p }))
 	if err != nil {
 		return err
+	}
+	if cfg.journal != "" {
+		if !cfg.resume {
+			if fi, statErr := os.Stat(cfg.journal); statErr == nil && fi.Size() > 0 {
+				return fmt.Errorf("journal %s already exists; pass -resume to replay it or remove the file", cfg.journal)
+			}
+		}
+		j, jerr := eng.UseJournal(cfg.journal)
+		if jerr != nil {
+			return jerr
+		}
+		defer j.Close()
+		if n, torn := j.Recovered(); n > 0 || torn {
+			fmt.Fprintf(out, "journal %s: %d completed variants to replay", cfg.journal, eng.Replayable())
+			if torn {
+				fmt.Fprint(out, " (torn tail from an interrupted run discarded)")
+			}
+			fmt.Fprintln(out)
+		}
+	} else if cfg.resume {
+		return fmt.Errorf("-resume needs -journal to resume from")
 	}
 	start := time.Now()
 	analyses, err := eng.Sweep(ctx, variants)
 	if err != nil {
 		var sweepErr *explore.SweepError
-		if !errors.As(err, &sweepErr) {
-			return err
+		degraded := false
+		if errors.As(err, &sweepErr) {
+			// Degraded sweep: report the poisoned variants and continue
+			// with the healthy ones rather than discarding the whole grid.
+			degraded = true
+			for _, v := range sweepErr.Variants {
+				fmt.Fprintln(os.Stderr, "skope: warning:", v)
+			}
 		}
-		// Degraded sweep: report the poisoned variants and continue with
-		// the healthy ones rather than discarding the whole grid.
-		for _, v := range sweepErr.Variants {
-			fmt.Fprintln(os.Stderr, "skope: warning:", v)
+		if errors.Is(err, explore.ErrJournalDegraded) {
+			degraded = true
+			fmt.Fprintln(os.Stderr, "skope: warning:", err)
+		}
+		if !degraded {
+			return err
 		}
 	}
 	wall := time.Since(start)
@@ -324,7 +376,14 @@ func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, ba
 			baseline.TotalTime/analyses[best].TotalTime, base.Name)
 	}
 	stats := eng.CacheStats()
-	fmt.Fprintf(out, "sweep stats: %d variants in %s, cache hit rate %.1f%% (%d hits / %d misses)\n",
+	fmt.Fprintf(out, "sweep stats: %d variants in %s, cache hit rate %.1f%% (%d hits / %d misses)",
 		len(variants), wall.Round(time.Microsecond), 100*stats.HitRate(), stats.Hits, stats.Misses)
+	if last.Replayed > 0 {
+		fmt.Fprintf(out, ", %d replayed from journal", last.Replayed)
+	}
+	if last.Retried > 0 {
+		fmt.Fprintf(out, ", %d retries", last.Retried)
+	}
+	fmt.Fprintln(out)
 	return nil
 }

@@ -16,13 +16,35 @@ type VariantError struct {
 	Index int
 	// Machine is the variant that failed.
 	Machine *hw.Machine
+	// MachineName and Fingerprint identify the variant independently of
+	// the (possibly re-generated) input slice: the name for humans, the
+	// fingerprint as the durable identity a journaled re-run keys on —
+	// together they make a degraded-sweep report actionable without the
+	// original grid in hand.
+	MachineName string
+	Fingerprint string
+	// Attempts is how many evaluation attempts the variant consumed
+	// (1 without a retry policy; 0 for failures that never evaluated,
+	// such as journal replay of a corrupt record).
+	Attempts int
 	// Err is the underlying cause.
 	Err error
 }
 
 // Error implements error.
 func (e *VariantError) Error() string {
-	return fmt.Sprintf("explore: variant %d (%s): %v", e.Index, e.Machine.Name, e.Err)
+	name := e.MachineName
+	if name == "" && e.Machine != nil {
+		name = e.Machine.Name
+	}
+	msg := fmt.Sprintf("explore: variant %d (%s", e.Index, name)
+	if e.Fingerprint != "" {
+		msg += " fp=" + e.Fingerprint
+	}
+	if e.Attempts > 1 {
+		msg += fmt.Sprintf(", %d attempts", e.Attempts)
+	}
+	return fmt.Sprintf("%s): %v", msg, e.Err)
 }
 
 // Unwrap exposes the cause.

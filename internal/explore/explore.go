@@ -35,6 +35,8 @@ import (
 	"skope/internal/guard"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
+	"skope/internal/journal"
+	"skope/internal/resilience"
 )
 
 // compKey is the subset of machine parameters the roofline characterization
@@ -91,6 +93,12 @@ func (s CacheStats) HitRate() float64 {
 type Progress struct {
 	// Done and Total count variants.
 	Done, Total int
+	// Replayed counts variants served from the sweep journal (a subset
+	// of Done): completed in an earlier run and not recomputed.
+	Replayed int
+	// Retried counts evaluation attempts beyond each variant's first —
+	// the sweep's total transient-fault bill.
+	Retried int
 	// Cache aggregates memoization counters over the engine's lifetime.
 	Cache CacheStats
 	// Elapsed is the wall time since the sweep started.
@@ -105,8 +113,14 @@ type Result struct {
 	Index    int
 	Machine  *hw.Machine
 	Analysis *hotspot.Analysis
-	// Err is the variant's failure (validation, modeling, or a recovered
-	// panic), nil on success.
+	// Replayed marks an analysis served from the sweep journal: assembled
+	// from the durable per-block times of an earlier run, not recomputed.
+	Replayed bool
+	// Attempts is the number of evaluation attempts the variant consumed
+	// (0 when replayed, 1 on a first-try success or without retries).
+	Attempts int
+	// Err is the variant's failure (validation, modeling, timeout, or a
+	// recovered panic), nil on success.
 	Err error
 }
 
@@ -119,10 +133,24 @@ type Engine struct {
 	workers  int
 	progress func(Progress)
 
-	mu    sync.Mutex
-	comp  map[compKey][]hotspot.BlockTimes
-	comm  map[commKey][]hotspot.BlockTimes
-	stats CacheStats
+	// Resilience configuration (see Retry, VariantTimeout, and the
+	// breaker it feeds): retry is the per-variant policy, timeout the
+	// per-attempt deadline, breaker the per-failure-class circuit that
+	// stops retrying a class once it has proven deterministic.
+	retry   resilience.Policy
+	timeout time.Duration
+	breaker *resilience.Breaker
+
+	// Journal state (see Journal and UseJournal): jnl receives completed
+	// variants; replay holds the decoded records found at bind time.
+	jnl    *journal.Journal
+	replay map[string]replayEntry
+
+	mu     sync.Mutex
+	comp   map[compKey][]hotspot.BlockTimes
+	comm   map[commKey][]hotspot.BlockTimes
+	stats  CacheStats
+	jnlErr error
 }
 
 // Option configures an Engine.
@@ -157,6 +185,40 @@ func OnProgress(f func(Progress)) Option {
 	return func(e *Engine) { e.progress = f }
 }
 
+// Retry installs a retry policy for transient per-variant failures
+// (recovered panics, attempt timeouts — never cancellation or validation
+// rejections). The default is no retry: one attempt per variant.
+func Retry(p resilience.Policy) Option {
+	return func(e *Engine) { e.retry = p }
+}
+
+// VariantTimeout bounds each evaluation attempt at d. A timed-out attempt
+// fails with resilience.ErrAttemptTimeout — transient, so a Retry policy
+// re-attempts it. The abandoned computation finishes (and is discarded)
+// in the background; with d <= 0 no deadline is enforced (the default).
+func VariantTimeout(d time.Duration) Option {
+	return func(e *Engine) { e.timeout = d }
+}
+
+// BreakerThreshold opens the engine's circuit breaker for a failure class
+// (panic, timeout, limit, model) after n failed variants of that class:
+// once open, further variants failing the same way are not retried, so a
+// deterministic fault does not multiply by the retry budget across a
+// large grid. n < 1 keeps the default of 3.
+func BreakerThreshold(n int) Option {
+	return func(e *Engine) { e.breaker = resilience.NewBreaker(n) }
+}
+
+// Journal attaches a sweep journal to the engine. The journal must be
+// compatible with the engine's layout (New fails with ErrMetaMismatch
+// otherwise); variants whose machine fingerprint is already recorded are
+// replayed — bit-identically, with zero recomputation — and fresh
+// completions are durably appended. See also Engine.UseJournal for the
+// open-and-attach convenience path.
+func Journal(j *journal.Journal) Option {
+	return func(e *Engine) { e.jnl = j }
+}
+
 // New builds an exploration engine for one modeled workload: the BET and
 // the library model of a prepared pipeline run. The machine-independent
 // analysis layout is resolved once, here; per-variant work is timing only.
@@ -175,6 +237,16 @@ func New(bet *core.BET, libs hotspot.LibModeler, opts ...Option) (*Engine, error
 	for _, o := range opts {
 		o(e)
 	}
+	if e.breaker == nil {
+		e.breaker = resilience.NewBreaker(0)
+	}
+	if e.jnl != nil {
+		j := e.jnl
+		e.jnl = nil
+		if err := e.bindJournal(j); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
 }
 
@@ -190,24 +262,104 @@ func (e *Engine) CacheStats() CacheStats {
 // below (a poisoned model constructor, a corrupted cache entry) is recovered
 // into an error wrapping guard.ErrPanic — the worker pool stays alive. The
 // guard.Hit call is a fault-injection point (no-op unless a test arms
-// "explore.evaluate").
-func (e *Engine) evaluate(m *hw.Machine) (a *hotspot.Analysis, err error) {
+// "explore.evaluate"). Alongside the analysis it returns the per-block
+// times it assembled from, so a successful evaluation can be journaled
+// without recomputation. Validation rejections come back marked
+// resilience.Permanent: re-running an invalid machine cannot help.
+func (e *Engine) evaluate(m *hw.Machine) (a *hotspot.Analysis, comp, comm []hotspot.BlockTimes, err error) {
 	defer guard.Recover(&err, "evaluate %s", m.Name)
 	guard.Hit("explore.evaluate", m.Name)
-	if err := m.Validate(); err != nil {
-		return nil, err
+	if verr := m.Validate(); verr != nil {
+		return nil, nil, nil, resilience.Permanent(verr)
 	}
 	comp, ok := e.lookupComp(m)
 	if !ok {
 		comp = e.layout.CompTimes(e.newModel(m))
 		e.storeComp(m, comp)
 	}
-	comm, ok := e.lookupComm(m)
+	comm, ok = e.lookupComm(m)
 	if !ok {
 		comm = e.layout.CommTimes(m)
 		e.storeComm(m, comm)
 	}
-	return e.layout.Assemble(m, comp, comm)
+	a, err = e.layout.Assemble(m, comp, comm)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return a, comp, comm, nil
+}
+
+// evaluateOnce is evaluate under the engine's per-attempt deadline. The
+// evaluation runs on its own goroutine; on timeout (or sweep
+// cancellation) the attempt is abandoned — the goroutine drains into a
+// buffered channel and its result is discarded.
+func (e *Engine) evaluateOnce(ctx context.Context, m *hw.Machine) (*hotspot.Analysis, []hotspot.BlockTimes, []hotspot.BlockTimes, error) {
+	if e.timeout <= 0 {
+		return e.evaluate(m)
+	}
+	type outcome struct {
+		a          *hotspot.Analysis
+		comp, comm []hotspot.BlockTimes
+		err        error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		a, comp, comm, err := e.evaluate(m)
+		ch <- outcome{a, comp, comm, err}
+	}()
+	timer := time.NewTimer(e.timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.a, o.comp, o.comm, o.err
+	case <-timer.C:
+		return nil, nil, nil, fmt.Errorf("explore: variant %s: %w (limit %v)", m.Name, resilience.ErrAttemptTimeout, e.timeout)
+	case <-ctx.Done():
+		return nil, nil, nil, fmt.Errorf("explore: variant %s: %w", m.Name, ctx.Err())
+	}
+}
+
+// failureClass buckets a variant failure for the circuit breaker: faults
+// of one class across many variants usually share one deterministic
+// cause, so proving the class deterministic on a few variants stops the
+// retry spend on the rest.
+func failureClass(err error) string {
+	switch {
+	case errors.Is(err, resilience.ErrAttemptTimeout):
+		return "timeout"
+	case errors.Is(err, guard.ErrPanic):
+		return "panic"
+	case errors.Is(err, guard.ErrLimit):
+		return "limit"
+	case resilience.IsPermanent(err):
+		return "invalid-machine"
+	default:
+		return "model"
+	}
+}
+
+// evaluateVariant runs the full resilient evaluation of one variant:
+// attempts under the per-attempt deadline, retried per the engine's
+// policy for transient failures, gated by the circuit breaker (an open
+// failure class gets its first attempt but no retries).
+func (e *Engine) evaluateVariant(ctx context.Context, m *hw.Machine) (a *hotspot.Analysis, comp, comm []hotspot.BlockTimes, attempts int, err error) {
+	p := e.retry
+	classify := p.Classify
+	if classify == nil {
+		classify = resilience.Retryable
+	}
+	p.Classify = func(err error) bool {
+		return classify(err) && e.breaker.Allow(failureClass(err))
+	}
+	attempts, err = p.Do(ctx, func(int) error {
+		a, comp, comm, err = e.evaluateOnce(ctx, m)
+		return err
+	})
+	if err != nil {
+		e.breaker.Failure(failureClass(err))
+		return nil, nil, nil, attempts, err
+	}
+	return a, comp, comm, attempts, nil
 }
 
 func (e *Engine) lookupComp(m *hw.Machine) ([]hotspot.BlockTimes, bool) {
@@ -274,16 +426,25 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 
 	start := time.Now()
 	var (
-		doneMu sync.Mutex
-		done   int
+		doneMu   sync.Mutex
+		done     int
+		replayed int
+		retried  int
 	)
-	finish := func() {
+	finish := func(r Result) {
 		doneMu.Lock()
 		defer doneMu.Unlock()
 		done++
+		if r.Replayed {
+			replayed++
+		}
+		if r.Attempts > 1 {
+			retried += r.Attempts - 1
+		}
 		if e.progress != nil {
 			e.progress(Progress{
 				Done: done, Total: len(variants),
+				Replayed: replayed, Retried: retried,
 				Cache:   e.CacheStats(),
 				Elapsed: time.Since(start),
 			})
@@ -306,16 +467,36 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 				if sctx.Err() != nil {
 					return
 				}
-				r := Result{Index: i, Machine: variants[i]}
-				a, err := e.evaluate(variants[i])
-				if err != nil {
-					r.Err = &VariantError{Index: i, Machine: variants[i], Err: err}
+				m := variants[i]
+				r := Result{Index: i, Machine: m}
+				if entry, ok := e.replayEntry(m); ok {
+					// Journaled in an earlier run: assemble from the
+					// durable per-block times, zero recomputation.
+					a, err := e.layout.Assemble(m, entry.comp, entry.comm)
+					if err != nil {
+						r.Err = e.variantError(i, m, 0, err)
+					} else {
+						r.Analysis = a
+						r.Replayed = true
+					}
 				} else {
-					r.Analysis = a
+					a, comp, comm, attempts, err := e.evaluateVariant(sctx, m)
+					r.Attempts = attempts
+					if err != nil {
+						// Cancellation of the sweep is not a variant
+						// failure: drop the result, the worker exits.
+						if sctx.Err() != nil && errors.Is(err, context.Canceled) {
+							return
+						}
+						r.Err = e.variantError(i, m, attempts, err)
+					} else {
+						r.Analysis = a
+						e.journalAppend(m, comp, comm)
+					}
 				}
 				select {
 				case out <- r:
-					finish()
+					finish(r)
 				case <-sctx.Done():
 					return
 				}
@@ -332,12 +513,25 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 	wait := func() error {
 		<-finished
 		defer cancel()
+		var errs []error
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("explore: sweep canceled: %w", err)
+			errs = append(errs, fmt.Errorf("explore: sweep canceled: %w", err))
 		}
-		return nil
+		if jerr := e.journalError(); jerr != nil {
+			errs = append(errs, jerr)
+		}
+		return errors.Join(errs...)
 	}
 	return out, wait
+}
+
+// variantError builds the enriched attribution for one failed variant.
+func (e *Engine) variantError(i int, m *hw.Machine, attempts int, err error) *VariantError {
+	return &VariantError{
+		Index: i, Machine: m,
+		MachineName: m.Name, Fingerprint: m.Fingerprint(),
+		Attempts: attempts, Err: err,
+	}
 }
 
 // Sweep evaluates every variant and returns the analyses index-aligned
@@ -354,19 +548,27 @@ func (e *Engine) Sweep(ctx context.Context, variants []*hw.Machine) ([]*hotspot.
 		if r.Err != nil {
 			var ve *VariantError
 			if !errors.As(r.Err, &ve) {
-				ve = &VariantError{Index: r.Index, Machine: r.Machine, Err: r.Err}
+				ve = &VariantError{Index: r.Index, Machine: r.Machine, MachineName: r.Machine.Name, Err: r.Err}
 			}
 			failures = append(failures, ve)
 			continue
 		}
 		out[r.Index] = r.Analysis
 	}
-	if err := wait(); err != nil {
-		return nil, err
+	werr := wait()
+	if werr != nil && (errors.Is(werr, context.Canceled) || errors.Is(werr, context.DeadlineExceeded)) {
+		// Cancellation is the only way to lose healthy results.
+		return nil, werr
 	}
+	var errs []error
 	if len(failures) > 0 {
 		sort.Slice(failures, func(i, j int) bool { return failures[i].Index < failures[j].Index })
-		return out, &SweepError{Variants: failures}
+		errs = append(errs, &SweepError{Variants: failures})
 	}
-	return out, nil
+	if werr != nil {
+		// A journal write failure degrades durability, not the sweep: the
+		// analyses are all here, only crash-resume coverage is partial.
+		errs = append(errs, werr)
+	}
+	return out, errors.Join(errs...)
 }

@@ -1,7 +1,9 @@
 package hotspot
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 
@@ -124,6 +126,56 @@ func NewLayout(bet *core.BET, libs LibModeler) (*Layout, error) {
 // holds — the lengths CompTimes and CommTimes return and Assemble expects.
 func (l *Layout) NumComp() int { return len(l.comp) }
 func (l *Layout) NumComm() int { return len(l.comm) }
+
+// Fingerprint digests the layout's full machine-independent content:
+// block identities and order, every leaf's per-invocation workload
+// (bit-level for floats), ENR scaling, and comm volumes. Two layouts
+// fingerprint equal iff CompTimes/CommTimes/Assemble would produce
+// identical results for any machine — which makes the digest the right
+// binding between a sweep journal and the workload that wrote it: replay
+// is refused the moment the source, profile, or translation changed.
+func (l *Layout) Fingerprint() string {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	f := func(v float64) {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		h.Write(buf)
+	}
+	i := func(v int) {
+		binary.LittleEndian.PutUint64(buf, uint64(int64(v)))
+		h.Write(buf)
+	}
+	s := func(v string) {
+		h.Write([]byte(v))
+		h.Write([]byte{0})
+	}
+	i(l.totalStaticInsts)
+	i(len(l.comp))
+	i(len(l.comm))
+	for _, lb := range l.blocks {
+		s(lb.proto.BlockID)
+		if lb.proto.IsComm {
+			s("comm")
+		} else {
+			s("comp")
+		}
+		i(len(lb.leaves))
+		for _, lf := range lb.leaves {
+			f(lf.enr)
+			f(lf.bytes)
+			f(lf.msgs)
+			w := lf.perInv
+			f(w.FLOPs)
+			f(w.IOPs)
+			f(w.Loads)
+			f(w.Stores)
+			f(w.DSizeB)
+			f(w.Divs)
+			f(w.Vec)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
 
 // CompTimes projects every comp and lib block onto the given roofline
 // model, in the layout's block order. The result depends only on the

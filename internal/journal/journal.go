@@ -1,0 +1,304 @@
+// Package journal implements an append-only, crash-safe record log for
+// long-running sweeps. Each record is one completed unit of work keyed by
+// an opaque string (the explore engine keys on the variant machine's
+// fingerprint); a sweep that dies mid-run reopens its journal and replays
+// the completed records instead of recomputing them.
+//
+// Durability model: every Append writes one framed line and fsyncs before
+// returning, so a record is either fully on disk or not in the journal at
+// all. Each line carries a CRC32 of its payload; Open tolerates a torn
+// tail (the one partial line an interrupted write can leave) by truncating
+// the file back to the last intact record — replay never yields a corrupt
+// or partial record.
+//
+// File format (version 1), one line per entry:
+//
+//	<crc32c-hex> <json>\n
+//
+// The first line is a header {"magic","version","meta"} binding the
+// journal to the work that produced it (the explore engine stores a layout
+// fingerprint in meta, refusing to resume a journal written for a
+// different workload). Every following line is a record {"key","payload"}.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+const (
+	magic   = "skope-journal"
+	version = 1
+)
+
+// ErrMetaMismatch marks an attempt to reuse a journal under a different
+// meta binding than it was created with — resuming a sweep of workload A
+// from workload B's journal, or after the layout changed.
+var ErrMetaMismatch = errors.New("journal meta mismatch")
+
+// ErrNoMeta marks an Append on a journal whose header has not been
+// written yet (SetMeta must run first).
+var ErrNoMeta = errors.New("journal meta not set")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+type header struct {
+	Magic   string            `json:"magic"`
+	Version int               `json:"version"`
+	Meta    map[string]string `json:"meta,omitempty"`
+}
+
+type record struct {
+	Key     string `json:"key"`
+	Payload []byte `json:"payload"`
+}
+
+// Journal is an open journal file. It is safe for concurrent use.
+type Journal struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	meta      map[string]string
+	records   map[string][]byte
+	recovered int
+	truncated bool
+}
+
+// Open opens (creating if absent) the journal at path and recovers its
+// contents: the meta header and every intact record. A torn final line —
+// the footprint of a crash mid-Append — is discarded by truncating the
+// file back to the last intact record; corruption anywhere before the
+// tail is an error, since an fsync-per-record log cannot produce it.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, records: make(map[string][]byte)}
+	if err := j.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// recover scans the file line by line, stopping at the first damaged
+// line. If the damage is anything but a torn tail, it is corruption.
+func (j *Journal) recover() error {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("journal %s: %w", j.path, err)
+	}
+	r := bufio.NewReaderSize(j.f, 1<<16)
+	var good int64 // offset just past the last intact line
+	lineNo := 0
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF && len(line) == 0 {
+			break
+		}
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("journal %s: %w", j.path, err)
+		}
+		payload, perr := parseLine(line)
+		if perr != nil || err == io.EOF {
+			// Damaged or unterminated line: legitimate only as the very
+			// last line (a torn Append) after an intact header. A damaged
+			// first line means this is not (or no longer is) a journal —
+			// refuse rather than truncate someone else's file.
+			if lineNo == 0 {
+				return fmt.Errorf("journal %s: not a journal (bad or torn header); remove the file to start fresh", j.path)
+			}
+			if _, after := r.ReadByte(); after != io.EOF {
+				return fmt.Errorf("journal %s: line %d: corrupt record before end of file: %v",
+					j.path, lineNo+1, perr)
+			}
+			j.truncated = true
+			break
+		}
+		lineNo++
+		if lineNo == 1 {
+			var h header
+			if uerr := json.Unmarshal(payload, &h); uerr != nil || h.Magic != magic {
+				return fmt.Errorf("journal %s: not a journal (bad header)", j.path)
+			}
+			if h.Version != version {
+				return fmt.Errorf("journal %s: unsupported version %d (want %d)", j.path, h.Version, version)
+			}
+			j.meta = h.Meta
+		} else {
+			var rec record
+			if uerr := json.Unmarshal(payload, &rec); uerr != nil {
+				return fmt.Errorf("journal %s: line %d: bad record: %w", j.path, lineNo, uerr)
+			}
+			j.records[rec.Key] = rec.Payload
+			j.recovered++
+		}
+		good += int64(len(line))
+	}
+	if j.truncated {
+		if err := j.f.Truncate(good); err != nil {
+			return fmt.Errorf("journal %s: truncating torn tail: %w", j.path, err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal %s: %w", j.path, err)
+		}
+	}
+	if _, err := j.f.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("journal %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// parseLine validates one framed line and returns its JSON payload.
+func parseLine(line []byte) ([]byte, error) {
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	sp := bytes.IndexByte(line, ' ')
+	if sp != 8 {
+		return nil, errors.New("malformed frame")
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return nil, errors.New("malformed checksum")
+	}
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, errors.New("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// writeLine frames, writes and fsyncs one payload.
+func (j *Journal) writeLine(payload []byte) error {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%08x ", crc32.Checksum(payload, crcTable))
+	buf.Write(payload)
+	buf.WriteByte('\n')
+	if _, err := j.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("journal %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal %s: fsync: %w", j.path, err)
+	}
+	return nil
+}
+
+// Meta returns the journal's meta binding (nil until SetMeta has run or a
+// header was recovered).
+func (j *Journal) Meta() map[string]string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.meta == nil {
+		return nil
+	}
+	out := make(map[string]string, len(j.meta))
+	for k, v := range j.meta {
+		out[k] = v
+	}
+	return out
+}
+
+// SetMeta binds the journal to its producer. On a fresh journal it writes
+// the header; on a recovered one it verifies the stored meta matches and
+// returns ErrMetaMismatch (with the differing key) if not.
+func (j *Journal) SetMeta(meta map[string]string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.meta != nil {
+		for k, v := range meta {
+			if got := j.meta[k]; got != v {
+				return fmt.Errorf("journal %s: key %q is %q, want %q: %w", j.path, k, got, v, ErrMetaMismatch)
+			}
+		}
+		if len(j.meta) != len(meta) {
+			return fmt.Errorf("journal %s: recovered %d meta keys, want %d: %w", j.path, len(j.meta), len(meta), ErrMetaMismatch)
+		}
+		return nil
+	}
+	payload, err := json.Marshal(header{Magic: magic, Version: version, Meta: meta})
+	if err != nil {
+		return fmt.Errorf("journal %s: %w", j.path, err)
+	}
+	if err := j.writeLine(payload); err != nil {
+		return err
+	}
+	j.meta = make(map[string]string, len(meta))
+	for k, v := range meta {
+		j.meta[k] = v
+	}
+	return nil
+}
+
+// Append durably records one completed unit of work: the line is on disk
+// (fsynced) when Append returns nil. Appending a key again overwrites its
+// replayed value (last record wins), which keeps Append idempotent for
+// deterministic work.
+func (j *Journal) Append(key string, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.meta == nil {
+		return fmt.Errorf("journal %s: %w", j.path, ErrNoMeta)
+	}
+	p, err := json.Marshal(record{Key: key, Payload: payload})
+	if err != nil {
+		return fmt.Errorf("journal %s: %w", j.path, err)
+	}
+	if err := j.writeLine(p); err != nil {
+		return err
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	j.records[key] = cp
+	return nil
+}
+
+// Replay returns a copy of every intact record currently in the journal
+// (recovered at Open plus any appended since), keyed as appended.
+func (j *Journal) Replay() map[string][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string][]byte, len(j.records))
+	for k, v := range j.records {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		out[k] = cp
+	}
+	return out
+}
+
+// Len returns the number of distinct record keys in the journal.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.records)
+}
+
+// Recovered returns how many records Open replayed from disk, and whether
+// a torn tail was discarded during recovery.
+func (j *Journal) Recovered() (records int, tornTail bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovered, j.truncated
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the file. Records already appended are durable
+// regardless — Close exists for descriptor hygiene, not flushing.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden analysis fixtures")
+
+// goldenTopBlocks is how many leading blocks of each analysis the fixture
+// pins. Ten matches the paper's top-10 ranked views.
+const goldenTopBlocks = 10
+
+// hexf renders a float bit-exactly ('x' format round-trips every finite
+// float64), so the fixtures detect a single-ulp drift in the model.
+func hexf(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+// renderGolden serializes the stable surface of an analysis: the machine
+// identity, the projected total, and the top blocks' identity, ordering,
+// times and roofline verdicts.
+func renderGolden(name string, a *hotspot.Analysis) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "workload %s\n", name)
+	fmt.Fprintf(&b, "machine %s fingerprint %s\n", a.Machine.Name, a.Machine.Fingerprint())
+	fmt.Fprintf(&b, "blocks %d static-insts %d\n", len(a.Blocks), a.TotalStaticInsts)
+	fmt.Fprintf(&b, "total-time %s\n", hexf(a.TotalTime))
+	n := goldenTopBlocks
+	if n > len(a.Blocks) {
+		n = len(a.Blocks)
+	}
+	for i := 0; i < n; i++ {
+		blk := a.Blocks[i]
+		fmt.Fprintf(&b, "block %d %s T %s Tc %s Tm %s membound %v\n",
+			i, blk.BlockID, hexf(blk.T), hexf(blk.Tc), hexf(blk.Tm), blk.MemoryBound)
+	}
+	return b.Bytes()
+}
+
+// TestGoldenAnalyses pins the analytical model's output for every built-in
+// workload on the BGQ machine to checked-in fixtures. Any change to the
+// translator, profiler, roofline model or hot-spot ordering that perturbs
+// a projected time by even one ulp fails here; regenerate deliberately
+// with:
+//
+//	go test ./internal/pipeline/ -run TestGoldenAnalyses -update
+func TestGoldenAnalyses(t *testing.T) {
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := prepared(t, name)
+			out, err := Sweep(context.Background(), run, []*hw.Machine{hw.BGQ()})
+			if err != nil {
+				t.Fatalf("analyze %s: %v", name, err)
+			}
+			got := renderGolden(name, out[0])
+			path := filepath.Join("testdata", "golden", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture %s (regenerate with -update): %v", path, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("analysis of %s drifted from %s\n--- want\n%s--- got\n%s",
+					name, path, want, got)
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"skope/internal/explore"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
+	"skope/internal/resilience"
 )
 
 // EvaluateMany projects a prepared workload onto several machines through
@@ -22,8 +23,10 @@ import (
 // Machine failures are isolated: a machine that fails validation, modeling,
 // simulation — or panics — leaves a nil at its index, and the failures come
 // back joined into one error naming each machine, alongside the healthy
-// evaluations. Only canceling ctx discards results, returning ctx's error
-// wrapped.
+// evaluations. Transient failures (recovered panics, per-machine timeouts
+// under WithVariantTimeout) are retried per WithRetry before counting as
+// failed; validation rejections are deterministic and never retried. Only
+// canceling ctx discards results, returning ctx's error wrapped.
 func EvaluateMany(ctx context.Context, run *Run, machines []*hw.Machine, opts ...Option) ([]*Eval, error) {
 	o := buildOptions(opts)
 	workers := o.workers
@@ -46,9 +49,17 @@ func EvaluateMany(ctx context.Context, run *Run, machines []*hw.Machine, opts ..
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				ev, err := Evaluate(ctx, run, machines[i], opts...)
+				ev, attempts, err := evaluateResilient(ctx, run, machines[i], o, opts)
 				if err != nil {
-					errs[i] = fmt.Errorf("pipeline: machine %s: %w", machines[i].Name, err)
+					if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+						// Sweep-level cancellation, not a machine failure.
+						return
+					}
+					if attempts > 1 {
+						errs[i] = fmt.Errorf("pipeline: machine %s (%d attempts): %w", machines[i].Name, attempts, err)
+					} else {
+						errs[i] = fmt.Errorf("pipeline: machine %s: %w", machines[i].Name, err)
+					}
 					continue
 				}
 				evals[i] = ev
@@ -71,15 +82,56 @@ feed:
 	return evals, errors.Join(errs...)
 }
 
+// evaluateResilient is one machine's evaluation under the retry policy
+// and per-attempt deadline of EvaluateMany. Validation is checked once up
+// front and marked permanent — re-evaluating a machine that cannot exist
+// is pure waste. A per-attempt deadline is enforced with a child context
+// (every pipeline stage honors cancellation); its expiry is rewrapped as
+// resilience.ErrAttemptTimeout so the classifier can tell a slow attempt
+// (transient, retry) from a canceled sweep (permanent, stop).
+func evaluateResilient(ctx context.Context, run *Run, m *hw.Machine, o options, opts []Option) (*Eval, int, error) {
+	if err := m.Validate(); err != nil {
+		return nil, 1, resilience.Permanent(err)
+	}
+	var ev *Eval
+	attempts, err := o.retry.Do(ctx, func(int) error {
+		actx := ctx
+		cancel := context.CancelFunc(func() {})
+		if o.timeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, o.timeout)
+		}
+		defer cancel()
+		var aerr error
+		ev, aerr = Evaluate(actx, run, m, opts...)
+		if aerr != nil && errors.Is(aerr, context.DeadlineExceeded) && ctx.Err() == nil {
+			aerr = fmt.Errorf("%w (limit %v): %w", resilience.ErrAttemptTimeout, o.timeout, aerr)
+		}
+		return aerr
+	})
+	if err != nil {
+		return nil, attempts, err
+	}
+	return ev, attempts, nil
+}
+
 // Explorer builds a design-space exploration engine over the prepared
 // workload's BET and library model — the entry point for co-design studies
 // that need the engine's streaming or cache-statistics API directly.
-// WithModelFunc, WithWorkers and WithProgress carry over.
+// WithModelFunc, WithWorkers, WithProgress, WithRetry, WithVariantTimeout
+// and WithJournal carry over.
 func Explorer(run *Run, opts ...Option) (*explore.Engine, error) {
 	o := buildOptions(opts)
-	eopts := []explore.Option{explore.ModelFunc(o.modelFunc), explore.Workers(o.workers)}
+	eopts := []explore.Option{
+		explore.ModelFunc(o.modelFunc),
+		explore.Workers(o.workers),
+		explore.Retry(o.retry),
+		explore.VariantTimeout(o.timeout),
+	}
 	if o.progress != nil {
 		eopts = append(eopts, explore.OnProgress(o.progress))
+	}
+	if o.jnl != nil {
+		eopts = append(eopts, explore.Journal(o.jnl))
 	}
 	eng, err := explore.New(run.BET, run.Libs, eopts...)
 	if err != nil {

@@ -15,8 +15,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-
 	"strings"
+	"time"
 
 	"skope/internal/bst"
 	"skope/internal/core"
@@ -26,9 +26,11 @@ import (
 	"skope/internal/hotspot"
 	"skope/internal/hw"
 	"skope/internal/interp"
+	"skope/internal/journal"
 	"skope/internal/libmodel"
 	"skope/internal/minilang"
 	"skope/internal/profile"
+	"skope/internal/resilience"
 	"skope/internal/sim"
 	"skope/internal/translate"
 	"skope/internal/workloads"
@@ -92,6 +94,9 @@ type options struct {
 	workers   int
 	progress  func(explore.Progress)
 	lim       *guard.Limits
+	retry     resilience.Policy
+	timeout   time.Duration
+	jnl       *journal.Journal
 }
 
 func buildOptions(opts []Option) options {
@@ -139,6 +144,31 @@ func WithProgress(f func(explore.Progress)) Option {
 // flag of cmd/skope). nil leaves the defaults in place.
 func WithLimits(l *guard.Limits) Option {
 	return func(o *options) { o.lim = l }
+}
+
+// WithRetry installs a retry policy for transient per-machine failures in
+// EvaluateMany, Sweep, and Explorer-built engines (recovered panics,
+// per-variant timeouts — never cancellation or validation rejections).
+// The default is no retry.
+func WithRetry(p resilience.Policy) Option {
+	return func(o *options) { o.retry = p }
+}
+
+// WithVariantTimeout bounds each per-machine evaluation attempt in
+// EvaluateMany, Sweep, and Explorer-built engines. Timed-out attempts
+// classify as transient and are retried under WithRetry. d <= 0 (the
+// default) enforces no deadline.
+func WithVariantTimeout(d time.Duration) Option {
+	return func(o *options) { o.timeout = d }
+}
+
+// WithJournal attaches a sweep journal to Sweep and Explorer-built
+// engines: variants recorded by an earlier run are replayed instead of
+// recomputed, and fresh completions are durably appended (fsync per
+// record). The journal must belong to the same prepared workload —
+// Explorer and Sweep fail with journal.ErrMetaMismatch otherwise.
+func WithJournal(j *journal.Journal) Option {
+	return func(o *options) { o.jnl = j }
 }
 
 // Prepare runs the machine-independent half of the pipeline on a workload.

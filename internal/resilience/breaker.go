@@ -1,0 +1,117 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrOpen marks work refused because its failure class tripped the
+// circuit breaker: the class failed deterministically often enough that
+// further retries would only burn the sweep's time budget.
+var ErrOpen = errors.New("circuit open")
+
+// Breaker is a per-class circuit breaker. A class is any string the
+// caller uses to bucket failures that share a deterministic cause — the
+// explore engine uses the failure kind (validation, panic, timeout, ...),
+// so a grid full of variants that all die the same way stops burning its
+// retry budget after the first few.
+//
+// Semantics are deliberately simple: Failure(class) increments the
+// class's counter; once it reaches Threshold the class is open and
+// Allow(class) reports false for the rest of the breaker's lifetime.
+// Success(class) before the trip resets the counter (failures must be
+// consecutive to prove determinism). There is no half-open probe state: a
+// sweep is a finite batch, not a service — if a class opened, the
+// operator reruns with -resume after fixing the cause.
+type Breaker struct {
+	// Threshold is the number of consecutive failures per class that
+	// opens the circuit. Values < 1 mean the default of 3.
+	Threshold int
+
+	mu    sync.Mutex
+	fails map[string]int
+	open  map[string]bool
+}
+
+// NewBreaker returns a breaker that opens a class after threshold
+// consecutive failures (threshold < 1 selects the default of 3).
+func NewBreaker(threshold int) *Breaker {
+	return &Breaker{Threshold: threshold}
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold < 1 {
+		return 3
+	}
+	return b.Threshold
+}
+
+// Allow reports whether work of the given class should still be
+// attempted (or retried). A nil breaker allows everything.
+func (b *Breaker) Allow(class string) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.open[class]
+}
+
+// Failure records one failure of the class and reports whether this
+// failure tripped the circuit open.
+func (b *Breaker) Failure(class string) (opened bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.open[class] {
+		return false
+	}
+	if b.fails == nil {
+		b.fails = make(map[string]int)
+	}
+	b.fails[class]++
+	if b.fails[class] >= b.threshold() {
+		if b.open == nil {
+			b.open = make(map[string]bool)
+		}
+		b.open[class] = true
+		return true
+	}
+	return false
+}
+
+// Success records one success of the class, resetting its consecutive
+// failure counter (an already-open class stays open).
+func (b *Breaker) Success(class string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.fails, class)
+}
+
+// Open returns the currently open classes, sorted.
+func (b *Breaker) Open() []string {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.open))
+	for c := range b.open {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpenError returns an error wrapping ErrOpen for the given class,
+// suitable for attaching to refused work.
+func OpenError(class string) error {
+	return fmt.Errorf("failure class %q: %w", class, ErrOpen)
+}

@@ -1,0 +1,118 @@
+// Command genfuzzcorpus regenerates the checked-in seed corpora for the
+// three parser fuzz targets (expr, skeleton, minilang). Each corpus file
+// uses Go's native fuzzing encoding ("go test fuzz v1"), so `go test
+// -fuzz` and `make fuzz-short` pick the seeds up from testdata/fuzz
+// without any f.Add call — and a cloned checkout fuzzes the real grammar
+// from the first mutation.
+//
+// Run from the repository root after changing the workloads or the
+// translator:
+//
+//	go run skope/internal/tools/genfuzzcorpus
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"skope/internal/interp"
+	"skope/internal/minilang"
+	"skope/internal/translate"
+	"skope/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genfuzzcorpus: ")
+	if _, err := os.Stat("go.mod"); err != nil {
+		log.Fatal("run from the repository root (go.mod not found)")
+	}
+	write("internal/expr", "FuzzExprParse", exprSeeds())
+	write("internal/minilang", "FuzzMinilangParse", minilangSeeds())
+	write("internal/skeleton", "FuzzSkeletonParse", skeletonSeeds())
+}
+
+// write drops one corpus file per seed under
+// <pkg>/testdata/fuzz/<target>/seed-NNN.
+func write(pkg, target string, seeds []string) {
+	dir := filepath.Join(pkg, "testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\nstring(%s)\n", strconv.Quote(s))
+		path := filepath.Join(dir, fmt.Sprintf("seed-%03d", i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("wrote %d seeds to %s", len(seeds), dir)
+}
+
+// exprSeeds covers the size-arithmetic grammar the workloads' annotations
+// use, plus boundary and malformed inputs.
+func exprSeeds() []string {
+	return []string{
+		"n",
+		"9*m",
+		"n*m*8",
+		"5*m + 2",
+		"(n - 1) * (m - 1)",
+		"n^2 / 4",
+		"max(n, m) * log2(n)",
+		"sqrt(n*n + m*m)",
+		"-n + +m - -1",
+		"1e300 * 1e300",
+		"n / 0",
+		"f(g(h(x)))",
+		"",
+		"((((",
+		"1 +",
+		"n m",
+		strings.Repeat("(", 64) + "1" + strings.Repeat(")", 64),
+	}
+}
+
+// minilangSeeds is the five real benchmark programs plus grammar corners.
+func minilangSeeds() []string {
+	seeds := []string{
+		"func main() {}",
+		"global n: int = 8;\nfunc main() { for i = 0 .. n { } }",
+		"func main() { if 1 < 2 { } else if 2 < 3 { } else { } }",
+		"func f(a, b: int) {}",
+	}
+	for _, w := range workloads.All(workloads.ScaleTest) {
+		seeds = append(seeds, w.Source)
+	}
+	return seeds
+}
+
+// skeletonSeeds translates the five benchmarks (profile-free fallback)
+// so the corpus starts from real generated skeletons, plus handwritten
+// grammar corners.
+func skeletonSeeds() []string {
+	seeds := []string{
+		"def main(n)\nend",
+		"def main(n)\n  for i = 0 : n label=\"l\"\n    comp flops=n name=\"k\"\n  end\nend",
+		"def main(n)\n  if prob=0.5\n    call f(n)\n  end\nend\n\ndef f(n)\nend",
+	}
+	for _, w := range workloads.All(workloads.ScaleTest) {
+		prog, err := minilang.Parse(w.Name, w.Source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := minilang.Check(prog); err != nil {
+			log.Fatal(err)
+		}
+		res, err := translate.Translate(prog, interp.NewProfile())
+		if err != nil {
+			log.Fatal(err)
+		}
+		seeds = append(seeds, res.Text)
+	}
+	return seeds
+}
