@@ -27,6 +27,17 @@
 // -retries re-attempts transiently failing variants with exponential
 // backoff, and -variant-timeout bounds each attempt.
 //
+// -lenient switches the frontend and model construction into
+// error-recovering mode: syntax errors drop the offending statement,
+// missing branch probabilities and trip counts fall back to documented
+// priors, and every substitution is reported as a diagnostic alongside a
+// confidence score. -min-confidence sets a floor below which sweep
+// variants are flagged instead of ranked.
+//
+// Exit codes: 0 on a clean run, 1 on failure, 3 when the run completed
+// but degraded — some results rest on fallback priors, recovered parses,
+// or poisoned sweep variants.
+//
 // Benchmarks: sord, chargei, srad, cfd, stassuij.
 // Machines: bgq, xeon, future.
 // Sections (-show, comma separated): skeleton, bet, spots, breakdown,
@@ -76,12 +87,24 @@ func main() {
 	flag.IntVar(&cfg.retries, "retries", 0, "sweep mode: retries per variant for transient failures (exponential backoff with jitter)")
 	flag.DurationVar(&cfg.variantTimeout, "variant-timeout", 0, "sweep mode: deadline per evaluation attempt, e.g. 30s (0 = none)")
 	flag.StringVar(&cfg.limits, "limits", "", "guard limit overrides, e.g. \"nest-depth=32,bet-nodes=100000\"; keys: "+strings.Join(guard.LimitKeys(), ", "))
+	flag.BoolVar(&cfg.lenient, "lenient", false, "error-recovering mode: recover from syntax errors and missing profile data, report diagnostics and a confidence score instead of failing")
+	flag.Float64Var(&cfg.minConfidence, "min-confidence", 0, "sweep mode: flag variants whose analysis confidence falls below this floor instead of ranking them (0 = off)")
 	flag.Parse()
-	if err := run(context.Background(), os.Stdout, cfg); err != nil {
+	degraded, err := run(context.Background(), os.Stdout, cfg)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "skope:", err)
 		os.Exit(1)
 	}
+	if degraded {
+		os.Exit(exitDegraded)
+	}
 }
+
+// exitDegraded is the exit code of a run that completed but produced
+// degraded results: fallback priors, recovered parses, or flagged sweep
+// variants. Distinct from 1 so scripts can tell "usable with caveats"
+// from "failed".
+const exitDegraded = 3
 
 // axisList collects repeated -sweep flags.
 type axisList []string
@@ -101,13 +124,14 @@ type config struct {
 	bench, source, machine, machineFile, show string
 	limits, journal                           string
 	scale, coverage, leanness                 float64
+	minConfidence                             float64
 	maxSpots, workers, top, retries           int
 	variantTimeout                            time.Duration
-	validate, list, resume                    bool
+	validate, list, resume, lenient           bool
 	sweeps                                    axisList
 }
 
-func run(ctx context.Context, out io.Writer, cfg config) error {
+func run(ctx context.Context, out io.Writer, cfg config) (degraded bool, err error) {
 	if cfg.list {
 		fmt.Fprintln(out, "benchmarks:")
 		for _, n := range workloads.Names() {
@@ -133,24 +157,23 @@ func run(ctx context.Context, out io.Writer, cfg config) error {
 		for _, h := range guard.Help() {
 			fmt.Fprintf(out, "  %s\n", h)
 		}
-		return nil
+		return false, nil
 	}
 	var m *hw.Machine
-	var err error
 	if cfg.machineFile != "" {
 		m, err = hw.LoadConfig(cfg.machineFile)
 	} else {
 		m, err = hw.Preset(cfg.machine)
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
 
 	var w *workloads.Workload
 	if cfg.source != "" {
-		text, err := os.ReadFile(cfg.source)
-		if err != nil {
-			return err
+		text, rerr := os.ReadFile(cfg.source)
+		if rerr != nil {
+			return false, rerr
 		}
 		w = &workloads.Workload{
 			Name:        cfg.source,
@@ -161,24 +184,24 @@ func run(ctx context.Context, out io.Writer, cfg config) error {
 	} else {
 		w, err = workloads.Get(cfg.bench, workloads.Scale(cfg.scale))
 		if err != nil {
-			return err
+			return false, err
 		}
 	}
 	lim, err := guard.ParseLimits(cfg.limits)
 	if err != nil {
-		return fmt.Errorf("-limits: %w", err)
+		return false, fmt.Errorf("-limits: %w", err)
 	}
 	fmt.Fprintf(out, "# %s\n\n", w.Description)
-	run, err := pipeline.Prepare(ctx, w, pipeline.WithLimits(lim))
+	run, err := pipeline.Prepare(ctx, w,
+		pipeline.WithLimits(lim), pipeline.WithLenient(cfg.lenient))
 	if err != nil {
-		return err
+		return false, err
 	}
-	if len(run.Diagnostics) > 0 {
-		fmt.Fprintln(out, "## preparation diagnostics")
-		for _, d := range run.Diagnostics {
-			fmt.Fprintln(out, " -", d)
-		}
-		fmt.Fprintln(out)
+	if tbl := report.Diagnostics("preparation diagnostics", run.Diagnostics); tbl != "" {
+		fmt.Fprintln(out, tbl)
+	}
+	if run.Degraded() {
+		fmt.Fprintf(out, "preparation %s\n\n", report.Confidence(run.Confidence, run.Diagnostics))
 	}
 
 	if len(cfg.sweeps) > 0 {
@@ -207,10 +230,14 @@ func run(ctx context.Context, out io.Writer, cfg config) error {
 	crit := hotspot.Criteria{TimeCoverage: cfg.coverage, CodeLeanness: cfg.leanness, MaxSpots: cfg.maxSpots}
 	ev, err := pipeline.Evaluate(ctx, run, m, pipeline.WithCriteria(crit))
 	if err != nil {
-		return err
+		return false, err
 	}
 	for _, d := range ev.Analysis.Diagnostics {
 		fmt.Fprintln(os.Stderr, "skope: warning:", d)
+	}
+	if ev.Degraded() {
+		degraded = true
+		fmt.Fprintf(out, "## %s\n\n", report.Confidence(ev.Confidence, ev.Diagnostics))
 	}
 
 	if sections["spots"] {
@@ -252,25 +279,25 @@ func run(ctx context.Context, out io.Writer, cfg config) error {
 		fmt.Fprintf(out, "selection quality (top-10): %.3f\n", ev.Quality)
 		fmt.Fprintf(out, "selection quality (criteria selection): %.3f\n", ev.SelectionQuality)
 	}
-	return nil
+	return degraded, nil
 }
 
 // sweep runs the design-space exploration mode: a grid of machine variants
 // around the base machine, evaluated analytically (no simulation) through
 // the bounded, memoizing engine, reported as a ranked table plus the
 // time/cost Pareto frontier.
-func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, base *hw.Machine) error {
+func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, base *hw.Machine) (degraded bool, err error) {
 	grid := explore.Grid{Base: base}
 	for _, spec := range cfg.sweeps {
-		ax, err := explore.ParseAxis(spec)
-		if err != nil {
-			return err
+		ax, aerr := explore.ParseAxis(spec)
+		if aerr != nil {
+			return false, aerr
 		}
 		grid.Axes = append(grid.Axes, ax)
 	}
 	variants, err := grid.Variants()
 	if err != nil {
-		return err
+		return false, err
 	}
 
 	var last explore.Progress
@@ -278,19 +305,20 @@ func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, ba
 		pipeline.WithWorkers(cfg.workers),
 		pipeline.WithRetry(resilience.DefaultPolicy(cfg.retries)),
 		pipeline.WithVariantTimeout(cfg.variantTimeout),
+		pipeline.WithMinConfidence(cfg.minConfidence),
 		pipeline.WithProgress(func(p explore.Progress) { last = p }))
 	if err != nil {
-		return err
+		return false, err
 	}
 	if cfg.journal != "" {
 		if !cfg.resume {
 			if fi, statErr := os.Stat(cfg.journal); statErr == nil && fi.Size() > 0 {
-				return fmt.Errorf("journal %s already exists; pass -resume to replay it or remove the file", cfg.journal)
+				return false, fmt.Errorf("journal %s already exists; pass -resume to replay it or remove the file", cfg.journal)
 			}
 		}
 		j, jerr := eng.UseJournal(cfg.journal)
 		if jerr != nil {
-			return jerr
+			return false, jerr
 		}
 		defer j.Close()
 		if n, torn := j.Recovered(); n > 0 || torn {
@@ -301,34 +329,35 @@ func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, ba
 			fmt.Fprintln(out)
 		}
 	} else if cfg.resume {
-		return fmt.Errorf("-resume needs -journal to resume from")
+		return false, fmt.Errorf("-resume needs -journal to resume from")
 	}
 	start := time.Now()
 	analyses, err := eng.Sweep(ctx, variants)
 	if err != nil {
 		var sweepErr *explore.SweepError
-		degraded := false
+		tolerable := false
 		if errors.As(err, &sweepErr) {
 			// Degraded sweep: report the poisoned variants and continue
 			// with the healthy ones rather than discarding the whole grid.
-			degraded = true
+			tolerable = true
 			for _, v := range sweepErr.Variants {
 				fmt.Fprintln(os.Stderr, "skope: warning:", v)
 			}
 		}
 		if errors.Is(err, explore.ErrJournalDegraded) {
-			degraded = true
+			tolerable = true
 			fmt.Fprintln(os.Stderr, "skope: warning:", err)
 		}
-		if !degraded {
-			return err
+		if !tolerable {
+			return false, err
 		}
+		degraded = true
 	}
 	wall := time.Since(start)
 
 	baseline, err := hotspot.Analyze(ctx, run.BET, hw.NewModel(base), run.Libs)
 	if err != nil {
-		return err
+		return degraded, err
 	}
 
 	var order []int
@@ -385,5 +414,9 @@ func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, ba
 		fmt.Fprintf(out, ", %d retries", last.Retried)
 	}
 	fmt.Fprintln(out)
-	return nil
+	if run.Degraded() {
+		degraded = true
+		fmt.Fprintf(out, "sweep %s\n", report.Confidence(run.Confidence, run.Diagnostics))
+	}
+	return degraded, nil
 }

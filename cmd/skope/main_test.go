@@ -13,7 +13,7 @@ import (
 
 func TestRunList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, config{list: true, scale: 1}); err != nil {
+	if _, err := run(context.Background(), &buf, config{list: true, scale: 1}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -30,7 +30,7 @@ func TestRunAnalysis(t *testing.T) {
 		bench: "srad", machine: "bgq", scale: 1,
 		show: "spots,breakdown,path", coverage: 0.9, leanness: 0.5, maxSpots: 10,
 	}
-	if err := run(context.Background(), &buf, cfg); err != nil {
+	if _, err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -47,7 +47,7 @@ func TestRunValidate(t *testing.T) {
 		bench: "stassuij", machine: "xeon", scale: 1,
 		show: "spots", coverage: 0.9, leanness: 0.5, maxSpots: 10, validate: true,
 	}
-	if err := run(context.Background(), &buf, cfg); err != nil {
+	if _, err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "selection quality (top-10):") {
@@ -67,7 +67,7 @@ func TestRunMachineFile(t *testing.T) {
 		bench: "srad", machineFile: path, scale: 1,
 		show: "spots", coverage: 0.9, leanness: 0.5, maxSpots: 3,
 	}
-	if err := run(context.Background(), &buf, cfg); err != nil {
+	if _, err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "CustomQ") {
@@ -81,7 +81,7 @@ func TestRunSweep(t *testing.T) {
 		bench: "sord", machine: "bgq", scale: 1, top: 5,
 		sweeps: axisList{"mem-bandwidth=14,28,56", "net-latency-us=1,2,4"},
 	}
-	if err := run(context.Background(), &buf, cfg); err != nil {
+	if _, err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -100,7 +100,7 @@ func TestRunSweep(t *testing.T) {
 
 func TestRunListShowsSweepParams(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, config{list: true, scale: 1}); err != nil {
+	if _, err := run(context.Background(), &buf, config{list: true, scale: 1}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -126,13 +126,13 @@ func TestAxisListRejectsBadSpec(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, config{bench: "nosuch", machine: "bgq", scale: 1, show: "spots"}); err == nil {
+	if _, err := run(context.Background(), &buf, config{bench: "nosuch", machine: "bgq", scale: 1, show: "spots"}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run(context.Background(), &buf, config{bench: "srad", machine: "vax", scale: 1, show: "spots"}); err == nil {
+	if _, err := run(context.Background(), &buf, config{bench: "srad", machine: "vax", scale: 1, show: "spots"}); err == nil {
 		t.Error("unknown machine accepted")
 	}
-	if err := run(context.Background(), &buf, config{bench: "srad", machineFile: "/nonexistent.json", scale: 1, show: "spots"}); err == nil {
+	if _, err := run(context.Background(), &buf, config{bench: "srad", machineFile: "/nonexistent.json", scale: 1, show: "spots"}); err == nil {
 		t.Error("missing machine file accepted")
 	}
 }
@@ -156,7 +156,7 @@ func main() {
 		source: path, machine: "future", scale: 1,
 		show: "spots", coverage: 0.9, leanness: 1, maxSpots: 5, validate: true,
 	}
-	if err := run(context.Background(), &buf, cfg); err != nil {
+	if _, err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -6,10 +6,16 @@
 //
 //	skopec -file app.skel -input "n=2048,m=2048" [-entry main]
 //	       [-machine bgq | -machine-file m.json]
-//	       [-show bet,spots,breakdown,path,dot] [-spots 10]
+//	       [-show bet,spots,breakdown,path,dot] [-spots 10] [-lenient]
 //
 // The input string binds the skeleton's free variables (array dimensions,
 // developer hints). Every section is pure analysis — nothing is executed.
+//
+// -lenient switches the skeleton parser and model construction into
+// error-recovering mode: unparseable lines become explicit hole nodes,
+// missing probabilities and trip counts fall back to documented priors,
+// and the analysis reports a confidence score plus one diagnostic per
+// substitution. A degraded-but-completed run exits with code 3.
 package main
 
 import (
@@ -44,18 +50,28 @@ func main() {
 	flag.Float64Var(&cfg.coverage, "coverage", 0.90, "time coverage target")
 	flag.Float64Var(&cfg.leanness, "leanness", 1.0, "code leanness budget")
 	flag.StringVar(&cfg.limits, "limits", "", "guard limit overrides, e.g. \"nest-depth=32,bet-nodes=100000\"; keys: "+strings.Join(guard.LimitKeys(), ", "))
+	flag.BoolVar(&cfg.lenient, "lenient", false, "error-recovering mode: model around unparseable lines and missing data, reporting diagnostics and a confidence score")
 	flag.Parse()
-	if err := run(os.Stdout, cfg); err != nil {
+	degraded, err := run(os.Stdout, cfg)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "skopec:", err)
 		os.Exit(1)
 	}
+	if degraded {
+		os.Exit(exitDegraded)
+	}
 }
+
+// exitDegraded distinguishes a completed-but-degraded analysis (fallback
+// priors, hole nodes) from success (0) and failure (1).
+const exitDegraded = 3
 
 type config struct {
 	file, input, entry, machine, machineFile, show string
 	limits                                         string
 	maxSpots                                       int
 	coverage, leanness                             float64
+	lenient                                        bool
 }
 
 // parseInput parses "n=2048,m=512" into an environment. Values are
@@ -90,28 +106,37 @@ func parseInput(s string) (expr.Env, error) {
 	return env, nil
 }
 
-func run(out io.Writer, cfg config) error {
+func run(out io.Writer, cfg config) (degraded bool, err error) {
 	if cfg.file == "" {
-		return fmt.Errorf("-file is required")
+		return false, fmt.Errorf("-file is required")
 	}
 	lim, err := guard.ParseLimits(cfg.limits)
 	if err != nil {
-		return fmt.Errorf("-limits: %w", err)
+		return false, fmt.Errorf("-limits: %w", err)
 	}
 	text, err := os.ReadFile(cfg.file)
 	if err != nil {
-		return err
+		return false, err
 	}
-	prog, err := skeleton.ParseWithLimits(cfg.file, string(text), lim)
-	if err != nil {
-		return err
-	}
-	if err := skeleton.ValidateEntry(prog, cfg.entry); err != nil {
-		return err
+	var prog *skeleton.Program
+	var parseDiags []guard.Diagnostic
+	if cfg.lenient {
+		// Semantic validation happens inside the lenient core.Build, which
+		// folds its findings into the BET diagnostics (surfaced below via
+		// analysis.Diagnostics); running it here too would double them.
+		prog, parseDiags = skeleton.ParseLenient(cfg.file, string(text), lim)
+	} else {
+		prog, err = skeleton.ParseWithLimits(cfg.file, string(text), lim)
+		if err != nil {
+			return false, err
+		}
+		if err := skeleton.ValidateEntry(prog, cfg.entry); err != nil {
+			return false, err
+		}
 	}
 	input, err := parseInput(cfg.input)
 	if err != nil {
-		return err
+		return false, err
 	}
 	var m *hw.Machine
 	if cfg.machineFile != "" {
@@ -120,30 +145,40 @@ func run(out io.Writer, cfg config) error {
 		m, err = hw.Preset(cfg.machine)
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
 
 	tree, err := bst.Build(prog)
 	if err != nil {
-		return err
+		return false, err
 	}
 	bet, err := core.Build(context.Background(), tree, input, &core.Options{
 		Entry: cfg.entry, MaxContexts: lim.MaxContexts, MaxNodes: lim.MaxBETNodes,
+		Lenient: cfg.lenient,
 	})
 	if err != nil {
-		return err
+		return false, err
 	}
 	libs, err := libmodel.Default()
 	if err != nil {
-		return err
+		return false, err
 	}
 	analysis, err := hotspot.Analyze(context.Background(), bet, hw.NewModel(m), libs)
 	if err != nil {
-		return err
+		return false, err
 	}
-	for _, d := range analysis.Diagnostics {
+	diags := make([]guard.Diagnostic, 0, len(parseDiags)+len(analysis.Diagnostics))
+	diags = append(diags, parseDiags...)
+	diags = append(diags, analysis.Diagnostics...)
+	guard.SortDiagnostics(diags)
+	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, "skopec: warning:", d)
 	}
+	// Hole nodes carry their ENR into the BET's confidence score, so
+	// the analysis's confidence already reflects every parser recovery
+	// that survived into the model.
+	conf := analysis.Confidence
+	degraded = conf < 1 || len(diags) > 0
 	sel := hotspot.Select(analysis, hotspot.Criteria{
 		TimeCoverage: cfg.coverage, CodeLeanness: cfg.leanness, MaxSpots: cfg.maxSpots,
 	})
@@ -155,8 +190,12 @@ func run(out io.Writer, cfg config) error {
 	}
 
 	fmt.Fprintf(out, "# %s on %s, input %s\n", cfg.file, m.Name, expr.FormatEnv(input))
-	fmt.Fprintf(out, "BET: %d nodes (size ratio %.2f), projected total %.4g s\n\n",
+	fmt.Fprintf(out, "BET: %d nodes (size ratio %.2f), projected total %.4g s\n",
 		bet.NumNodes(), bet.SizeRatio(), analysis.TotalTime)
+	if degraded {
+		fmt.Fprintf(out, "degraded analysis: confidence %.4g, %d diagnostic(s)\n", conf, len(diags))
+	}
+	fmt.Fprintln(out)
 	if sections["bet"] {
 		fmt.Fprintln(out, "## Bayesian execution tree")
 		fmt.Fprintln(out, bet.Dump())
@@ -200,5 +239,5 @@ func run(out io.Writer, cfg config) error {
 		fmt.Fprintln(out, "## hot path (graphviz)")
 		fmt.Fprintln(out, path.DOT())
 	}
-	return nil
+	return degraded, nil
 }

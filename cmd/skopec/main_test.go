@@ -57,7 +57,7 @@ func TestRunFullOutput(t *testing.T) {
 		machine: "bgq", show: "bet,spots,breakdown,path,dot",
 		maxSpots: 10, coverage: 0.9, leanness: 1,
 	}
-	if err := run(&buf, cfg); err != nil {
+	if _, err := run(&buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -77,22 +77,22 @@ func TestRunFullOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, config{}); err == nil {
+	if _, err := run(&buf, config{}); err == nil {
 		t.Error("missing -file accepted")
 	}
-	if err := run(&buf, config{file: "/nonexistent.skel"}); err == nil {
+	if _, err := run(&buf, config{file: "/nonexistent.skel"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	path := writeSkel(t)
-	if err := run(&buf, config{file: path, entry: "nosuch", machine: "bgq", show: "spots"}); err == nil {
+	if _, err := run(&buf, config{file: path, entry: "nosuch", machine: "bgq", show: "spots"}); err == nil {
 		t.Error("bad entry accepted")
 	}
-	if err := run(&buf, config{file: path, entry: "main", machine: "vax", show: "spots"}); err == nil {
+	if _, err := run(&buf, config{file: path, entry: "main", machine: "vax", show: "spots"}); err == nil {
 		t.Error("bad machine accepted")
 	}
 	// Unbound input variable (n is referenced by loop bounds) surfaces as
 	// a BET construction error.
-	if err := run(&buf, config{file: path, entry: "main", machine: "bgq", show: "spots", input: "ranks=4"}); err == nil {
+	if _, err := run(&buf, config{file: path, entry: "main", machine: "bgq", show: "spots", input: "ranks=4"}); err == nil {
 		t.Error("missing n binding accepted")
 	}
 	_ = buf
@@ -106,7 +106,7 @@ func TestRunMachineFile(t *testing.T) {
 		machineFile: filepath.Join(t.TempDir(), "missing.json"),
 		show:        "spots", maxSpots: 5, coverage: 0.9, leanness: 1,
 	}
-	if err := run(&buf, cfg); err == nil {
+	if _, err := run(&buf, cfg); err == nil {
 		t.Error("missing machine file accepted")
 	}
 }

@@ -39,11 +39,16 @@ const (
 	KindReturn
 	KindBreak
 	KindContinue
+	// KindHole marks a statement the lenient parser could not understand:
+	// a placeholder carrying position but no modelable content. Strict
+	// model builds reject it; lenient builds charge it zero work and mark
+	// the surrounding projection as assumed.
+	KindHole
 )
 
 var kindNames = [...]string{
 	"func", "comp", "lib", "comm", "loop", "while", "branch", "case", "else",
-	"call", "set", "var", "return", "break", "continue",
+	"call", "set", "var", "return", "break", "continue", "hole",
 }
 
 func (k Kind) String() string {
@@ -217,6 +222,8 @@ func (t *Tree) buildBody(fn string, body []skeleton.Stmt) ([]*Node, error) {
 			n.Kind = KindBreak
 		case *skeleton.Continue:
 			n.Kind = KindContinue
+		case *skeleton.Hole:
+			n.Kind = KindHole
 		default:
 			return nil, fmt.Errorf("bst: unhandled statement type %T at line %d", s, s.Pos())
 		}

@@ -24,6 +24,7 @@ import (
 
 	"skope/internal/bst"
 	"skope/internal/expr"
+	"skope/internal/guard"
 	"skope/internal/hw"
 )
 
@@ -64,6 +65,13 @@ type Node struct {
 	// CommBytes and CommMsgs describe comm nodes: the data volume and
 	// message count per execution (multi-node projection extension).
 	CommBytes, CommMsgs float64
+
+	// Assumed marks a node whose quantities came from a fallback prior
+	// rather than the skeleton/profile (lenient builds only): a missing
+	// branch probability, an unevaluable trip count or work expression, or
+	// a parser hole. Descendants of an assumed node inherit its
+	// uncertainty when confidence is computed.
+	Assumed bool
 }
 
 // Kind returns the BST kind of the node.
@@ -97,6 +105,17 @@ type BET struct {
 	Input expr.Env
 	// Tree is the BST the BET was built from.
 	Tree *bst.Tree
+
+	// Confidence is the measured-vs-assumed coverage of the tree: the
+	// fraction of expected dynamic executions (ENR mass over comp, lib,
+	// comm and hole leaves) that rests on modeled quantities rather than
+	// fallback priors. A strict build is always 1.0; a lenient build drops
+	// below 1.0 by exactly the ENR share under assumed nodes.
+	Confidence float64
+	// Diagnostics records every prior substitution and hole the (lenient)
+	// build papered over, deterministically sorted. Empty for strict
+	// builds and for lenient builds of intact inputs.
+	Diagnostics []guard.Diagnostic
 
 	nodes int
 }
@@ -218,4 +237,50 @@ func (b *BET) computeENR() {
 	}
 	b.Root.Prob = 1
 	rec(b.Root, 1)
+}
+
+// computeConfidence fills in BET.Confidence after computeENR: one minus
+// the ENR-weighted share of leaf executions (comp/lib/comm/hole) that sit
+// at or below an assumed node. Runs for strict builds too, where no node
+// is assumed and the result is exactly 1.0 — the score is derived, never
+// perturbing the modeled times.
+func (b *BET) computeConfidence() {
+	var total, assumed float64
+	var rec func(n *Node, tainted bool)
+	rec = func(n *Node, tainted bool) {
+		tainted = tainted || n.Assumed
+		switch n.Kind() {
+		case bst.KindComp, bst.KindLib, bst.KindComm, bst.KindHole:
+			total += n.ENR
+			if tainted {
+				assumed += n.ENR
+			}
+		case bst.KindCall:
+			// A childless call carries no leaves to weigh, yet it stands
+			// for real work: an undefined callee modeled as empty (lenient
+			// fallback) or a genuinely empty function. Count the call site
+			// itself so an assumed-empty call lowers the score instead of
+			// vanishing from the denominator.
+			if len(n.Children) == 0 {
+				total += n.ENR
+				if tainted {
+					assumed += n.ENR
+				}
+			}
+		}
+		for _, c := range n.Children {
+			rec(c, tainted)
+		}
+	}
+	rec(b.Root, false)
+	switch {
+	case total > 0:
+		b.Confidence = (total - assumed) / total
+	case len(b.Diagnostics) == 0:
+		// Nothing to model and nothing papered over: fully confident.
+		b.Confidence = 1
+	default:
+		// All modelable content was lost to recovery.
+		b.Confidence = 0
+	}
 }

@@ -24,6 +24,15 @@ type Options struct {
 	// MaxNodes bounds the BET size (default 1 << 20, matching
 	// guard.Default).
 	MaxNodes int
+	// Lenient substitutes paper-motivated priors for missing or corrupt
+	// quantities — a uniform 0.5 for unevaluable branch probabilities, one
+	// iteration for unevaluable trip counts, zero work for unevaluable
+	// metrics, parser holes modeled as empty blocks — recording each
+	// substitution as a diagnostic and marking the affected nodes assumed,
+	// instead of failing the build. Resource limits (MaxContexts,
+	// MaxNodes), cancellation, a missing entry function, and recursion
+	// remain fatal in both modes.
+	Lenient bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -41,6 +50,7 @@ func (o *Options) withDefaults() Options {
 	if o.MaxNodes > 0 {
 		out.MaxNodes = o.MaxNodes
 	}
+	out.Lenient = o.Lenient
 	return out
 }
 
@@ -59,7 +69,14 @@ func Build(ctx context.Context, tree *bst.Tree, input expr.Env, opts *Options) (
 	if err != nil {
 		return nil, err
 	}
-	if err := skeleton.ValidateEntry(tree.Prog, o.Entry); err != nil {
+	var preDiags []guard.Diagnostic
+	if o.Lenient {
+		ds, err := skeleton.ValidateLenient(tree.Prog, o.Entry)
+		if err != nil {
+			return nil, err
+		}
+		preDiags = ds
+	} else if err := skeleton.ValidateEntry(tree.Prog, o.Entry); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
@@ -70,6 +87,7 @@ func Build(ctx context.Context, tree *bst.Tree, input expr.Env, opts *Options) (
 		opts:  o,
 		input: input.Clone(),
 		ctx:   ctx,
+		diags: preDiags,
 	}
 	root := b.newNode(entry, nil, b.input.Clone(), 1)
 	// The entry function executes once with the full input context.
@@ -78,7 +96,10 @@ func Build(ctx context.Context, tree *bst.Tree, input expr.Env, opts *Options) (
 	}
 	b.bet.Root = root
 	b.bet.nodes = b.nodes
+	b.bet.Diagnostics = b.diags
+	guard.SortDiagnostics(b.bet.Diagnostics)
 	b.bet.computeENR()
+	b.bet.computeConfidence()
 	return b.bet, nil
 }
 
@@ -114,6 +135,34 @@ type builder struct {
 	nodes   int
 	ctx     context.Context
 	checked int // node count at the last context-deadline check
+
+	// diags accumulates lenient-mode prior substitutions; seen dedupes
+	// them (the same statement is revisited once per live context and per
+	// inlined call site).
+	diags []guard.Diagnostic
+	seen  map[string]bool
+}
+
+// assume records one lenient-mode prior substitution: the node (when one
+// exists) is marked Assumed and a deduplicated diagnostic is appended.
+func (b *builder) assume(sev guard.Severity, sn *bst.Node, n *Node, code, format string, args ...any) {
+	if n != nil {
+		n.Assumed = true
+	}
+	d := guard.Diagnostic{
+		Severity: sev, Stage: "bet", Code: code, BlockID: sn.BlockID(),
+		Message: fmt.Sprintf("%s:%d (%s): %s",
+			b.bet.Tree.Prog.Source, sn.Line, sn.Label(), fmt.Sprintf(format, args...)),
+	}
+	key := d.String()
+	if b.seen == nil {
+		b.seen = make(map[string]bool)
+	}
+	if b.seen[key] {
+		return
+	}
+	b.seen[key] = true
+	b.diags = append(b.diags, d)
 }
 
 // checkCtx honors cancellation at block granularity plus every
@@ -190,10 +239,16 @@ func (b *builder) stmt(parent *Node, sn *bst.Node, live []ectx, esc *escape) ([]
 		for _, c := range live {
 			w, err := evalWork(comp.M, c.env)
 			if err != nil {
-				return nil, b.errf(sn, "%v", err)
+				if !b.opts.Lenient {
+					return nil, b.errf(sn, "%v", err)
+				}
+				w = hw.BlockWork{Vec: 1}
 			}
 			n := b.newNode(sn, parent, c.env, c.prob)
 			n.Work = w
+			if err != nil {
+				b.assume(guard.SevWarn, sn, n, "assumed-work", "%v; assuming zero work", err)
+			}
 		}
 		return live, nil
 
@@ -202,28 +257,46 @@ func (b *builder) stmt(parent *Node, sn *bst.Node, live []ectx, esc *escape) ([]
 		for _, c := range live {
 			cnt, err := evalNonNeg(lib.Count, c.env)
 			if err != nil {
-				return nil, b.errf(sn, "lib count: %v", err)
+				if !b.opts.Lenient {
+					return nil, b.errf(sn, "lib count: %v", err)
+				}
+				cnt = 1
 			}
 			n := b.newNode(sn, parent, c.env, c.prob)
 			n.LibFunc = lib.Func
 			n.LibCount = cnt
+			if err != nil {
+				b.assume(guard.SevWarn, sn, n, "assumed-lib-count", "lib count: %v; assuming 1 invocation", err)
+			}
 		}
 		return live, nil
 
 	case bst.KindComm:
 		comm := sn.Stmt.(*skeleton.Comm)
 		for _, c := range live {
-			bytes, err := evalNonNeg(comm.Bytes, c.env)
-			if err != nil {
-				return nil, b.errf(sn, "comm bytes: %v", err)
+			bytes, berr := evalNonNeg(comm.Bytes, c.env)
+			if berr != nil {
+				if !b.opts.Lenient {
+					return nil, b.errf(sn, "comm bytes: %v", berr)
+				}
+				bytes = 0
 			}
-			msgs, err := evalNonNeg(comm.Msgs, c.env)
-			if err != nil {
-				return nil, b.errf(sn, "comm msgs: %v", err)
+			msgs, merr := evalNonNeg(comm.Msgs, c.env)
+			if merr != nil {
+				if !b.opts.Lenient {
+					return nil, b.errf(sn, "comm msgs: %v", merr)
+				}
+				msgs = 1
 			}
 			n := b.newNode(sn, parent, c.env, c.prob)
 			n.CommBytes = bytes
 			n.CommMsgs = msgs
+			if berr != nil {
+				b.assume(guard.SevWarn, sn, n, "assumed-comm", "comm bytes: %v; assuming 0 bytes", berr)
+			}
+			if merr != nil {
+				b.assume(guard.SevWarn, sn, n, "assumed-comm", "comm msgs: %v; assuming 1 message", merr)
+			}
 		}
 		return live, nil
 
@@ -239,7 +312,14 @@ func (b *builder) stmt(parent *Node, sn *bst.Node, live []ectx, esc *escape) ([]
 		for _, c := range live {
 			v, err := set.Value.Eval(c.env)
 			if err != nil {
-				return nil, b.errf(sn, "set %s: %v", set.Name, err)
+				if !b.opts.Lenient {
+					return nil, b.errf(sn, "set %s: %v", set.Name, err)
+				}
+				n := b.newNode(sn, parent, c.env, c.prob)
+				b.assume(guard.SevWarn, sn, n, "assumed-binding",
+					"set %s: %v; binding dropped", set.Name, err)
+				out = append(out, ectx{env: c.env, prob: c.prob})
+				continue
 			}
 			b.newNode(sn, parent, c.env, c.prob)
 			env := c.env.Clone()
@@ -268,6 +348,18 @@ func (b *builder) stmt(parent *Node, sn *bst.Node, live []ectx, esc *escape) ([]
 	case bst.KindContinue:
 		st := sn.Stmt.(*skeleton.Continue)
 		return b.jump(parent, sn, live, st.Prob, &esc.cont)
+
+	case bst.KindHole:
+		if !b.opts.Lenient {
+			return nil, b.errf(sn, "cannot model a parser hole in strict mode")
+		}
+		h := sn.Stmt.(*skeleton.Hole)
+		for _, c := range live {
+			n := b.newNode(sn, parent, c.env, c.prob)
+			b.assume(guard.SevError, sn, n, "hole",
+				"unparseable statement %q modeled as zero work", h.Text)
+		}
+		return live, nil
 	}
 	return nil, b.errf(sn, "unhandled BST node kind %s", sn.Kind)
 }
@@ -278,14 +370,22 @@ func (b *builder) jump(parent *Node, sn *bst.Node, live []ectx, probX expr.Expr,
 	out := make([]ectx, 0, len(live))
 	for _, c := range live {
 		p := 1.0
+		var perr error
 		if probX != nil {
 			v, err := evalProb(probX, c.env)
 			if err != nil {
-				return nil, b.errf(sn, "prob: %v", err)
+				if !b.opts.Lenient {
+					return nil, b.errf(sn, "prob: %v", err)
+				}
+				perr, v = err, 0.5
 			}
 			p = v
 		}
-		b.newNode(sn, parent, c.env, c.prob)
+		n := b.newNode(sn, parent, c.env, c.prob)
+		if perr != nil {
+			b.assume(guard.SevWarn, sn, n, "assumed-jump-prob",
+				"prob: %v; assuming 0.5", perr)
+		}
 		*sink += c.prob * p
 		out = append(out, ectx{env: c.env, prob: c.prob * (1 - p)})
 	}
@@ -308,7 +408,17 @@ func (b *builder) loop(parent *Node, sn *bst.Node, live []ectx, esc *escape) ([]
 			lp := sn.Stmt.(*skeleton.Loop)
 			iters, mid, err := loopRange(lp, c.env)
 			if err != nil {
-				return nil, b.errf(sn, "%v", err)
+				if !b.opts.Lenient {
+					return nil, b.errf(sn, "%v", err)
+				}
+				// The static bound was not evaluable under this context;
+				// fall back to the minimal prior of one iteration. The
+				// loop variable stays unbound, so body quantities that
+				// depend on it degrade through their own fallbacks.
+				b.assume(guard.SevWarn, sn, n, "assumed-trip-count",
+					"%v; assuming 1 iteration", err)
+				rangeIters = 1
+				break
 			}
 			rangeIters = iters
 			if iters > 0 {
@@ -318,7 +428,12 @@ func (b *builder) loop(parent *Node, sn *bst.Node, live []ectx, esc *escape) ([]
 			wh := sn.Stmt.(*skeleton.While)
 			iters, err := evalNonNeg(wh.Iters, c.env)
 			if err != nil {
-				return nil, b.errf(sn, "while iters: %v", err)
+				if !b.opts.Lenient {
+					return nil, b.errf(sn, "while iters: %v", err)
+				}
+				iters = 1
+				b.assume(guard.SevWarn, sn, n, "assumed-trip-count",
+					"while iters: %v; assuming 1 iteration", err)
 			}
 			rangeIters = iters
 		}
@@ -376,6 +491,7 @@ func (b *builder) branch(parent *Node, sn *bst.Node, live []ectx, esc *escape) (
 		remaining := 1.0
 		for _, arm := range sn.Children {
 			var pArm float64
+			var armErr error
 			switch arm.Kind {
 			case bst.KindCase:
 				cond := arm.Case.Cond
@@ -383,7 +499,15 @@ func (b *builder) branch(parent *Node, sn *bst.Node, live []ectx, esc *escape) (
 				case skeleton.CondExpr:
 					v, err := cond.X.Eval(c.env)
 					if err != nil {
-						return nil, b.errf(arm, "branch condition: %v", err)
+						if !b.opts.Lenient {
+							return nil, b.errf(arm, "branch condition: %v", err)
+						}
+						// Uniform branch prior: the condition is not
+						// evaluable, so the arm takes half the remaining
+						// mass.
+						armErr = err
+						pArm = remaining * 0.5
+						break
 					}
 					if v != 0 {
 						pArm = remaining
@@ -391,7 +515,11 @@ func (b *builder) branch(parent *Node, sn *bst.Node, live []ectx, esc *escape) (
 				case skeleton.CondProb:
 					p, err := evalProb(cond.X, c.env)
 					if err != nil {
-						return nil, b.errf(arm, "branch probability: %v", err)
+						if !b.opts.Lenient {
+							return nil, b.errf(arm, "branch probability: %v", err)
+						}
+						armErr = err
+						p = 0.5
 					}
 					pArm = remaining * p
 				}
@@ -400,11 +528,19 @@ func (b *builder) branch(parent *Node, sn *bst.Node, live []ectx, esc *escape) (
 			}
 			remaining = clamp01(remaining - pArm)
 			if pArm <= probEps {
+				if armErr != nil {
+					b.assume(guard.SevWarn, arm, nil, "assumed-branch-prob",
+						"%v; assuming uniform prior 0.5", armErr)
+				}
 				continue
 			}
 			// One group node per taken arm; its statements execute with
 			// probability 1 relative to the arm being taken.
 			armNode := b.newNode(arm, n, c.env, pArm)
+			if armErr != nil {
+				b.assume(guard.SevWarn, arm, armNode, "assumed-branch-prob",
+					"%v; assuming uniform prior 0.5", armErr)
+			}
 			armOut, armEsc, err := b.body(armNode, arm.Children, []ectx{{env: c.env, prob: 1}})
 			if err != nil {
 				return nil, err
@@ -433,7 +569,16 @@ func (b *builder) call(parent *Node, sn *bst.Node, live []ectx) ([]ectx, error) 
 	callStmt := sn.Stmt.(*skeleton.Call)
 	calleeRoot, err := b.bet.Tree.Func(callStmt.Func)
 	if err != nil {
-		return nil, b.errf(sn, "%v", err)
+		if !b.opts.Lenient {
+			return nil, b.errf(sn, "%v", err)
+		}
+		// Undefined callee: model the call as an empty assumed block.
+		for _, c := range live {
+			n := b.newNode(sn, parent, c.env, c.prob)
+			b.assume(guard.SevError, sn, n, "assumed-call",
+				"%v; call modeled as empty", err)
+		}
+		return live, nil
 	}
 	callee := calleeRoot.Fn
 	for _, c := range live {
@@ -441,9 +586,22 @@ func (b *builder) call(parent *Node, sn *bst.Node, live []ectx) ([]ectx, error) 
 		// Callee context: global input bindings overlaid with parameters.
 		env := b.input.Clone()
 		for i, param := range callee.Params {
+			if i >= len(callStmt.Args) {
+				// Reachable only in lenient mode: strict builds validated
+				// arity up front.
+				b.assume(guard.SevWarn, sn, n, "assumed-argument",
+					"missing argument %d (%s); assuming 0", i+1, param)
+				env[param] = 0
+				continue
+			}
 			v, err := callStmt.Args[i].Eval(c.env)
 			if err != nil {
-				return nil, b.errf(sn, "argument %d: %v", i+1, err)
+				if !b.opts.Lenient {
+					return nil, b.errf(sn, "argument %d: %v", i+1, err)
+				}
+				b.assume(guard.SevWarn, sn, n, "assumed-argument",
+					"argument %d: %v; assuming 0", i+1, err)
+				v = 0
 			}
 			env[param] = v
 		}

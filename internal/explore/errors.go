@@ -1,11 +1,19 @@
 package explore
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"skope/internal/hw"
 )
+
+// ErrLowConfidence marks a variant whose assembled analysis scored below
+// the engine's MinConfidence floor: the projection completed, but too much
+// of it rests on fallback priors, recovered parses, or non-finite
+// arithmetic to rank alongside trustworthy variants. The variant comes
+// back as a *VariantError wrapping this sentinel, never as an analysis.
+var ErrLowConfidence = errors.New("analysis confidence below floor")
 
 // VariantError attributes one failed variant of a sweep: which input index,
 // which machine, and why. The cause stays on the %w chain, so

@@ -141,6 +141,9 @@ type Engine struct {
 	timeout time.Duration
 	breaker *resilience.Breaker
 
+	// minConf is the confidence floor (see MinConfidence); 0 disables it.
+	minConf float64
+
 	// Journal state (see Journal and UseJournal): jnl receives completed
 	// variants; replay holds the decoded records found at bind time.
 	jnl    *journal.Journal
@@ -207,6 +210,18 @@ func VariantTimeout(d time.Duration) Option {
 // large grid. n < 1 keeps the default of 3.
 func BreakerThreshold(n int) Option {
 	return func(e *Engine) { e.breaker = resilience.NewBreaker(n) }
+}
+
+// MinConfidence sets the confidence floor for the engine's sweeps:
+// variants whose assembled analysis carries Confidence below c fail with
+// an error wrapping ErrLowConfidence instead of ranking alongside
+// trustworthy projections. The filter applies identically to fresh
+// evaluations and journal replays, so a resumed sweep flags the same
+// variants an uninterrupted one would. c <= 0 (the default) disables the
+// floor. Low-confidence variants are still journaled — their per-block
+// times are valid — so re-running with a lower floor replays them for free.
+func MinConfidence(c float64) Option {
+	return func(e *Engine) { e.minConf = c }
 }
 
 // Journal attaches a sweep journal to the engine. The journal must be
@@ -476,8 +491,19 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 					if err != nil {
 						r.Err = e.variantError(i, m, 0, err)
 					} else {
-						r.Analysis = a
-						r.Replayed = true
+						if entry.conf != nil {
+							// The journal persisted the confidence the
+							// original run assembled with; replaying it
+							// keeps resumed sweeps bit-identical even if
+							// the scoring formula evolves.
+							a.Confidence = *entry.conf
+						}
+						if lcErr := e.confidenceErr(a); lcErr != nil {
+							r.Err = e.variantError(i, m, 0, lcErr)
+						} else {
+							r.Analysis = a
+							r.Replayed = true
+						}
 					}
 				} else {
 					a, comp, comm, attempts, err := e.evaluateVariant(sctx, m)
@@ -490,8 +516,15 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 						}
 						r.Err = e.variantError(i, m, attempts, err)
 					} else {
-						r.Analysis = a
-						e.journalAppend(m, comp, comm)
+						// Journal before the confidence gate: the
+						// per-block times are valid either way, and a
+						// re-run with a lower floor replays them for free.
+						e.journalAppend(m, comp, comm, a.Confidence)
+						if lcErr := e.confidenceErr(a); lcErr != nil {
+							r.Err = e.variantError(i, m, attempts, lcErr)
+						} else {
+							r.Analysis = a
+						}
 					}
 				}
 				select {
@@ -523,6 +556,18 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 		return errors.Join(errs...)
 	}
 	return out, wait
+}
+
+// confidenceErr applies the MinConfidence floor to a successfully
+// assembled analysis: nil when the floor is disabled or met, an error
+// wrapping ErrLowConfidence (and marked permanent — re-evaluating cannot
+// raise the score) otherwise.
+func (e *Engine) confidenceErr(a *hotspot.Analysis) error {
+	if e.minConf <= 0 || a.Confidence >= e.minConf {
+		return nil
+	}
+	return resilience.Permanent(fmt.Errorf("%w: confidence %.4g below floor %.4g (%d diagnostics)",
+		ErrLowConfidence, a.Confidence, e.minConf, len(a.Diagnostics)))
 }
 
 // variantError builds the enriched attribution for one failed variant.

@@ -36,6 +36,9 @@ var ErrJournalDegraded = errors.New("sweep journal degraded")
 // replayEntry is one decoded journal record.
 type replayEntry struct {
 	comp, comm []hotspot.BlockTimes
+	// conf is the confidence score the original run assembled with, nil
+	// for records written before confidence tracking existed.
+	conf *float64
 }
 
 // recTimes is the wire form of one hotspot.BlockTimes.
@@ -47,11 +50,15 @@ type recTimes struct {
 	MB bool   `json:"mb,omitempty"`
 }
 
-// sweepRecord is the wire form of one completed variant.
+// sweepRecord is the wire form of one completed variant. Conf carries the
+// assembled analysis's confidence score as IEEE-754 bits; it is a pointer
+// so records written before confidence tracking decode to nil (replay then
+// keeps the recomputed score) instead of a spurious 0.
 type sweepRecord struct {
 	Machine string     `json:"machine"`
 	Comp    []recTimes `json:"comp"`
 	Comm    []recTimes `json:"comm"`
+	Conf    *uint64    `json:"conf,omitempty"`
 }
 
 func encodeTimes(in []hotspot.BlockTimes) []recTimes {
@@ -114,7 +121,12 @@ func (e *Engine) bindJournal(j *journal.Journal) error {
 			return fmt.Errorf("explore: journal record %s: %d comp / %d comm blocks, layout has %d / %d",
 				key, len(rec.Comp), len(rec.Comm), e.layout.NumComp(), e.layout.NumComm())
 		}
-		replay[key] = replayEntry{comp: decodeTimes(rec.Comp), comm: decodeTimes(rec.Comm)}
+		entry := replayEntry{comp: decodeTimes(rec.Comp), comm: decodeTimes(rec.Comm)}
+		if rec.Conf != nil {
+			c := math.Float64frombits(*rec.Conf)
+			entry.conf = &c
+		}
+		replay[key] = entry
 	}
 	e.jnl = j
 	e.replay = replay
@@ -137,7 +149,7 @@ func (e *Engine) replayEntry(m *hw.Machine) (replayEntry, bool) {
 // failure does not fail the variant — the analysis is already computed —
 // but it disables further journaling and surfaces once from the sweep's
 // wait/Sweep error so the operator knows resume coverage is partial.
-func (e *Engine) journalAppend(m *hw.Machine, comp, comm []hotspot.BlockTimes) {
+func (e *Engine) journalAppend(m *hw.Machine, comp, comm []hotspot.BlockTimes, conf float64) {
 	if e.jnl == nil {
 		return
 	}
@@ -147,7 +159,8 @@ func (e *Engine) journalAppend(m *hw.Machine, comp, comm []hotspot.BlockTimes) {
 	if broken {
 		return
 	}
-	payload, err := json.Marshal(sweepRecord{Machine: m.Name, Comp: encodeTimes(comp), Comm: encodeTimes(comm)})
+	cbits := math.Float64bits(conf)
+	payload, err := json.Marshal(sweepRecord{Machine: m.Name, Comp: encodeTimes(comp), Comm: encodeTimes(comm), Conf: &cbits})
 	if err == nil {
 		err = e.jnl.Append(m.Fingerprint(), payload)
 	}

@@ -1,0 +1,50 @@
+package expr
+
+import (
+	"fmt"
+
+	"skope/internal/guard"
+)
+
+// Hole is a placeholder for an expression that could not be parsed. It
+// keeps the surrounding statement structurally intact while refusing to
+// produce a number: Eval always errors, so a strict model build fails
+// loudly and a lenient build (core.Build with Options.Lenient) substitutes
+// its documented prior and records the substitution as a diagnostic.
+type Hole struct {
+	// Text is the unparseable source fragment, for diagnostics.
+	Text string
+}
+
+// Eval implements Expr. A hole never evaluates; the caller must decide
+// what the missing value defaults to.
+func (h Hole) Eval(Env) (float64, error) {
+	return 0, fmt.Errorf("expr: unresolved hole %q", h.Text)
+}
+
+// Vars implements Expr. A hole binds nothing.
+func (h Hole) Vars(map[string]bool) {}
+
+// String renders the hole as an impossible call so it cannot be confused
+// with a parseable expression.
+func (h Hole) String() string { return "hole()" }
+
+// ParseLenient parses src like ParseWithLimits, but never fails: on any
+// error — syntax, trailing garbage, or a guard limit — it returns a Hole
+// carrying the source text plus one guard.Diagnostic describing what was
+// lost. On valid input it returns the exact ParseWithLimits result and no
+// diagnostics, so lenient parsing of intact sources is bit-identical to
+// strict parsing.
+func ParseLenient(src string, lim *guard.Limits) (Expr, []guard.Diagnostic) {
+	e, err := ParseWithLimits(src, lim)
+	if err == nil {
+		return e, nil
+	}
+	d := guard.Diagnostic{
+		Severity: guard.SevError,
+		Stage:    "expr",
+		Code:     "syntax",
+		Message:  fmt.Sprintf("unparseable expression %q: %v", src, err),
+	}
+	return Hole{Text: src}, []guard.Diagnostic{d}
+}

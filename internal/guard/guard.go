@@ -201,11 +201,35 @@ func (l *Limits) String() string {
 	return strings.Join(parts, ",")
 }
 
+// Severity grades a Diagnostic. SevWarn (the zero value, so existing
+// construction sites stay warnings) marks a substituted or suspect value
+// the pipeline papered over; SevError marks content that was lost — a
+// statement the lenient parser had to drop or replace with a hole.
+type Severity int
+
+const (
+	// SevWarn marks degraded-but-present content (prior substitutions,
+	// non-finite projections).
+	SevWarn Severity = iota
+	// SevError marks lost content (unparseable statements, holes).
+	SevError
+)
+
+// String renders the conventional lowercase severity label.
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
 // Diagnostic is a structured, non-fatal warning attached to an analysis
 // result: the computation completed, but part of it is degraded or
 // numerically suspect. Diagnostics never alter the floating-point results
 // they describe; they only make degradation visible.
 type Diagnostic struct {
+	// Severity grades the degradation (SevWarn or SevError).
+	Severity Severity
 	// Stage names the producing pipeline stage ("translate", "roofline",
 	// "hotspot", ...).
 	Stage string

@@ -72,9 +72,21 @@ type Analysis struct {
 	// BET is the tree the analysis was computed from.
 	BET *core.BET
 	// Diagnostics records numeric-hygiene findings (non-finite projected
-	// times and the like) that did not abort the analysis. Empty on a
-	// clean projection; sorted by stage, code, block.
+	// times and the like) plus every prior substitution a lenient model
+	// build papered over. Empty on a clean projection; sorted by stage,
+	// code, block.
 	Diagnostics []guard.Diagnostic
+	// Confidence is the measured-vs-assumed coverage of the projection:
+	// the BET's confidence score further reduced by the fraction of
+	// blocks with non-finite projected times. Exactly 1.0 for a strict
+	// build on sane machine parameters.
+	Confidence float64
+}
+
+// Degraded reports whether any part of the projection rests on fallback
+// priors, recovered parses, or non-finite arithmetic.
+func (a *Analysis) Degraded() bool {
+	return a.Confidence < 1 || len(a.Diagnostics) > 0
 }
 
 // Analyze characterizes every comp and lib block of the BET with the given

@@ -59,6 +59,12 @@ type Layout struct {
 	blocks []*layoutBlock
 	comp   []*layoutBlock
 	comm   []*layoutBlock
+	// confidence and betDiags carry the BET's measured-vs-assumed score
+	// and prior-substitution record into every assembled analysis (and
+	// into the fingerprint, so a journal written by a lenient run never
+	// replays into a strict one).
+	confidence float64
+	betDiags   []guard.Diagnostic
 }
 
 // NewLayout resolves the machine-independent half of the analysis: block
@@ -66,7 +72,10 @@ type Layout struct {
 // ENR-scaled aggregate work. It fails on library blocks the modeler does
 // not know.
 func NewLayout(bet *core.BET, libs LibModeler) (*Layout, error) {
-	l := &Layout{bet: bet, totalStaticInsts: bet.Tree.TotalStaticInsts()}
+	l := &Layout{
+		bet: bet, totalStaticInsts: bet.Tree.TotalStaticInsts(),
+		confidence: bet.Confidence, betDiags: bet.Diagnostics,
+	}
 	byID := make(map[string]*layoutBlock)
 	for _, n := range bet.Leaves() {
 		id := n.BlockID()
@@ -152,6 +161,12 @@ func (l *Layout) Fingerprint() string {
 	i(l.totalStaticInsts)
 	i(len(l.comp))
 	i(len(l.comm))
+	f(l.confidence)
+	i(len(l.betDiags))
+	for _, d := range l.betDiags {
+		s(d.Severity.String())
+		s(d.String())
+	}
 	for _, lb := range l.blocks {
 		s(lb.proto.BlockID)
 		if lb.proto.IsComm {
@@ -268,6 +283,17 @@ func (l *Layout) Assemble(m *hw.Machine, comp, comm []BlockTimes) (*Analysis, er
 		}
 		return a.Blocks[i].BlockID < a.Blocks[j].BlockID
 	})
+	// Confidence: the BET's measured-vs-assumed score, further reduced to
+	// the finite fraction of block projections when the machine produced
+	// NaN/Inf times (weakest-stage composition).
+	nonFinite := len(a.Diagnostics)
+	a.Confidence = l.confidence
+	if len(l.blocks) > 0 && nonFinite > 0 {
+		if frac := float64(len(l.blocks)-nonFinite) / float64(len(l.blocks)); frac < a.Confidence {
+			a.Confidence = frac
+		}
+	}
+	a.Diagnostics = append(a.Diagnostics, l.betDiags...)
 	guard.SortDiagnostics(a.Diagnostics)
 	return a, nil
 }

@@ -32,6 +32,30 @@ func FuzzMinilangParse(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := minilang.Parse("fuzz", src)
+
+		// Lenient mode must never panic and always return a non-nil
+		// partial program; rejected input must carry at least one
+		// diagnostic, accepted input none (and an identical program).
+		lprog, diags := minilang.ParseLenient("fuzz", src, nil)
+		if lprog == nil {
+			t.Fatalf("ParseLenient(%q) returned a nil program", src)
+		}
+		_ = minilang.Check(lprog)
+		_ = minilang.Format(lprog)
+		_ = minilang.StmtCount(lprog)
+		if err != nil {
+			if len(diags) == 0 {
+				t.Fatalf("ParseLenient(%q): strict parse failed (%v) but no diagnostics", src, err)
+			}
+		} else {
+			if len(diags) != 0 {
+				t.Fatalf("ParseLenient(%q): diagnostics %v on input the strict parser accepts", src, diags)
+			}
+			if got, want := minilang.Format(lprog), minilang.Format(prog); got != want {
+				t.Fatalf("ParseLenient(%q) formats differently from strict:\n%s\nvs\n%s", src, got, want)
+			}
+		}
+
 		if err != nil {
 			return
 		}

@@ -1,0 +1,190 @@
+package minilang
+
+import (
+	"fmt"
+
+	"skope/internal/guard"
+)
+
+// ParseLenient parses minilang source in error-recovering mode. Instead of
+// aborting at the first syntax error it drops the offending statement or
+// top-level declaration, resynchronizes at the next ';', block boundary,
+// or top-level keyword, records one guard.Diagnostic per recovery, and
+// returns whatever program structure survived. The returned program is
+// always non-nil; an input with no salvageable content yields an empty
+// program plus diagnostics.
+//
+// On input that the strict parser accepts, ParseLenient returns a
+// structurally identical program and zero diagnostics.
+//
+// Each "parse/syntax" diagnostic corresponds to exactly one dropped
+// statement or declaration, which is how the pipeline derives its parse
+// confidence (kept / (kept + dropped)).
+func ParseLenient(name, src string, lim *guard.Limits) (*Program, []guard.Diagnostic) {
+	empty := func(d guard.Diagnostic) (*Program, []guard.Diagnostic) {
+		return &Program{
+			Source:       name,
+			GlobalByName: make(map[string]*GlobalDecl),
+			FuncByName:   make(map[string]*FuncDecl),
+		}, []guard.Diagnostic{d}
+	}
+	if err := lim.CheckSource(len(src)); err != nil {
+		return empty(guard.Diagnostic{
+			Severity: guard.SevError, Stage: "parse", Code: "limit",
+			Message: fmt.Sprintf("%s: %v", name, err),
+		})
+	}
+	toks, err := Lex(name, src)
+	if err != nil {
+		// The lexer fails only on malformed characters/literals; without a
+		// token stream there is nothing to recover from.
+		return empty(guard.Diagnostic{
+			Severity: guard.SevError, Stage: "parse", Code: "lex",
+			Message: err.Error(),
+		})
+	}
+	if err := lim.CheckTokens(len(toks)); err != nil {
+		return empty(guard.Diagnostic{
+			Severity: guard.SevError, Stage: "parse", Code: "limit",
+			Message: fmt.Sprintf("%s: %v", name, err),
+		})
+	}
+	p := &mparser{name: name, toks: toks, lim: lim.Or(), lenient: true}
+	prog := p.parseProgramLenient()
+	return prog, p.diags
+}
+
+func (p *mparser) diag(sev guard.Severity, code, msg string) {
+	p.diags = append(p.diags, guard.Diagnostic{
+		Severity: sev, Stage: "parse", Code: code, Message: msg,
+	})
+}
+
+// parseProgramLenient mirrors parseProgram with per-declaration recovery.
+func (p *mparser) parseProgramLenient() *Program {
+	prog := &Program{
+		Source:       p.name,
+		GlobalByName: make(map[string]*GlobalDecl),
+		FuncByName:   make(map[string]*FuncDecl),
+	}
+	for p.cur().Kind != TokEOF {
+		switch {
+		case p.atKw("global"):
+			g, err := p.parseGlobal()
+			if err != nil {
+				p.recoverTop(err)
+				continue
+			}
+			if _, dup := prog.GlobalByName[g.Name]; dup {
+				p.diag(guard.SevError, "duplicate", p.errf(p.cur(), "duplicate global %q", g.Name).Error())
+				continue
+			}
+			prog.Globals = append(prog.Globals, g)
+			prog.GlobalByName[g.Name] = g
+		case p.atKw("func"):
+			f, err := p.parseFunc()
+			if err != nil {
+				p.recoverTop(err)
+				continue
+			}
+			if _, dup := prog.FuncByName[f.Name]; dup {
+				p.diag(guard.SevError, "duplicate", p.errf(p.cur(), "duplicate function %q", f.Name).Error())
+				continue
+			}
+			prog.Funcs = append(prog.Funcs, f)
+			prog.FuncByName[f.Name] = f
+		default:
+			p.recoverTop(p.errf(p.cur(), "expected global or func at top level, found %q", p.cur().Text))
+		}
+	}
+	if len(prog.Funcs) == 0 {
+		p.diag(guard.SevError, "no-functions", fmt.Sprintf("%s: no functions", p.name))
+	}
+	return prog
+}
+
+// recoverTop records a dropped top-level declaration and skips ahead to
+// the next top-level keyword (brace-aware, so a keyword inside a stray
+// block does not resynchronize too early).
+func (p *mparser) recoverTop(err error) {
+	p.diag(guard.SevError, "syntax", err.Error())
+	p.dropped++
+	depth := 0
+	// Always make progress, even when already positioned at a keyword.
+	if p.cur().Kind == TokEOF {
+		return
+	}
+	if p.atPunct("{") {
+		depth++
+	}
+	p.next()
+	for {
+		switch {
+		case p.cur().Kind == TokEOF:
+			return
+		case depth == 0 && (p.atKw("func") || p.atKw("global")):
+			return
+		case p.atPunct("{"):
+			depth++
+		case p.atPunct("}"):
+			if depth > 0 {
+				depth--
+			}
+		}
+		p.next()
+	}
+}
+
+// resyncStmt skips tokens after a failed statement: past the next ';' at
+// the current brace depth, or up to (not past) the enclosing block's '}'.
+func (p *mparser) resyncStmt() {
+	depth := 0
+	for {
+		switch {
+		case p.cur().Kind == TokEOF:
+			return
+		case p.atPunct("{"):
+			depth++
+		case p.atPunct("}"):
+			if depth == 0 {
+				return // leave for parseBlock to close
+			}
+			depth--
+		case p.atPunct(";") && depth == 0:
+			p.next()
+			return
+		}
+		p.next()
+	}
+}
+
+// StmtCount returns the number of statements in the program plus one per
+// declaration — the denominator of the lenient parse-confidence score.
+func StmtCount(prog *Program) int {
+	n := len(prog.Globals)
+	for _, f := range prog.Funcs {
+		n++
+		n += blockStmtCount(f.Body)
+	}
+	return n
+}
+
+func blockStmtCount(b *Block) int {
+	if b == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range b.Stmts {
+		n++
+		switch t := s.(type) {
+		case *For:
+			n += blockStmtCount(t.Body)
+		case *While:
+			n += blockStmtCount(t.Body)
+		case *If:
+			n += blockStmtCount(t.Then)
+			n += blockStmtCount(t.Else)
+		}
+	}
+	return n
+}

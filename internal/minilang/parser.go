@@ -49,6 +49,11 @@ type mparser struct {
 	// exprDepth and nestDepth track live parser recursion against the
 	// guard limits (anchored at parseExpr/parseUnary and parseBlock).
 	exprDepth, nestDepth int
+	// lenient switches statement-level error recovery on inside
+	// parseBlock (see lenient.go). Strict parsing never sets it.
+	lenient bool
+	diags   []guard.Diagnostic
+	dropped int // statements/declarations lost to recovery
 }
 
 func (p *mparser) enterExpr() error {
@@ -257,10 +262,23 @@ func (p *mparser) parseBlock() (*Block, error) {
 	b := &Block{Pos: open.Pos}
 	for !p.atPunct("}") {
 		if p.cur().Kind == TokEOF {
+			if p.lenient {
+				p.diag(guard.SevWarn, "unclosed-block",
+					p.errf(open, "unterminated block (implicitly closed)").Error())
+				return b, nil
+			}
 			return nil, p.errf(open, "unterminated block")
 		}
 		s, err := p.parseStmt()
 		if err != nil {
+			if p.lenient {
+				// Drop the statement, resynchronize at the next ';' or
+				// the block's closing '}', and keep parsing.
+				p.diag(guard.SevError, "syntax", err.Error())
+				p.dropped++
+				p.resyncStmt()
+				continue
+			}
 			return nil, err
 		}
 		b.Stmts = append(b.Stmts, s)

@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"skope/internal/bst"
+	"skope/internal/core"
+	"skope/internal/guard"
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/interp"
+	"skope/internal/skeleton"
+	"skope/internal/workloads"
+)
+
+// renderDegraded serializes the stable degradation surface: every
+// diagnostic (severity and full text) and the bit-exact confidence score,
+// followed by the regular analysis golden.
+func renderDegraded(name string, conf float64, diags []guard.Diagnostic, a *hotspot.Analysis) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "confidence %s\n", hexf(conf))
+	fmt.Fprintf(&b, "diagnostics %d\n", len(diags))
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s %s\n", d.Severity, d)
+	}
+	b.Write(renderGolden(name, a))
+	return b.Bytes()
+}
+
+func checkDegradedGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture %s (regenerate with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("degraded analysis %s drifted from %s\n--- want\n%s--- got\n%s",
+			name, path, want, got)
+	}
+}
+
+// TestGoldenDegradedSkeleton pins the lenient pipeline's behavior on a
+// truncated skeleton: the first 60%% of sord's generated skeleton lines,
+// cut mid-block, parsed leniently, modeled with fallback priors, and
+// projected on BGQ. The fixture pins the diagnostics text, the bit-exact
+// confidence score, and the surviving blocks' projections.
+func TestGoldenDegradedSkeleton(t *testing.T) {
+	run := prepared(t, "sord")
+	// Cut at 60% of the bytes, mid-line: the severed line becomes a hole
+	// node, every block below it is implicitly closed, and the functions
+	// past the cut disappear entirely (their call sites degrade to
+	// assumed empty calls).
+	truncated := run.Skeleton.Text[:len(run.Skeleton.Text)*60/100]
+
+	lim := guard.Default()
+	prog, diags := skeleton.ParseLenient("sord-truncated", truncated, lim)
+	// No separate ValidateLenient pass: the lenient core.Build runs it and
+	// folds the findings into the BET diagnostics, which flow into
+	// a.Diagnostics — a second pass here would double every finding.
+	tree, err := bst.Build(prog)
+	if err != nil {
+		t.Fatalf("bst: %v", err)
+	}
+	bet, err := core.Build(context.Background(), tree, run.Skeleton.Input, &core.Options{
+		MaxContexts: lim.MaxContexts, MaxNodes: lim.MaxBETNodes, Lenient: true,
+	})
+	if err != nil {
+		t.Fatalf("bet: %v", err)
+	}
+	a, err := hotspot.Analyze(context.Background(), bet, hw.NewModel(hw.BGQ()), run.Libs)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if a.Confidence >= 1 {
+		t.Errorf("truncated skeleton produced confidence %v, want < 1", a.Confidence)
+	}
+	if !a.Degraded() {
+		t.Error("truncated skeleton analysis not flagged as degraded")
+	}
+	all := append(append([]guard.Diagnostic{}, diags...), a.Diagnostics...)
+	guard.SortDiagnostics(all)
+	checkDegradedGolden(t, "degraded-skeleton", renderDegraded("sord-truncated", a.Confidence, all, a))
+}
+
+// TestGoldenMissingBranchProfile pins the pipeline's prior fallback when
+// the profile loses one branch entry: the lexically first branch site is
+// deleted from a measured profile and the workload re-prepared around the
+// gap. Translation substitutes the uniform p=0.5 prior, records the
+// documented diagnostic, and the confidence drops below 1.
+func TestGoldenMissingBranchProfile(t *testing.T) {
+	base := prepared(t, "sord")
+	if len(base.Profile.Branches) == 0 {
+		t.Fatal("sord profile has no branch entries to corrupt")
+	}
+	keys := make([]string, 0, len(base.Profile.Branches))
+	for k := range base.Profile.Branches {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	corrupt := interp.NewProfile()
+	for k, v := range base.Profile.Branches {
+		if k != keys[0] {
+			corrupt.Branches[k] = v
+		}
+	}
+	for k, v := range base.Profile.Loops {
+		corrupt.Loops[k] = v
+	}
+
+	w, err := workloads.Get("sord", workloads.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Prepare(context.Background(), w, WithProfile(corrupt))
+	if err != nil {
+		t.Fatalf("prepare with corrupt profile: %v", err)
+	}
+	if !run.Degraded() {
+		t.Error("missing branch entry not flagged as degraded")
+	}
+	if run.Confidence >= 1 {
+		t.Errorf("missing branch entry left confidence at %v, want < 1", run.Confidence)
+	}
+	found := false
+	for _, d := range run.Diagnostics {
+		if d.Code == "missing-profile" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no missing-profile diagnostic, got %v", run.Diagnostics)
+	}
+	out, err := Sweep(context.Background(), run, []*hw.Machine{hw.BGQ()})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	checkDegradedGolden(t, "degraded-profile", renderDegraded("sord-missing-branch", run.Confidence, run.Diagnostics, out[0]))
+}
+
+// TestStrictLenientParity verifies the acceptance bar for lenient mode:
+// on every intact built-in workload the lenient pipeline produces the
+// same diagnostics, bit-identical confidence, and bit-identical projected
+// numbers as the strict one — and on workloads with no degradations at
+// all, exactly confidence 1.0 and zero diagnostics.
+func TestStrictLenientParity(t *testing.T) {
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			strict := prepared(t, name)
+			w, err := workloads.Get(name, workloads.ScaleTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lenient, err := Prepare(context.Background(), w, WithLenient(true))
+			if err != nil {
+				t.Fatalf("lenient prepare: %v", err)
+			}
+			if math.Float64bits(lenient.Confidence) != math.Float64bits(strict.Confidence) {
+				t.Errorf("confidence: lenient %v, strict %v", lenient.Confidence, strict.Confidence)
+			}
+			if got, want := fmt.Sprint(lenient.Diagnostics), fmt.Sprint(strict.Diagnostics); got != want {
+				t.Errorf("diagnostics: lenient %s, strict %s", got, want)
+			}
+			if len(strict.Diagnostics) == 0 {
+				if lenient.Confidence != 1 {
+					t.Errorf("clean workload: lenient confidence %v, want exactly 1", lenient.Confidence)
+				}
+				if len(lenient.Diagnostics) != 0 {
+					t.Errorf("clean workload: lenient diagnostics %v, want none", lenient.Diagnostics)
+				}
+			}
+			sa, err := Sweep(context.Background(), strict, []*hw.Machine{hw.BGQ()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			la, err := Sweep(context.Background(), lenient, []*hw.Machine{hw.BGQ()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(renderGolden(name, la[0]), renderGolden(name, sa[0])) {
+				t.Errorf("lenient analysis differs from strict:\n--- strict\n%s--- lenient\n%s",
+					renderGolden(name, sa[0]), renderGolden(name, la[0]))
+			}
+			if math.Float64bits(la[0].Confidence) != math.Float64bits(sa[0].Confidence) {
+				t.Errorf("analysis confidence: lenient %v, strict %v", la[0].Confidence, sa[0].Confidence)
+			}
+		})
+	}
+}

@@ -130,6 +130,9 @@ func Explorer(run *Run, opts ...Option) (*explore.Engine, error) {
 	if o.progress != nil {
 		eopts = append(eopts, explore.OnProgress(o.progress))
 	}
+	if o.minConf > 0 {
+		eopts = append(eopts, explore.MinConfidence(o.minConf))
+	}
 	if o.jnl != nil {
 		eopts = append(eopts, explore.Journal(o.jnl))
 	}

@@ -81,8 +81,22 @@ type Run struct {
 	// Diagnostics records the documented degradations the preparation
 	// applied — most importantly translate's missing-profile fallbacks
 	// (a branch with no profile entry assumes p=0.5, a while loop assumes
-	// one iteration). Empty on a fully profiled workload.
+	// one iteration), plus every parser recovery and profiling shortfall
+	// under WithLenient. Empty on a fully profiled workload; sorted by
+	// stage, code, block.
 	Diagnostics []guard.Diagnostic
+	// Confidence is the measured-vs-assumed coverage of the preparation:
+	// the minimum of the parse confidence (statements kept vs dropped by
+	// the lenient parser), the translate confidence (profiled vs assumed
+	// control-flow sites), and the BET's confidence. Exactly 1.0 for a
+	// fully profiled strict preparation.
+	Confidence float64
+}
+
+// Degraded reports whether any part of the preparation rests on recovered
+// parses, fallback priors, or incomplete profiles.
+func (r *Run) Degraded() bool {
+	return r.Confidence < 1 || len(r.Diagnostics) > 0
 }
 
 // Option configures Evaluate, EvaluateMany, Sweep, and Explorer.
@@ -97,6 +111,9 @@ type options struct {
 	retry     resilience.Policy
 	timeout   time.Duration
 	jnl       *journal.Journal
+	lenient   bool
+	minConf   float64
+	prof      *interp.Profile
 }
 
 func buildOptions(opts []Option) options {
@@ -162,6 +179,33 @@ func WithVariantTimeout(d time.Duration) Option {
 	return func(o *options) { o.timeout = d }
 }
 
+// WithLenient switches Prepare into error-recovering mode: syntax errors
+// drop the offending statement instead of aborting, a failed profiling run
+// degrades to whatever was measured before the failure, and missing branch
+// probabilities or trip counts fall back to paper-motivated priors. Every
+// substitution is recorded on Run.Diagnostics and reflected in the
+// confidence scores. On intact, fully checkable inputs the lenient
+// pipeline produces bit-identical results to the strict one.
+func WithLenient(on bool) Option {
+	return func(o *options) { o.lenient = on }
+}
+
+// WithMinConfidence sets the confidence floor for Sweep and Explorer-built
+// engines: variants whose assembled analysis scores below c fail with an
+// error wrapping explore.ErrLowConfidence instead of ranking alongside
+// trustworthy projections. c <= 0 (the default) disables the filter.
+func WithMinConfidence(c float64) Option {
+	return func(o *options) { o.minConf = c }
+}
+
+// WithProfile substitutes a pre-computed branch/loop profile for Prepare's
+// local profiling run — the hook for replaying captured profiles or for
+// fault-injection studies that corrupt individual entries. nil leaves the
+// default profiling pass in place.
+func WithProfile(p *interp.Profile) Option {
+	return func(o *options) { o.prof = p }
+}
+
 // WithJournal attaches a sweep journal to Sweep and Explorer-built
 // engines: variants recorded by an earlier run are replayed instead of
 // recomputed, and fresh completions are durably appended (fsync per
@@ -182,30 +226,58 @@ func Prepare(ctx context.Context, w *workloads.Workload, opts ...Option) (run *R
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pipeline: prepare %s: %w", w.Name, err)
 	}
-	prog, err := minilang.ParseWithLimits(w.Name, w.Source, o.lim)
-	if err != nil {
-		return nil, stage(ErrParse, fmt.Errorf("pipeline: parse %s: %w", w.Name, err))
+	var diags []guard.Diagnostic
+	var prog *minilang.Program
+	if o.lenient {
+		var pd []guard.Diagnostic
+		prog, pd = minilang.ParseLenient(w.Name, w.Source, o.lim)
+		diags = append(diags, pd...)
+	} else {
+		p, perr := minilang.ParseWithLimits(w.Name, w.Source, o.lim)
+		if perr != nil {
+			return nil, stage(ErrParse, fmt.Errorf("pipeline: parse %s: %w", w.Name, perr))
+		}
+		prog = p
 	}
+	// Semantic validity is required for modeling in both modes: the
+	// translator and interpreter consume the checker's AST annotations,
+	// so an uncheckable program (even a lenient partial one) cannot be
+	// degraded past this point.
 	if err := minilang.Check(prog); err != nil {
 		return nil, stage(ErrParse, fmt.Errorf("pipeline: check %s: %w", w.Name, err))
 	}
 
 	// Local profiling pass (gcov substitute). One run, reused across all
-	// target machines.
-	profiler := interp.NewProfiler()
-	eng, err := interp.New(prog, &interp.Options{Observer: profiler, Seed: w.Seed})
-	if err != nil {
-		return nil, stage(ErrProfile, fmt.Errorf("pipeline: profile %s: %w", w.Name, err))
-	}
-	if err := eng.Run(); err != nil {
-		return nil, stage(ErrProfile, fmt.Errorf("pipeline: profile %s: %w", w.Name, err))
+	// target machines; WithProfile substitutes a captured profile instead.
+	prof := o.prof
+	if prof == nil {
+		profiler := interp.NewProfiler()
+		eng, err := interp.New(prog, &interp.Options{Observer: profiler, Seed: w.Seed})
+		if err != nil {
+			if !o.lenient {
+				return nil, stage(ErrProfile, fmt.Errorf("pipeline: profile %s: %w", w.Name, err))
+			}
+			diags = append(diags, guard.Diagnostic{
+				Severity: guard.SevWarn, Stage: "profile", Code: "partial-profile",
+				Message: fmt.Sprintf("%s: profiling run unavailable (%v); unprofiled control flow falls back to priors", w.Name, err),
+			})
+		} else if err := eng.Run(); err != nil {
+			if !o.lenient {
+				return nil, stage(ErrProfile, fmt.Errorf("pipeline: profile %s: %w", w.Name, err))
+			}
+			diags = append(diags, guard.Diagnostic{
+				Severity: guard.SevWarn, Stage: "profile", Code: "partial-profile",
+				Message: fmt.Sprintf("%s: profiling run failed (%v); keeping measurements up to the failure", w.Name, err),
+			})
+		}
+		prof = profiler.P
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pipeline: prepare %s: %w", w.Name, err)
 	}
 
 	// Source-to-source translation into the code skeleton.
-	sk, err := translate.Translate(prog, profiler.P)
+	sk, err := translate.Translate(prog, prof)
 	if err != nil {
 		return nil, stage(ErrModel, fmt.Errorf("pipeline: translate %s: %w", w.Name, err))
 	}
@@ -218,6 +290,7 @@ func Prepare(ctx context.Context, w *workloads.Workload, opts ...Option) (run *R
 	lim := o.lim.Or()
 	bet, err := core.Build(ctx, tree, sk.Input, &core.Options{
 		MaxContexts: lim.MaxContexts, MaxNodes: lim.MaxBETNodes,
+		Lenient: o.lenient,
 	})
 	if err != nil {
 		return nil, stage(ErrModel, fmt.Errorf("pipeline: bet %s: %w", w.Name, err))
@@ -226,11 +299,49 @@ func Prepare(ctx context.Context, w *workloads.Workload, opts ...Option) (run *R
 	if err != nil {
 		return nil, stage(ErrModel, fmt.Errorf("pipeline: %w", err))
 	}
+	diags = append(diags, translateDiagnostics(w.Name, sk.Warnings)...)
+	guard.SortDiagnostics(diags)
 	return &Run{
-		Workload: w, Prog: prog, Profile: profiler.P,
+		Workload: w, Prog: prog, Profile: prof,
 		Skeleton: sk, Tree: tree, BET: bet, Libs: libs,
-		Diagnostics: translateDiagnostics(w.Name, sk.Warnings),
+		Diagnostics: diags,
+		Confidence:  runConfidence(prog, prof, diags, bet.Confidence),
 	}, nil
+}
+
+// runConfidence composes the preparation's per-stage confidence scores by
+// their minimum (the chain is only as trustworthy as its weakest stage):
+//
+//   - parse: statements kept over statements seen, where each "parse/syntax"
+//     diagnostic accounts for one dropped statement or declaration;
+//   - translate: profiled control-flow sites over all sites, where each
+//     "translate/missing-profile" diagnostic accounts for one site that fell
+//     back to a prior;
+//   - model: the BET's ENR-weighted measured-vs-assumed coverage.
+func runConfidence(prog *minilang.Program, prof *interp.Profile, diags []guard.Diagnostic, betConf float64) float64 {
+	conf := betConf
+	dropped, missing := 0, 0
+	for _, d := range diags {
+		switch {
+		case d.Stage == "parse" && d.Code == "syntax":
+			dropped++
+		case d.Stage == "translate" && d.Code == "missing-profile":
+			missing++
+		}
+	}
+	if dropped > 0 {
+		kept := minilang.StmtCount(prog)
+		if pc := float64(kept) / float64(kept+dropped); pc < conf {
+			conf = pc
+		}
+	}
+	if missing > 0 {
+		sites := len(prof.Branches) + len(prof.Loops)
+		if tc := float64(sites) / float64(sites+missing); tc < conf {
+			conf = tc
+		}
+	}
+	return conf
 }
 
 // translateDiagnostics converts translate's free-text warnings into
@@ -286,6 +397,20 @@ type Eval struct {
 	SelectionQuality float64
 	// HotPath is the merged hot path for the selection.
 	HotPath *hotpath.Path
+	// Diagnostics merges the preparation's diagnostics (parser recoveries,
+	// profiling shortfalls, translation fallbacks) with the analysis's
+	// (prior substitutions, non-finite projections), sorted by stage,
+	// code, block. Empty on a clean strict evaluation.
+	Diagnostics []guard.Diagnostic
+	// Confidence is the end-to-end measured-vs-assumed coverage: the
+	// minimum of the preparation's and the analysis's scores.
+	Confidence float64
+}
+
+// Degraded reports whether any part of the evaluation rests on recovered
+// parses, fallback priors, incomplete profiles, or non-finite arithmetic.
+func (e *Eval) Degraded() bool {
+	return e.Confidence < 1 || len(e.Diagnostics) > 0
 }
 
 // Evaluate projects the prepared workload onto machine m, simulates the
@@ -314,6 +439,16 @@ func Evaluate(ctx context.Context, run *Run, m *hw.Machine, opts ...Option) (ev 
 
 	modl := profile.FromAnalysis(analysis)
 	prof := profile.FromSim(simRes)
+	// Run and analysis diagnostics are disjoint sets (preparation stages
+	// vs bet/roofline), so a straight merge never duplicates.
+	evDiags := make([]guard.Diagnostic, 0, len(run.Diagnostics)+len(analysis.Diagnostics))
+	evDiags = append(evDiags, run.Diagnostics...)
+	evDiags = append(evDiags, analysis.Diagnostics...)
+	guard.SortDiagnostics(evDiags)
+	conf := run.Confidence
+	if analysis.Confidence < conf {
+		conf = analysis.Confidence
+	}
 	return &Eval{
 		Machine:          m,
 		Analysis:         analysis,
@@ -324,6 +459,8 @@ func Evaluate(ctx context.Context, run *Run, m *hw.Machine, opts ...Option) (ev 
 		Quality:          profile.SelectionQuality(prof, modl.TopIDs(10)),
 		SelectionQuality: profile.SelectionQuality(prof, spotIDs(sel.Spots)),
 		HotPath:          hotpath.Extract(run.BET.Root, sel.Spots),
+		Diagnostics:      evDiags,
+		Confidence:       conf,
 	}, nil
 }
 

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"skope/internal/guard"
+)
+
+// Diagnostics renders a diagnostic list as an aligned table (severity,
+// stage, code, block, message), sorted the way guard.SortDiagnostics
+// leaves it. An empty list renders as the empty string, so callers can
+// print the result unconditionally.
+func Diagnostics(title string, ds []guard.Diagnostic) string {
+	if len(ds) == 0 {
+		return ""
+	}
+	t := &Table{Title: title, Header: []string{"SEV", "STAGE", "CODE", "BLOCK", "MESSAGE"}}
+	for _, d := range ds {
+		t.AddRow(d.Severity.String(), d.Stage, d.Code, d.BlockID, d.Message)
+	}
+	return t.String()
+}
+
+// Confidence renders a one-line confidence summary for CLI footers:
+// the score, a qualitative bucket, and the diagnostic count.
+func Confidence(score float64, ds []guard.Diagnostic) string {
+	bucket := "full"
+	switch {
+	case score >= 1:
+		bucket = "full"
+	case score >= 0.9:
+		bucket = "high"
+	case score >= 0.5:
+		bucket = "partial"
+	default:
+		bucket = "low"
+	}
+	errs, warns := 0, 0
+	for _, d := range ds {
+		if d.Severity == guard.SevError {
+			errs++
+		} else {
+			warns++
+		}
+	}
+	s := fmt.Sprintf("confidence %.4g (%s)", score, bucket)
+	var parts []string
+	if errs > 0 {
+		parts = append(parts, fmt.Sprintf("%d error(s)", errs))
+	}
+	if warns > 0 {
+		parts = append(parts, fmt.Sprintf("%d warning(s)", warns))
+	}
+	if len(parts) > 0 {
+		s += ": " + strings.Join(parts, ", ")
+	}
+	return s
+}

@@ -16,6 +16,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"skope/internal/guard"
 )
 
 // ErrAttemptTimeout marks an attempt that exceeded its per-attempt
@@ -57,6 +59,10 @@ func IsPermanent(err error) bool {
 //   - context.DeadlineExceeded is retried only when it is an attempt-level
 //     timeout (ErrAttemptTimeout on the chain), never when the sweep-level
 //     context expired;
+//   - guard.ErrLimit is never retried — a resource-limit rejection is a
+//     deterministic property of the input and the configured limits, so
+//     re-running the identical computation burns the retry budget for
+//     nothing;
 //   - everything else (recovered panics, I/O hiccups, injected faults) is
 //     presumed transient and retried.
 func Retryable(err error) bool {
@@ -70,6 +76,8 @@ func Retryable(err error) bool {
 	case errors.Is(err, ErrAttemptTimeout):
 		return true
 	case errors.Is(err, context.DeadlineExceeded):
+		return false
+	case errors.Is(err, guard.ErrLimit):
 		return false
 	}
 	return true

@@ -111,6 +111,10 @@ func TestRetryableClassification(t *testing.T) {
 		{fmt.Errorf("variant: %w", resilience.ErrAttemptTimeout), true},
 		{resilience.Permanent(errors.New("validation")), false},
 		{fmt.Errorf("wrap: %w", resilience.Permanent(errors.New("validation"))), false},
+		{guard.ErrLimit, false},
+		{fmt.Errorf("bet: %w", guard.ErrLimit), false},
+		{&guard.LimitError{What: "BET nodes", Value: 11, Max: 10}, false},
+		{fmt.Errorf("variant: %w", &guard.LimitError{What: "contexts", Value: 3, Max: 2}), false},
 	}
 	for _, c := range cases {
 		if got := resilience.Retryable(c.err); got != c.want {

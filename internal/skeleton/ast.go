@@ -253,6 +253,16 @@ type VarDecl struct {
 	DSize expr.Expr
 }
 
+// Hole stands in for a statement the lenient parser could not understand.
+// It preserves the statement's position (and raw text, for diagnostics) so
+// downstream stages can count and attribute the lost content; the model
+// charges it zero work and marks everything it covers as assumed.
+type Hole struct {
+	stmtBase
+	// Text is the raw source line that failed to parse.
+	Text string
+}
+
 // Return exits the enclosing function, optionally with a probability (for
 // data-dependent early returns observed by the profiler).
 type Return struct {

@@ -59,6 +59,29 @@ func FuzzSkeletonParse(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := skeleton.Parse("fuzz", src)
+
+		// Lenient mode must never panic and always return a non-nil
+		// partial program; rejected input must carry at least one
+		// diagnostic, accepted input none (and an identical program).
+		lprog, diags := skeleton.ParseLenient("fuzz", src, nil)
+		if lprog == nil {
+			t.Fatalf("ParseLenient(%q) returned a nil program", src)
+		}
+		_ = skeleton.Format(lprog)
+		_, _ = skeleton.ValidateLenient(lprog, "main")
+		if err != nil {
+			if len(diags) == 0 {
+				t.Fatalf("ParseLenient(%q): strict parse failed (%v) but no diagnostics", src, err)
+			}
+		} else {
+			if len(diags) != 0 {
+				t.Fatalf("ParseLenient(%q): diagnostics %v on input the strict parser accepts", src, diags)
+			}
+			if got, want := skeleton.Format(lprog), skeleton.Format(prog); got != want {
+				t.Fatalf("ParseLenient(%q) formats differently from strict:\n%s\nvs\n%s", src, got, want)
+			}
+		}
+
 		if err != nil {
 			return
 		}

@@ -1,0 +1,315 @@
+package skeleton
+
+import (
+	"fmt"
+	"strings"
+
+	"skope/internal/expr"
+	"skope/internal/guard"
+)
+
+// ParseLenient parses skeleton text in error-recovering mode. Instead of
+// aborting at the first syntax error it resynchronizes at line and block
+// boundaries, records one guard.Diagnostic per recovery, and emits a
+// partial program in which unparseable statements become explicit *Hole
+// nodes (and unparseable attribute expressions become expr.Hole values).
+// It never fails: the returned program is always non-nil, and an input
+// with no salvageable content yields an empty program plus diagnostics.
+//
+// On input that the strict parser accepts, ParseLenient returns a
+// structurally identical program and zero diagnostics, so lenient mode on
+// intact sources is bit-identical to strict mode.
+//
+// Recovery rules:
+//   - an unparseable statement line becomes a *Hole at its position;
+//   - a malformed for/while/if header still opens its block (so the
+//     matching "end" stays aligned) with the unknown quantity replaced by
+//     an expr.Hole, which the lenient model build resolves to its prior;
+//   - a malformed, duplicate, or nested "def" parses its body for
+//     alignment but is not registered;
+//   - orphan end/elif/else lines are skipped; blocks left open at EOF are
+//     closed implicitly;
+//   - blocks beyond the nesting cap are dropped wholesale (one
+//     diagnostic), keeping the tree bounded.
+func ParseLenient(source, text string, lim *guard.Limits) (*Program, []guard.Diagnostic) {
+	p := &sparser{source: source, lim: lim.Or(), lenient: true}
+	if err := p.lim.CheckSource(len(text)); err != nil {
+		p.diag(guard.SevError, "limit", fmt.Sprintf("%s: %v", source, err))
+		return &Program{ByName: make(map[string]*FuncDef), Source: source}, p.diags
+	}
+	prog := p.parseLenient(text)
+	return prog, p.diags
+}
+
+func (p *sparser) diag(sev guard.Severity, code, msg string) {
+	p.diags = append(p.diags, guard.Diagnostic{
+		Severity: sev, Stage: "skeleton", Code: code, Message: msg,
+	})
+}
+
+// diagf records a diagnostic positioned like a parse error.
+func (p *sparser) diagf(sev guard.Severity, code string, lineNo int, format string, args ...any) {
+	p.diag(sev, code, p.errf(lineNo, format, args...).Error())
+}
+
+// parseLenient mirrors parse() with recovery at every strict return site.
+func (p *sparser) parseLenient(text string) *Program {
+	prog := &Program{ByName: make(map[string]*FuncDef), Source: p.source}
+	var stack []*frame
+	skip := 0 // depth of blocks dropped at the nesting cap
+
+	place := func(s Stmt) bool {
+		if len(stack) == 0 {
+			return false
+		}
+		top := stack[len(stack)-1]
+		top.curBody = append(top.curBody, s)
+		return true
+	}
+	// hole records a syntax diagnostic and, when inside a block, preserves
+	// the lost line as a Hole statement.
+	hole := func(lineNo int, raw string, err error) {
+		p.diag(guard.SevError, "syntax", err.Error())
+		place(&Hole{stmtBase: stmtBase{Line: lineNo}, Text: strings.TrimSpace(raw)})
+	}
+	push := func(f *frame) bool {
+		if err := p.lim.CheckNestDepth(len(stack) + 1); err != nil {
+			if skip == 0 {
+				p.diagf(guard.SevError, "limit", f.line, "%v; block and its contents dropped", err)
+			}
+			skip++
+			return false
+		}
+		stack = append(stack, f)
+		return true
+	}
+	// closeFrame finishes one block exactly like the strict "end" case.
+	closeFrame := func(top *frame) {
+		var closed Stmt
+		switch top.kind {
+		case "def":
+			if top.broken {
+				return
+			}
+			top.fn.Body = top.curBody
+			prog.Funcs = append(prog.Funcs, top.fn)
+			prog.ByName[top.fn.Name] = top.fn
+			return
+		case "for":
+			top.loop.Body = top.curBody
+			closed = top.loop
+		case "while":
+			top.while.Body = top.curBody
+			closed = top.while
+		case "if":
+			if top.inElse {
+				top.ifs.Else = top.curBody
+			} else {
+				top.ifs.Cases[len(top.ifs.Cases)-1].Body = top.curBody
+			}
+			closed = top.ifs
+		}
+		if !place(closed) {
+			p.diagf(guard.SevError, "outside-function", closed.Pos(), "statement outside function definition")
+		}
+	}
+
+	lines := strings.Split(text, "\n")
+	for ln, raw := range lines {
+		lineNo := ln + 1
+		toks, err := p.scanLine(lineNo, raw)
+		if err != nil {
+			if skip == 0 {
+				hole(lineNo, raw, err)
+			}
+			continue
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		head := toks[0].text
+		rest := toks[1:]
+		if skip > 0 {
+			// Inside a dropped block: track nesting so the matching end
+			// re-aligns, discard everything else.
+			switch head {
+			case "def", "for", "while", "if":
+				skip++
+			case "end":
+				skip--
+			}
+			continue
+		}
+		switch head {
+		case "def":
+			fn, err := p.parseDef(lineNo, rest)
+			broken := false
+			if err != nil {
+				p.diag(guard.SevError, "syntax", err.Error())
+				fn = &FuncDef{Name: fmt.Sprintf("_recovered@L%d", lineNo), Line: lineNo}
+				broken = true
+			}
+			if len(stack) != 0 {
+				p.diagf(guard.SevError, "nested-def", lineNo, "nested function definitions are not allowed")
+				broken = true
+			}
+			if _, dup := prog.ByName[fn.Name]; dup {
+				p.diagf(guard.SevError, "duplicate-function", lineNo, "duplicate function %q", fn.Name)
+				broken = true
+			}
+			push(&frame{kind: "def", line: lineNo, fn: fn, broken: broken})
+
+		case "for":
+			loop, err := p.parseFor(lineNo, rest)
+			if err != nil {
+				p.diag(guard.SevError, "syntax", err.Error())
+				loop = &Loop{
+					stmtBase: stmtBase{Line: lineNo},
+					Var:      "_", From: expr.Const(0),
+					To: expr.Hole{Text: strings.TrimSpace(raw)},
+				}
+			}
+			push(&frame{kind: "for", line: lineNo, loop: loop})
+
+		case "while":
+			w, err := p.parseWhile(lineNo, rest)
+			if err != nil {
+				p.diag(guard.SevError, "syntax", err.Error())
+				w = &While{
+					stmtBase: stmtBase{Line: lineNo},
+					Iters:    expr.Hole{Text: strings.TrimSpace(raw)},
+				}
+			}
+			push(&frame{kind: "while", line: lineNo, while: w})
+
+		case "if":
+			cond, err := p.parseCond(lineNo, rest)
+			if err != nil {
+				p.diag(guard.SevError, "syntax", err.Error())
+				cond = CondSpec{Kind: CondProb, X: expr.Hole{Text: strings.TrimSpace(raw)}}
+			}
+			ifs := &If{stmtBase: stmtBase{Line: lineNo}}
+			ifs.Cases = append(ifs.Cases, IfCase{Cond: cond, Line: lineNo})
+			push(&frame{kind: "if", line: lineNo, ifs: ifs})
+
+		case "elif":
+			if len(stack) == 0 || stack[len(stack)-1].kind != "if" {
+				p.diagf(guard.SevError, "orphan-elif", lineNo, "elif outside if")
+				continue
+			}
+			top := stack[len(stack)-1]
+			if top.inElse {
+				p.diagf(guard.SevError, "orphan-elif", lineNo, "elif after else")
+				continue
+			}
+			cond, err := p.parseCond(lineNo, rest)
+			if err != nil {
+				p.diag(guard.SevError, "syntax", err.Error())
+				cond = CondSpec{Kind: CondProb, X: expr.Hole{Text: strings.TrimSpace(raw)}}
+			}
+			top.ifs.Cases[len(top.ifs.Cases)-1].Body = top.curBody
+			top.curBody = nil
+			top.ifs.Cases = append(top.ifs.Cases, IfCase{Cond: cond, Line: lineNo})
+
+		case "else":
+			if len(stack) == 0 || stack[len(stack)-1].kind != "if" {
+				p.diagf(guard.SevError, "orphan-else", lineNo, "else outside if")
+				continue
+			}
+			top := stack[len(stack)-1]
+			if top.inElse {
+				p.diagf(guard.SevError, "orphan-else", lineNo, "duplicate else")
+				continue
+			}
+			if len(rest) != 0 {
+				p.diagf(guard.SevWarn, "trailing-tokens", lineNo, "unexpected tokens after else (ignored)")
+			}
+			top.ifs.Cases[len(top.ifs.Cases)-1].Body = top.curBody
+			top.curBody = nil
+			top.inElse = true
+
+		case "end":
+			if len(rest) != 0 {
+				p.diagf(guard.SevWarn, "trailing-tokens", lineNo, "unexpected tokens after end (ignored)")
+			}
+			if len(stack) == 0 {
+				p.diagf(guard.SevWarn, "orphan-end", lineNo, "end without open block (ignored)")
+				continue
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			closeFrame(top)
+
+		case "comp", "comm", "lib", "call", "set", "var":
+			var s Stmt
+			var err error
+			switch head {
+			case "comp":
+				s, err = p.parseComp(lineNo, rest)
+			case "comm":
+				s, err = p.parseComm(lineNo, rest)
+			case "lib":
+				s, err = p.parseLib(lineNo, rest)
+			case "call":
+				s, err = p.parseCall(lineNo, rest)
+			case "set":
+				s, err = p.parseSet(lineNo, rest)
+			case "var":
+				s, err = p.parseVar(lineNo, rest)
+			}
+			if err != nil {
+				hole(lineNo, raw, err)
+				continue
+			}
+			if !place(s) {
+				p.diagf(guard.SevError, "outside-function", lineNo, "statement outside function definition")
+			}
+
+		case "return", "break", "continue":
+			s, err := p.parseJump(lineNo, head, rest)
+			if err != nil {
+				hole(lineNo, raw, err)
+				continue
+			}
+			if !place(s) {
+				p.diagf(guard.SevError, "outside-function", lineNo, "statement outside function definition")
+			}
+
+		default:
+			hole(lineNo, raw, p.errf(lineNo, "unknown statement %q", head))
+		}
+	}
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		p.diagf(guard.SevWarn, "unclosed-block", top.line, "unclosed %s block (implicitly closed)", top.kind)
+		closeFrame(top)
+	}
+	if len(prog.Funcs) == 0 {
+		p.diag(guard.SevError, "no-functions", fmt.Sprintf("%s: no function definitions", p.source))
+	}
+	return prog
+}
+
+// parseJump parses a return/break/continue statement body.
+func (p *sparser) parseJump(lineNo int, head string, toks []ltok) (Stmt, error) {
+	kv, err := p.parseKV(lineNo, toks)
+	if err != nil {
+		return nil, err
+	}
+	if err := kv.check("prob"); err != nil {
+		return nil, err
+	}
+	if len(kv.bare) != 0 {
+		return nil, p.errf(lineNo, "unexpected tokens after %s", head)
+	}
+	prob := kv.get("prob", nil)
+	switch head {
+	case "return":
+		return &Return{stmtBase: stmtBase{Line: lineNo}, Prob: prob}, nil
+	case "break":
+		return &Break{stmtBase: stmtBase{Line: lineNo}, Prob: prob}, nil
+	default:
+		return &Continue{stmtBase: stmtBase{Line: lineNo}, Prob: prob}, nil
+	}
+}

@@ -38,6 +38,11 @@ func MustParse(source, text string) *Program {
 type sparser struct {
 	source string
 	lim    *guard.Limits
+	// lenient switches error recovery on: expression attributes that fail
+	// to parse become expr.Hole values recorded in diags instead of
+	// aborting the statement. Strict parsing never sets it.
+	lenient bool
+	diags   []guard.Diagnostic
 }
 
 // ltok is a lexical token within one line.
@@ -159,7 +164,11 @@ func (p *sparser) parseKV(lineNo int, toks []ltok) (*kvlist, error) {
 		src := joinToks(valToks)
 		e, err := expr.ParseWithLimits(src, p.lim)
 		if err != nil {
-			return nil, p.errf(lineNo, "attribute %q: %v", key, err)
+			if !p.lenient {
+				return nil, p.errf(lineNo, "attribute %q: %v", key, err)
+			}
+			p.diag(guard.SevError, "expr-hole", p.errf(lineNo, "attribute %q: %v", key, err).Error())
+			e = expr.Hole{Text: src}
 		}
 		kv.vals[key] = e
 		kv.keys = append(kv.keys, key)
@@ -225,6 +234,11 @@ type frame struct {
 	ifs     *If
 	curBody []Stmt // accumulates statements of the open arm/body
 	inElse  bool
+	// broken marks a def frame whose registration the lenient parser has
+	// already diagnosed away (malformed header, duplicate, nested def);
+	// its body is parsed for alignment but discarded. Strict parsing never
+	// sets it.
+	broken bool
 }
 
 func (p *sparser) parse(text string) (*Program, error) {

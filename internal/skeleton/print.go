@@ -100,6 +100,10 @@ func writeBody(b *strings.Builder, body []Stmt, depth int) {
 				fmt.Fprintf(b, " dsize=%s", t.DSize)
 			}
 			b.WriteByte('\n')
+		case *Hole:
+			// Render as a comment so the output still round-trips through
+			// the strict parser (the hole itself has no concrete syntax).
+			fmt.Fprintf(b, "%s# hole: %s\n", ind, strings.ReplaceAll(t.Text, "\n", " "))
 		case *Return:
 			writeJump(b, ind, "return", t.Prob)
 		case *Break:

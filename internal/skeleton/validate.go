@@ -2,6 +2,8 @@ package skeleton
 
 import (
 	"fmt"
+
+	"skope/internal/guard"
 )
 
 // Validate performs semantic checks on a parsed program:
@@ -27,6 +29,67 @@ func ValidateEntry(p *Program, entry string) error {
 		}
 	}
 	return checkRecursion(p, entry)
+}
+
+// ValidateLenient runs the same checks as ValidateEntry but demotes
+// recoverable findings — undefined callees, arity mismatches, misplaced
+// break/continue — to diagnostics, because the lenient model build has a
+// per-site fallback for each of them. Two conditions stay hard errors
+// regardless of mode: a missing entry function (nothing to model) and
+// recursion (BET construction inlines callees, so recursion would not
+// terminate; it is a resource guard, not a degradation).
+func ValidateLenient(p *Program, entry string) ([]guard.Diagnostic, error) {
+	if _, err := p.Func(entry); err != nil {
+		return nil, err
+	}
+	var diags []guard.Diagnostic
+	for _, f := range p.Funcs {
+		for _, err := range bodyFindings(p, f.Body, 0, nil) {
+			diags = append(diags, guard.Diagnostic{
+				Severity: guard.SevWarn, Stage: "validate", Code: "semantic",
+				Message: err.Error(),
+			})
+		}
+	}
+	if err := checkRecursion(p, entry); err != nil {
+		return diags, err
+	}
+	return diags, nil
+}
+
+// bodyFindings is checkBody's accumulating twin: it records every semantic
+// finding in a body instead of stopping at the first.
+func bodyFindings(p *Program, body []Stmt, loopDepth int, acc []error) []error {
+	for _, s := range body {
+		switch t := s.(type) {
+		case *Call:
+			callee, ok := p.ByName[t.Func]
+			if !ok {
+				acc = append(acc, fmt.Errorf("%s:%d: call to undefined function %q", p.Source, t.Pos(), t.Func))
+			} else if len(t.Args) != len(callee.Params) {
+				acc = append(acc, fmt.Errorf("%s:%d: call to %q with %d args, want %d",
+					p.Source, t.Pos(), t.Func, len(t.Args), len(callee.Params)))
+			}
+		case *Break:
+			if loopDepth == 0 {
+				acc = append(acc, fmt.Errorf("%s:%d: break outside loop", p.Source, t.Pos()))
+			}
+		case *Continue:
+			if loopDepth == 0 {
+				acc = append(acc, fmt.Errorf("%s:%d: continue outside loop", p.Source, t.Pos()))
+			}
+		case *Loop:
+			acc = bodyFindings(p, t.Body, loopDepth+1, acc)
+		case *While:
+			acc = bodyFindings(p, t.Body, loopDepth+1, acc)
+		case *If:
+			for _, c := range t.Cases {
+				acc = bodyFindings(p, c.Body, loopDepth, acc)
+			}
+			acc = bodyFindings(p, t.Else, loopDepth, acc)
+		}
+	}
+	return acc
 }
 
 func checkBody(p *Program, f *FuncDef, body []Stmt, loopDepth int) error {
