@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench fuzz-short check
+.PHONY: all build vet fmt-check test race bench bench-store bench-smoke fuzz-short check
 
 all: check
 
@@ -28,6 +28,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Cold-vs-warm throughput of the content-addressed result store; the
+# pinned numbers live in BENCH_store.json.
+bench-store:
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepCached' -benchmem ./internal/pipeline/
+
+# One-iteration smoke over the store benchmarks: proves the cold and warm
+# paths still run (and that warm is actually warm — the benchmark fails if
+# preparation is not skipped) without paying for a full measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepCached' -benchtime 1x ./internal/pipeline/
 
 # Short fuzz smoke over the three parser frontiers (10s per target).
 FUZZTIME ?= 10s

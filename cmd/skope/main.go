@@ -27,6 +27,18 @@
 // -retries re-attempts transiently failing variants with exponential
 // backoff, and -variant-timeout bounds each attempt.
 //
+// -store goes further than the per-sweep journal: it names a
+// content-addressed result store shared across runs, processes, and the
+// skoped daemon. Results are keyed by what they are — workload model
+// fingerprint × machine fingerprint × evaluation settings — so repeating a
+// sweep over the same grid is served entirely from the store: the workload
+// is not even re-prepared (no parsing, no profiling, no model
+// construction), and the served results are bit-identical to the computed
+// ones.
+//
+//	skope -bench sord -sweep mem-bandwidth=16,32,64 -store results.cas
+//	skope -bench sord -sweep mem-bandwidth=16,32,64 -store results.cas   # zero recomputation
+//
 // -lenient switches the frontend and model construction into
 // error-recovering mode: syntax errors drop the offending statement,
 // missing branch probabilities and trip counts fall back to documented
@@ -56,39 +68,22 @@ import (
 	"strings"
 	"time"
 
+	"skope/internal/cliflags"
 	"skope/internal/explore"
 	"skope/internal/guard"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
+	"skope/internal/journal"
 	"skope/internal/pipeline"
 	"skope/internal/report"
 	"skope/internal/resilience"
+	"skope/internal/store"
 	"skope/internal/workloads"
 )
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.bench, "bench", "sord", "benchmark name (sord, chargei, srad, cfd, stassuij)")
-	flag.StringVar(&cfg.source, "source", "", "analyze a minilang source file instead of a built-in benchmark")
-	flag.StringVar(&cfg.machine, "machine", "bgq", "target machine preset (bgq, xeon)")
-	flag.StringVar(&cfg.machineFile, "machine-file", "", "JSON machine description (overrides -machine; see hw.SaveConfig)")
-	flag.Float64Var(&cfg.scale, "scale", 1, "workload scale factor")
-	flag.StringVar(&cfg.show, "show", "spots,breakdown,path", "comma-separated sections: skeleton,bet,spots,breakdown,path,dot,all")
-	flag.BoolVar(&cfg.validate, "validate", false, "also simulate the workload and report selection quality")
-	flag.Float64Var(&cfg.coverage, "coverage", 0.90, "hot-spot time coverage target")
-	flag.Float64Var(&cfg.leanness, "leanness", 0.50, "hot-spot code leanness budget")
-	flag.IntVar(&cfg.maxSpots, "spots", 10, "maximum hot spots to select (0 = unlimited)")
-	flag.BoolVar(&cfg.list, "list", false, "list benchmarks, machine presets and sweep parameters, then exit")
-	flag.Var(&cfg.sweeps, "sweep", "design-space axis param=v1,v2,... (repeatable; switches to sweep mode)")
-	flag.IntVar(&cfg.workers, "workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
-	flag.IntVar(&cfg.top, "top", 10, "sweep mode: variants to print (0 = all)")
-	flag.StringVar(&cfg.journal, "journal", "", "sweep mode: append completed variants to this crash-safe journal file")
-	flag.BoolVar(&cfg.resume, "resume", false, "sweep mode: replay variants already recorded in -journal instead of recomputing them")
-	flag.IntVar(&cfg.retries, "retries", 0, "sweep mode: retries per variant for transient failures (exponential backoff with jitter)")
-	flag.DurationVar(&cfg.variantTimeout, "variant-timeout", 0, "sweep mode: deadline per evaluation attempt, e.g. 30s (0 = none)")
-	flag.StringVar(&cfg.limits, "limits", "", "guard limit overrides, e.g. \"nest-depth=32,bet-nodes=100000\"; keys: "+strings.Join(guard.LimitKeys(), ", "))
-	flag.BoolVar(&cfg.lenient, "lenient", false, "error-recovering mode: recover from syntax errors and missing profile data, report diagnostics and a confidence score instead of failing")
-	flag.Float64Var(&cfg.minConfidence, "min-confidence", 0, "sweep mode: flag variants whose analysis confidence falls below this floor instead of ranking them (0 = off)")
+	cfg.register(flag.CommandLine)
 	flag.Parse()
 	degraded, err := run(context.Background(), os.Stdout, cfg)
 	if err != nil {
@@ -106,29 +101,31 @@ func main() {
 // from "failed".
 const exitDegraded = 3
 
-// axisList collects repeated -sweep flags.
-type axisList []string
+// config carries the parsed command line. The machine, guard, criteria and
+// sweep surfaces are the shared cliflags definitions — identical names and
+// semantics across skope, skopec and skoped.
+type config struct {
+	mach cliflags.Machine
+	grd  cliflags.Guard
+	crit cliflags.Criteria
+	sw   cliflags.Sweep
 
-func (a *axisList) String() string { return strings.Join(*a, "; ") }
-
-func (a *axisList) Set(v string) error {
-	if _, err := explore.ParseAxis(v); err != nil {
-		return err
-	}
-	*a = append(*a, v)
-	return nil
+	bench, source, show string
+	scale               float64
+	validate, list      bool
 }
 
-// config carries the parsed command line.
-type config struct {
-	bench, source, machine, machineFile, show string
-	limits, journal                           string
-	scale, coverage, leanness                 float64
-	minConfidence                             float64
-	maxSpots, workers, top, retries           int
-	variantTimeout                            time.Duration
-	validate, list, resume, lenient           bool
-	sweeps                                    axisList
+func (c *config) register(fs *flag.FlagSet) {
+	c.mach.Register(fs)
+	c.grd.Register(fs)
+	c.crit.Register(fs, 0.90, 0.50, 10)
+	c.sw.Register(fs)
+	fs.StringVar(&c.bench, "bench", "sord", "benchmark name (sord, chargei, srad, cfd, stassuij)")
+	fs.StringVar(&c.source, "source", "", "analyze a minilang source file instead of a built-in benchmark")
+	fs.Float64Var(&c.scale, "scale", 1, "workload scale factor")
+	fs.StringVar(&c.show, "show", "spots,breakdown,path", "comma-separated sections: skeleton,bet,spots,breakdown,path,dot,all")
+	fs.BoolVar(&c.validate, "validate", false, "also simulate the workload and report selection quality")
+	fs.BoolVar(&c.list, "list", false, "list benchmarks, machine presets and sweep parameters, then exit")
 }
 
 func run(ctx context.Context, out io.Writer, cfg config) (degraded bool, err error) {
@@ -157,14 +154,14 @@ func run(ctx context.Context, out io.Writer, cfg config) (degraded bool, err err
 		for _, h := range guard.Help() {
 			fmt.Fprintf(out, "  %s\n", h)
 		}
+		fmt.Fprintln(out, "result store (-store file.cas):")
+		fmt.Fprintln(out, "  content-addressed cache of evaluation results, shared across runs,")
+		fmt.Fprintln(out, "  processes and the skoped daemon; keyed by workload model fingerprint,")
+		fmt.Fprintln(out, "  machine fingerprint and evaluation settings (criteria, lenient mode,")
+		fmt.Fprintln(out, "  confidence floor) — a repeated sweep is served with zero recomputation")
 		return false, nil
 	}
-	var m *hw.Machine
-	if cfg.machineFile != "" {
-		m, err = hw.LoadConfig(cfg.machineFile)
-	} else {
-		m, err = hw.Preset(cfg.machine)
-	}
+	m, err := cfg.mach.Resolve()
 	if err != nil {
 		return false, err
 	}
@@ -187,13 +184,21 @@ func run(ctx context.Context, out io.Writer, cfg config) (degraded bool, err err
 			return false, err
 		}
 	}
-	lim, err := guard.ParseLimits(cfg.limits)
+	lim, err := cfg.grd.Resolve()
 	if err != nil {
-		return false, fmt.Errorf("-limits: %w", err)
+		return false, err
 	}
 	fmt.Fprintf(out, "# %s\n\n", w.Description)
+
+	if len(cfg.sw.Axes) > 0 && cfg.sw.Store != "" {
+		// Store-backed sweeps branch before preparation on purpose: a
+		// fully warm store serves the whole sweep — preparation included —
+		// with zero recomputation.
+		return sweepStore(ctx, out, cfg, w, m, lim)
+	}
+
 	run, err := pipeline.Prepare(ctx, w,
-		pipeline.WithLimits(lim), pipeline.WithLenient(cfg.lenient))
+		pipeline.WithLimits(lim), pipeline.WithLenient(cfg.grd.Lenient))
 	if err != nil {
 		return false, err
 	}
@@ -204,7 +209,7 @@ func run(ctx context.Context, out io.Writer, cfg config) (degraded bool, err err
 		fmt.Fprintf(out, "preparation %s\n\n", report.Confidence(run.Confidence, run.Diagnostics))
 	}
 
-	if len(cfg.sweeps) > 0 {
+	if len(cfg.sw.Axes) > 0 {
 		return sweep(ctx, out, cfg, run, m)
 	}
 
@@ -227,8 +232,7 @@ func run(ctx context.Context, out io.Writer, cfg config) (degraded bool, err err
 		fmt.Fprintln(out, run.BET.Dump())
 	}
 
-	crit := hotspot.Criteria{TimeCoverage: cfg.coverage, CodeLeanness: cfg.leanness, MaxSpots: cfg.maxSpots}
-	ev, err := pipeline.Evaluate(ctx, run, m, pipeline.WithCriteria(crit))
+	ev, err := pipeline.Evaluate(ctx, run, m, pipeline.WithCriteria(cfg.crit.Resolve()))
 	if err != nil {
 		return false, err
 	}
@@ -282,53 +286,145 @@ func run(ctx context.Context, out io.Writer, cfg config) (degraded bool, err err
 	return degraded, nil
 }
 
-// sweep runs the design-space exploration mode: a grid of machine variants
-// around the base machine, evaluated analytically (no simulation) through
-// the bounded, memoizing engine, reported as a ranked table plus the
-// time/cost Pareto frontier.
-func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, base *hw.Machine) (degraded bool, err error) {
-	grid := explore.Grid{Base: base}
-	for _, spec := range cfg.sweeps {
-		ax, aerr := explore.ParseAxis(spec)
-		if aerr != nil {
-			return false, aerr
-		}
-		grid.Axes = append(grid.Axes, ax)
+// sweepOptions assembles the pipeline options shared by both sweep paths.
+func sweepOptions(cfg config, lim *guard.Limits) []pipeline.Option {
+	return []pipeline.Option{
+		pipeline.WithLimits(lim),
+		pipeline.WithLenient(cfg.grd.Lenient),
+		pipeline.WithCriteria(cfg.crit.Resolve()),
+		pipeline.WithWorkers(cfg.sw.Workers),
+		pipeline.WithRetry(resilience.DefaultPolicy(cfg.sw.Retries)),
+		pipeline.WithVariantTimeout(cfg.sw.VariantTimeout),
+		pipeline.WithMinConfidence(cfg.sw.MinConfidence),
 	}
-	variants, err := grid.Variants()
+}
+
+// sweepStore runs the sweep through the content-addressed result store:
+// warm (workload, variant, settings) triples are served bit-identically
+// from earlier runs — a fully warm grid skips even the preparation — and
+// fresh results are written through for the next run. The base machine
+// rides along as an extra variant so the baseline analysis is cached under
+// the same contract.
+func sweepStore(ctx context.Context, out io.Writer, cfg config, w *workloads.Workload, base *hw.Machine, lim *guard.Limits) (degraded bool, err error) {
+	variants, err := cfg.sw.Variants(base)
+	if err != nil {
+		return false, err
+	}
+	st, err := store.Open(cfg.sw.Store)
+	if err != nil {
+		return false, err
+	}
+	defer st.Close()
+
+	opts := sweepOptions(cfg, lim)
+	if cfg.sw.Journal != "" {
+		j, jerr := journal.Open(cfg.sw.Journal)
+		if jerr != nil {
+			return false, jerr
+		}
+		defer j.Close()
+		if n, _ := j.Recovered(); n > 0 && !cfg.sw.Resume {
+			return false, fmt.Errorf("journal %s already exists; pass -resume to replay it or remove the file", cfg.sw.Journal)
+		}
+		opts = append(opts, pipeline.WithJournal(j))
+	} else if cfg.sw.Resume {
+		return false, fmt.Errorf("-resume needs -journal to resume from")
+	}
+
+	all := append(append([]*hw.Machine{}, variants...), base)
+	start := time.Now()
+	evals, sum, err := pipeline.SweepCached(ctx, w, all, st, opts...)
+	if err != nil {
+		tolerable := false
+		var sweepErr *explore.SweepError
+		if errors.As(err, &sweepErr) {
+			tolerable = true
+			for _, v := range sweepErr.Variants {
+				fmt.Fprintln(os.Stderr, "skope: warning:", v)
+			}
+		}
+		if errors.Is(err, explore.ErrJournalDegraded) || errors.Is(err, store.ErrDegraded) {
+			tolerable = true
+			fmt.Fprintln(os.Stderr, "skope: warning:", err)
+		}
+		if !tolerable || evals == nil {
+			return false, err
+		}
+		degraded = true
+	}
+	wall := time.Since(start)
+
+	if tbl := report.Diagnostics("preparation diagnostics", sum.Diagnostics); tbl != "" {
+		fmt.Fprintln(out, tbl)
+	}
+	baseEval := evals[len(all)-1]
+	evals = evals[:len(variants)]
+	if baseEval == nil {
+		return degraded, fmt.Errorf("baseline %s failed to evaluate", base.Name)
+	}
+
+	analyses := make([]*hotspot.Analysis, len(variants))
+	for i, ev := range evals {
+		if ev != nil {
+			analyses[i] = ev.Analysis
+		}
+	}
+	renderSweep(out, cfg, variants, analyses, baseEval.Analysis, w.Name, base.Name)
+
+	stats := st.Stats()
+	fmt.Fprintf(out, "sweep stats: %d variants in %s, store %s, %.1f%% served from store (%d hits / %d misses)",
+		len(variants), wall.Round(time.Microsecond), st.Path(), 100*stats.HitRate(), stats.Hits, stats.Misses)
+	if sum.SkippedPrepare {
+		fmt.Fprint(out, ", preparation skipped (fully warm)")
+	}
+	if sum.FromJournal > 0 {
+		fmt.Fprintf(out, ", %d replayed from journal", sum.FromJournal)
+	}
+	fmt.Fprintln(out)
+	if sum.Confidence < 1 || len(sum.Diagnostics) > 0 {
+		degraded = true
+		fmt.Fprintf(out, "sweep %s\n", report.Confidence(sum.Confidence, sum.Diagnostics))
+	}
+	return degraded, nil
+}
+
+// sweep runs the design-space exploration mode on the engine directly: a
+// grid of machine variants around the base machine, evaluated analytically
+// (no simulation), reported as a ranked table plus the time/cost Pareto
+// frontier. (With -store, sweepStore handles the run instead.)
+func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, base *hw.Machine) (degraded bool, err error) {
+	variants, err := cfg.sw.Variants(base)
 	if err != nil {
 		return false, err
 	}
 
 	var last explore.Progress
-	eng, err := pipeline.Explorer(run,
-		pipeline.WithWorkers(cfg.workers),
-		pipeline.WithRetry(resilience.DefaultPolicy(cfg.retries)),
-		pipeline.WithVariantTimeout(cfg.variantTimeout),
-		pipeline.WithMinConfidence(cfg.minConfidence),
+	lim, _ := cfg.grd.Resolve()
+	opts := append(sweepOptions(cfg, lim),
 		pipeline.WithProgress(func(p explore.Progress) { last = p }))
+	eng, err := pipeline.Explorer(run, opts...)
 	if err != nil {
 		return false, err
 	}
-	if cfg.journal != "" {
-		if !cfg.resume {
-			if fi, statErr := os.Stat(cfg.journal); statErr == nil && fi.Size() > 0 {
-				return false, fmt.Errorf("journal %s already exists; pass -resume to replay it or remove the file", cfg.journal)
+	if cfg.sw.Journal != "" {
+		if !cfg.sw.Resume {
+			if fi, statErr := os.Stat(cfg.sw.Journal); statErr == nil && fi.Size() > 0 {
+				return false, fmt.Errorf("journal %s already exists; pass -resume to replay it or remove the file", cfg.sw.Journal)
 			}
 		}
-		j, jerr := eng.UseJournal(cfg.journal)
+		j, jerr := eng.UseJournal(cfg.sw.Journal)
 		if jerr != nil {
 			return false, jerr
 		}
 		defer j.Close()
 		if n, torn := j.Recovered(); n > 0 || torn {
-			fmt.Fprintf(out, "journal %s: %d completed variants to replay", cfg.journal, eng.Replayable())
+			fmt.Fprintf(out, "journal %s: %d completed variants to replay", cfg.sw.Journal, eng.Replayable())
 			if torn {
 				fmt.Fprint(out, " (torn tail from an interrupted run discarded)")
 			}
 			fmt.Fprintln(out)
 		}
-	} else if cfg.resume {
+	} else if cfg.sw.Resume {
 		return false, fmt.Errorf("-resume needs -journal to resume from")
 	}
 	start := time.Now()
@@ -360,6 +456,28 @@ func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, ba
 		return degraded, err
 	}
 
+	renderSweep(out, cfg, variants, analyses, baseline, run.Workload.Name, base.Name)
+
+	stats := eng.CacheStats()
+	fmt.Fprintf(out, "sweep stats: %d variants in %s, cache hit rate %.1f%% (%d hits / %d misses)",
+		len(variants), wall.Round(time.Microsecond), 100*stats.HitRate(), stats.Hits, stats.Misses)
+	if last.Replayed > 0 {
+		fmt.Fprintf(out, ", %d replayed from journal", last.Replayed)
+	}
+	if last.Retried > 0 {
+		fmt.Fprintf(out, ", %d retries", last.Retried)
+	}
+	fmt.Fprintln(out)
+	if run.Degraded() {
+		degraded = true
+		fmt.Fprintf(out, "sweep %s\n", report.Confidence(run.Confidence, run.Diagnostics))
+	}
+	return degraded, nil
+}
+
+// renderSweep prints the ranked variant table, the Pareto frontier, and
+// the best variant — shared by the engine and store sweep paths.
+func renderSweep(out io.Writer, cfg config, variants []*hw.Machine, analyses []*hotspot.Analysis, baseline *hotspot.Analysis, workload, baseName string) {
 	var order []int
 	for i, a := range analyses {
 		if a != nil {
@@ -370,11 +488,11 @@ func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, ba
 		return analyses[order[a]].TotalTime < analyses[order[b]].TotalTime
 	})
 	shown := len(order)
-	if cfg.top > 0 && cfg.top < shown {
-		shown = cfg.top
+	if cfg.sw.Top > 0 && cfg.sw.Top < shown {
+		shown = cfg.sw.Top
 	}
 	t := &report.Table{
-		Title:  fmt.Sprintf("design-space sweep: %d variants of %s on %s", len(variants), run.Workload.Name, base.Name),
+		Title:  fmt.Sprintf("design-space sweep: %d variants of %s on %s", len(variants), workload, baseName),
 		Header: []string{"rank", "variant", "time (s)", "speedup", "top spot", "bottleneck"},
 	}
 	for rank, i := range order[:shown] {
@@ -402,21 +520,6 @@ func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, ba
 	if best := explore.Best(analyses); best >= 0 {
 		fmt.Fprintf(out, "\nbest variant: %s (%.4g s, %.2fx over %s)\n",
 			variants[best].Name, analyses[best].TotalTime,
-			baseline.TotalTime/analyses[best].TotalTime, base.Name)
+			baseline.TotalTime/analyses[best].TotalTime, baseName)
 	}
-	stats := eng.CacheStats()
-	fmt.Fprintf(out, "sweep stats: %d variants in %s, cache hit rate %.1f%% (%d hits / %d misses)",
-		len(variants), wall.Round(time.Microsecond), 100*stats.HitRate(), stats.Hits, stats.Misses)
-	if last.Replayed > 0 {
-		fmt.Fprintf(out, ", %d replayed from journal", last.Replayed)
-	}
-	if last.Retried > 0 {
-		fmt.Fprintf(out, ", %d retries", last.Retried)
-	}
-	fmt.Fprintln(out)
-	if run.Degraded() {
-		degraded = true
-		fmt.Fprintf(out, "sweep %s\n", report.Confidence(run.Confidence, run.Diagnostics))
-	}
-	return degraded, nil
 }

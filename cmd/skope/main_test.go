@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"skope/internal/cliflags"
+	"skope/internal/guard"
 	"skope/internal/hw"
 )
 
@@ -27,8 +30,9 @@ func TestRunList(t *testing.T) {
 func TestRunAnalysis(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := config{
-		bench: "srad", machine: "bgq", scale: 1,
-		show: "spots,breakdown,path", coverage: 0.9, leanness: 0.5, maxSpots: 10,
+		bench: "srad", scale: 1, show: "spots,breakdown,path",
+		mach: cliflags.Machine{Preset: "bgq"},
+		crit: cliflags.Criteria{Coverage: 0.9, Leanness: 0.5, MaxSpots: 10},
 	}
 	if _, err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
@@ -44,8 +48,9 @@ func TestRunAnalysis(t *testing.T) {
 func TestRunValidate(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := config{
-		bench: "stassuij", machine: "xeon", scale: 1,
-		show: "spots", coverage: 0.9, leanness: 0.5, maxSpots: 10, validate: true,
+		bench: "stassuij", scale: 1, show: "spots", validate: true,
+		mach: cliflags.Machine{Preset: "xeon"},
+		crit: cliflags.Criteria{Coverage: 0.9, Leanness: 0.5, MaxSpots: 10},
 	}
 	if _, err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
@@ -64,8 +69,9 @@ func TestRunMachineFile(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	cfg := config{
-		bench: "srad", machineFile: path, scale: 1,
-		show: "spots", coverage: 0.9, leanness: 0.5, maxSpots: 3,
+		bench: "srad", scale: 1, show: "spots",
+		mach: cliflags.Machine{File: path},
+		crit: cliflags.Criteria{Coverage: 0.9, Leanness: 0.5, MaxSpots: 3},
 	}
 	if _, err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
@@ -78,8 +84,9 @@ func TestRunMachineFile(t *testing.T) {
 func TestRunSweep(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := config{
-		bench: "sord", machine: "bgq", scale: 1, top: 5,
-		sweeps: axisList{"mem-bandwidth=14,28,56", "net-latency-us=1,2,4"},
+		bench: "sord", scale: 1,
+		mach: cliflags.Machine{Preset: "bgq"},
+		sw:   cliflags.Sweep{Top: 5, Axes: cliflags.AxisList{"mem-bandwidth=14,28,56", "net-latency-us=1,2,4"}},
 	}
 	if _, err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
@@ -112,7 +119,7 @@ func TestRunListShowsSweepParams(t *testing.T) {
 }
 
 func TestAxisListRejectsBadSpec(t *testing.T) {
-	var a axisList
+	var a cliflags.AxisList
 	if err := a.Set("nosuch-param=1,2"); err == nil {
 		t.Error("unknown sweep parameter accepted")
 	}
@@ -126,13 +133,13 @@ func TestAxisListRejectsBadSpec(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(context.Background(), &buf, config{bench: "nosuch", machine: "bgq", scale: 1, show: "spots"}); err == nil {
+	if _, err := run(context.Background(), &buf, config{bench: "nosuch", mach: cliflags.Machine{Preset: "bgq"}, scale: 1, show: "spots"}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if _, err := run(context.Background(), &buf, config{bench: "srad", machine: "vax", scale: 1, show: "spots"}); err == nil {
+	if _, err := run(context.Background(), &buf, config{bench: "srad", mach: cliflags.Machine{Preset: "vax"}, scale: 1, show: "spots"}); err == nil {
 		t.Error("unknown machine accepted")
 	}
-	if _, err := run(context.Background(), &buf, config{bench: "srad", machineFile: "/nonexistent.json", scale: 1, show: "spots"}); err == nil {
+	if _, err := run(context.Background(), &buf, config{bench: "srad", mach: cliflags.Machine{File: "/nonexistent.json"}, scale: 1, show: "spots"}); err == nil {
 		t.Error("missing machine file accepted")
 	}
 }
@@ -153,8 +160,9 @@ func main() {
 	}
 	var buf bytes.Buffer
 	cfg := config{
-		source: path, machine: "future", scale: 1,
-		show: "spots", coverage: 0.9, leanness: 1, maxSpots: 5, validate: true,
+		source: path, scale: 1, show: "spots", validate: true,
+		mach: cliflags.Machine{Preset: "future"},
+		crit: cliflags.Criteria{Coverage: 0.9, Leanness: 1, MaxSpots: 5},
 	}
 	if _, err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
@@ -165,5 +173,161 @@ func main() {
 	}
 	if !strings.Contains(out, "selection quality") {
 		t.Errorf("validation missing:\n%s", out)
+	}
+}
+
+// sweepStoreConfig is the shared sweep-with-store configuration of the
+// store tests: srad over a 3x2 grid, results in storePath.
+func sweepStoreConfig(storePath string) config {
+	return config{
+		bench: "srad", scale: 1,
+		mach: cliflags.Machine{Preset: "bgq"},
+		crit: cliflags.Criteria{Coverage: 0.9, Leanness: 0.5, MaxSpots: 10},
+		sw: cliflags.Sweep{
+			Store: storePath,
+			Axes:  cliflags.AxisList{"mem-bandwidth=16,32,64", "freq-ghz=1.6,2.4"},
+		},
+	}
+}
+
+// stableSweepOutput strips the timing-bearing footer so cold and warm
+// sweep outputs can be compared byte-for-byte.
+func stableSweepOutput(out string) string {
+	if i := strings.Index(out, "sweep stats:"); i >= 0 {
+		return out[:i]
+	}
+	return out
+}
+
+// TestRunSweepStore: the -store flag serves a repeated sweep entirely from
+// the content-addressed store — the warm run never rebuilds the model
+// (guard fault point core.body stays silent) and renders the identical
+// ranked table and Pareto frontier.
+func TestRunSweepStore(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "results.cas")
+	cfg := sweepStoreConfig(storePath)
+
+	var cold bytes.Buffer
+	if _, err := run(context.Background(), &cold, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cold.String(), "store "+storePath) {
+		t.Errorf("cold output missing store stats:\n%s", cold.String())
+	}
+
+	disarm := guard.Arm("core.body", func(detail string) {
+		t.Errorf("warm sweep built a BET (at %s)", detail)
+	})
+	defer disarm()
+	var warm bytes.Buffer
+	if _, err := run(context.Background(), &warm, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "preparation skipped (fully warm)") {
+		t.Errorf("warm output not fully warm:\n%s", warm.String())
+	}
+	if stableSweepOutput(cold.String()) != stableSweepOutput(warm.String()) {
+		t.Errorf("warm sweep output differs from cold:\n--- cold\n%s\n--- warm\n%s",
+			cold.String(), warm.String())
+	}
+}
+
+// TestRunSweepStoreCrossProcess is the acceptance test across process
+// boundaries: a cold sweep in one child process populates the store file;
+// an identical sweep in a second process is served entirely from it with
+// zero core.Build calls and renders byte-identical results.
+func TestRunSweepStoreCrossProcess(t *testing.T) {
+	if os.Getenv("SKOPE_STORE_HELPER") != "" {
+		t.Skip("helper process")
+	}
+	if testing.Short() {
+		t.Skip("re-exec test")
+	}
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "results.cas")
+	outputs := map[string]string{}
+	for _, mode := range []string{"cold", "warm"} {
+		outFile := filepath.Join(dir, mode+".out")
+		cmd := exec.Command(os.Args[0], "-test.run", "TestHelperStoreSweep", "-test.v")
+		cmd.Env = append(os.Environ(),
+			"SKOPE_STORE_HELPER="+mode,
+			"SKOPE_STORE_PATH="+storePath,
+			"SKOPE_STORE_OUT="+outFile,
+		)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("%s child failed: %v\n%s", mode, err, out)
+		}
+		b, err := os.ReadFile(outFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs[mode] = string(b)
+	}
+	if !strings.Contains(outputs["warm"], "preparation skipped (fully warm)") {
+		t.Errorf("second process recomputed:\n%s", outputs["warm"])
+	}
+	if stableSweepOutput(outputs["cold"]) != stableSweepOutput(outputs["warm"]) {
+		t.Errorf("cross-process results differ:\n--- cold\n%s\n--- warm\n%s",
+			outputs["cold"], outputs["warm"])
+	}
+}
+
+// TestHelperStoreSweep is the child body of the cross-process test: it runs
+// the store-backed sweep once, with the model-construction fault point
+// armed in warm mode so any recomputation fails the child.
+func TestHelperStoreSweep(t *testing.T) {
+	mode := os.Getenv("SKOPE_STORE_HELPER")
+	if mode == "" {
+		t.Skip("not a helper invocation")
+	}
+	if mode == "warm" {
+		disarm := guard.Arm("core.body", func(detail string) {
+			t.Errorf("warm process built a BET (at %s)", detail)
+		})
+		defer disarm()
+	}
+	var buf bytes.Buffer
+	if _, err := run(context.Background(), &buf, sweepStoreConfig(os.Getenv("SKOPE_STORE_PATH"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(os.Getenv("SKOPE_STORE_OUT"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunSweepStoreWithJournal: -store and -journal compose; the journal
+// records the cold sweep and a -resume run replays it.
+func TestRunSweepStoreWithJournal(t *testing.T) {
+	dir := t.TempDir()
+	cfg := sweepStoreConfig(filepath.Join(dir, "results.cas"))
+	cfg.sw.Journal = filepath.Join(dir, "sweep.journal")
+
+	var cold bytes.Buffer
+	if _, err := run(context.Background(), &cold, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// A second run without -resume must refuse to clobber the journal.
+	if _, err := run(context.Background(), &bytes.Buffer{}, cfg); err == nil ||
+		!strings.Contains(err.Error(), "-resume") {
+		t.Errorf("existing journal not rejected: %v", err)
+	}
+	cfg.sw.Resume = true
+	var warm bytes.Buffer
+	if _, err := run(context.Background(), &warm, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if stableSweepOutput(cold.String()) != stableSweepOutput(warm.String()) {
+		t.Errorf("resumed sweep differs from cold")
+	}
+}
+
+// TestRunListShowsStore: -list documents the result store.
+func TestRunListShowsStore(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run(context.Background(), &buf, config{list: true, scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "result store (-store") {
+		t.Errorf("list output missing store section:\n%s", buf.String())
 	}
 }

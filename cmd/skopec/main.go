@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"skope/internal/bst"
+	"skope/internal/cliflags"
 	"skope/internal/core"
 	"skope/internal/expr"
 	"skope/internal/guard"
@@ -40,17 +41,13 @@ import (
 
 func main() {
 	var cfg config
+	cfg.mach.Register(flag.CommandLine)
+	cfg.grd.Register(flag.CommandLine)
+	cfg.crit.Register(flag.CommandLine, 0.90, 1.0, 10)
 	flag.StringVar(&cfg.file, "file", "", "skeleton file to analyze (required)")
 	flag.StringVar(&cfg.input, "input", "", "input bindings, e.g. \"n=2048,m=512\"")
 	flag.StringVar(&cfg.entry, "entry", "main", "entry function")
-	flag.StringVar(&cfg.machine, "machine", "bgq", "machine preset (bgq, xeon)")
-	flag.StringVar(&cfg.machineFile, "machine-file", "", "JSON machine description (overrides -machine)")
 	flag.StringVar(&cfg.show, "show", "spots,path", "sections: bet,spots,breakdown,path,dot")
-	flag.IntVar(&cfg.maxSpots, "spots", 10, "maximum hot spots (0 = unlimited)")
-	flag.Float64Var(&cfg.coverage, "coverage", 0.90, "time coverage target")
-	flag.Float64Var(&cfg.leanness, "leanness", 1.0, "code leanness budget")
-	flag.StringVar(&cfg.limits, "limits", "", "guard limit overrides, e.g. \"nest-depth=32,bet-nodes=100000\"; keys: "+strings.Join(guard.LimitKeys(), ", "))
-	flag.BoolVar(&cfg.lenient, "lenient", false, "error-recovering mode: model around unparseable lines and missing data, reporting diagnostics and a confidence score")
 	flag.Parse()
 	degraded, err := run(os.Stdout, cfg)
 	if err != nil {
@@ -66,12 +63,15 @@ func main() {
 // priors, hole nodes) from success (0) and failure (1).
 const exitDegraded = 3
 
+// config carries the parsed command line. Machine, guard and criteria
+// flags are the shared cliflags surfaces (same names as cmd/skope and
+// cmd/skoped); only -file/-input/-entry/-show are skopec-specific.
 type config struct {
-	file, input, entry, machine, machineFile, show string
-	limits                                         string
-	maxSpots                                       int
-	coverage, leanness                             float64
-	lenient                                        bool
+	mach cliflags.Machine
+	grd  cliflags.Guard
+	crit cliflags.Criteria
+
+	file, input, entry, show string
 }
 
 // parseInput parses "n=2048,m=512" into an environment. Values are
@@ -110,9 +110,9 @@ func run(out io.Writer, cfg config) (degraded bool, err error) {
 	if cfg.file == "" {
 		return false, fmt.Errorf("-file is required")
 	}
-	lim, err := guard.ParseLimits(cfg.limits)
+	lim, err := cfg.grd.Resolve()
 	if err != nil {
-		return false, fmt.Errorf("-limits: %w", err)
+		return false, err
 	}
 	text, err := os.ReadFile(cfg.file)
 	if err != nil {
@@ -120,7 +120,7 @@ func run(out io.Writer, cfg config) (degraded bool, err error) {
 	}
 	var prog *skeleton.Program
 	var parseDiags []guard.Diagnostic
-	if cfg.lenient {
+	if cfg.grd.Lenient {
 		// Semantic validation happens inside the lenient core.Build, which
 		// folds its findings into the BET diagnostics (surfaced below via
 		// analysis.Diagnostics); running it here too would double them.
@@ -138,12 +138,7 @@ func run(out io.Writer, cfg config) (degraded bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	var m *hw.Machine
-	if cfg.machineFile != "" {
-		m, err = hw.LoadConfig(cfg.machineFile)
-	} else {
-		m, err = hw.Preset(cfg.machine)
-	}
+	m, err := cfg.mach.Resolve()
 	if err != nil {
 		return false, err
 	}
@@ -154,7 +149,7 @@ func run(out io.Writer, cfg config) (degraded bool, err error) {
 	}
 	bet, err := core.Build(context.Background(), tree, input, &core.Options{
 		Entry: cfg.entry, MaxContexts: lim.MaxContexts, MaxNodes: lim.MaxBETNodes,
-		Lenient: cfg.lenient,
+		Lenient: cfg.grd.Lenient,
 	})
 	if err != nil {
 		return false, err
@@ -179,9 +174,7 @@ func run(out io.Writer, cfg config) (degraded bool, err error) {
 	// that survived into the model.
 	conf := analysis.Confidence
 	degraded = conf < 1 || len(diags) > 0
-	sel := hotspot.Select(analysis, hotspot.Criteria{
-		TimeCoverage: cfg.coverage, CodeLeanness: cfg.leanness, MaxSpots: cfg.maxSpots,
-	})
+	sel := hotspot.Select(analysis, cfg.crit.Resolve())
 	path := hotpath.Extract(bet.Root, sel.Spots)
 
 	sections := map[string]bool{}
@@ -222,7 +215,7 @@ func run(out io.Writer, cfg config) (degraded bool, err error) {
 	if sections["breakdown"] {
 		fmt.Fprintf(out, "## per-spot breakdown\n\n%-30s %10s %10s %10s\n",
 			"block", "comp-only%", "overlap%", "mem-only%")
-		for _, s := range analysis.TopN(cfg.maxSpots) {
+		for _, s := range analysis.TopN(cfg.crit.MaxSpots) {
 			if s.T <= 0 {
 				continue
 			}

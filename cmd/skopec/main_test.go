@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"skope/internal/cliflags"
 )
 
 const sampleSkel = `
@@ -54,8 +56,9 @@ func TestRunFullOutput(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := config{
 		file: path, input: "n=128,ranks=4", entry: "main",
-		machine: "bgq", show: "bet,spots,breakdown,path,dot",
-		maxSpots: 10, coverage: 0.9, leanness: 1,
+		show: "bet,spots,breakdown,path,dot",
+		mach: cliflags.Machine{Preset: "bgq"},
+		crit: cliflags.Criteria{Coverage: 0.9, Leanness: 1, MaxSpots: 10},
 	}
 	if _, err := run(&buf, cfg); err != nil {
 		t.Fatal(err)
@@ -84,15 +87,15 @@ func TestRunErrors(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 	path := writeSkel(t)
-	if _, err := run(&buf, config{file: path, entry: "nosuch", machine: "bgq", show: "spots"}); err == nil {
+	if _, err := run(&buf, config{file: path, entry: "nosuch", mach: cliflags.Machine{Preset: "bgq"}, show: "spots"}); err == nil {
 		t.Error("bad entry accepted")
 	}
-	if _, err := run(&buf, config{file: path, entry: "main", machine: "vax", show: "spots"}); err == nil {
+	if _, err := run(&buf, config{file: path, entry: "main", mach: cliflags.Machine{Preset: "vax"}, show: "spots"}); err == nil {
 		t.Error("bad machine accepted")
 	}
 	// Unbound input variable (n is referenced by loop bounds) surfaces as
 	// a BET construction error.
-	if _, err := run(&buf, config{file: path, entry: "main", machine: "bgq", show: "spots", input: "ranks=4"}); err == nil {
+	if _, err := run(&buf, config{file: path, entry: "main", mach: cliflags.Machine{Preset: "bgq"}, show: "spots", input: "ranks=4"}); err == nil {
 		t.Error("missing n binding accepted")
 	}
 	_ = buf
@@ -103,8 +106,9 @@ func TestRunMachineFile(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := config{
 		file: path, input: "n=32,ranks=1", entry: "main",
-		machineFile: filepath.Join(t.TempDir(), "missing.json"),
-		show:        "spots", maxSpots: 5, coverage: 0.9, leanness: 1,
+		mach: cliflags.Machine{File: filepath.Join(t.TempDir(), "missing.json")},
+		show: "spots",
+		crit: cliflags.Criteria{Coverage: 0.9, Leanness: 1, MaxSpots: 5},
 	}
 	if _, err := run(&buf, cfg); err == nil {
 		t.Error("missing machine file accepted")

@@ -1,0 +1,94 @@
+// Command skoped is the long-running analysis service: the skope pipeline
+// behind an HTTP/JSON API, with a content-addressed result store shared by
+// every session, process, and the skope CLI.
+//
+// A session is one design-space sweep: a workload (built-in benchmark or
+// submitted minilang source), a machine grid around a base preset, and the
+// evaluation settings (criteria, guard limits, lenient mode, confidence
+// floor). Sessions run concurrently under a global worker budget — each
+// session holds its requested workers as tokens of a counting semaphore —
+// and their results are served as a chunked JSON-lines stream: progress
+// while running, then the ranked variants, then a summary trailer with the
+// Pareto frontier.
+//
+// Every result the daemon computes is written through to the
+// content-addressed store (-store). Results are keyed by what they are —
+// workload model fingerprint x machine fingerprint x evaluation settings —
+// so a session repeating a sweep any other session, process, or CLI run
+// has done is served with zero recomputation: the workload is not even
+// re-prepared, and the streamed results are bit-identical.
+//
+// Sessions that name a journal_id additionally append every completed
+// variant to a crash-safe journal under -data-dir. After a daemon kill, a
+// new session with the same journal_id resumes the sweep: journaled
+// variants are replayed bit-identically in their original completion
+// order, and only the remainder is computed.
+//
+// Usage:
+//
+//	skoped -addr :8080 -store skoped.cas -data-dir /var/lib/skoped \
+//	       [-max-workers 16] [-limits ...] [-lenient] \
+//	       [-coverage 0.9] [-leanness 0.5] [-spots 10]
+//
+// Endpoints:
+//
+//	GET  /v1/healthz               liveness + session count
+//	GET  /v1/params                benchmarks, machine presets, sweep axes, limit keys
+//	POST /v1/sessions              submit a sweep session
+//	GET  /v1/sessions              list sessions
+//	GET  /v1/sessions/{id}         inspect one session
+//	GET  /v1/sessions/{id}/results stream results (chunked JSON lines)
+//	POST /v1/sessions/{id}/cancel  cancel a running session
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"skope/internal/cliflags"
+)
+
+func main() {
+	var cfg daemonConfig
+	cfg.register(flag.CommandLine)
+	flag.Parse()
+	srv, err := newServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skoped:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("skoped: listening on %s (store %s, data dir %s, worker budget %d)\n",
+		cfg.addr, cfg.storePath, cfg.dataDir, cfg.maxWorkers)
+	if err := http.ListenAndServe(cfg.addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "skoped:", err)
+		os.Exit(1)
+	}
+}
+
+// daemonConfig is the daemon's command line. The guard and criteria
+// surfaces are the shared cliflags definitions — identical to cmd/skope
+// and cmd/skopec — and act as per-session defaults that a session request
+// can override.
+type daemonConfig struct {
+	grd  cliflags.Guard
+	crit cliflags.Criteria
+
+	addr       string
+	storePath  string
+	dataDir    string
+	machine    string
+	maxWorkers int
+}
+
+func (c *daemonConfig) register(fs *flag.FlagSet) {
+	c.grd.Register(fs)
+	c.crit.Register(fs, 0.90, 0.50, 10)
+	fs.StringVar(&c.addr, "addr", "localhost:8080", "listen address")
+	fs.StringVar(&c.storePath, "store", "skoped.cas", "content-addressed result store file shared by all sessions (empty = no store)")
+	fs.StringVar(&c.dataDir, "data-dir", ".", "directory for session journals (resume by journal_id)")
+	fs.StringVar(&c.machine, "machine", "bgq", "default base machine preset for sessions that name none")
+	fs.IntVar(&c.maxWorkers, "max-workers", 0, "global worker budget shared by all sessions (0 = GOMAXPROCS)")
+}

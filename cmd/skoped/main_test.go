@@ -1,0 +1,441 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"skope/internal/guard"
+	"skope/internal/journal"
+)
+
+// testServer builds a daemon around a temp data dir. storePath == "" runs
+// without the shared store.
+func testServer(t *testing.T, dataDir, storePath string, budget int) (*server, *httptest.Server) {
+	t.Helper()
+	cfg := daemonConfig{
+		addr:       "unused",
+		storePath:  storePath,
+		dataDir:    dataDir,
+		machine:    "bgq",
+		maxWorkers: budget,
+	}
+	cfg.crit.Coverage, cfg.crit.Leanness, cfg.crit.MaxSpots = 0.90, 0.50, 10
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// submit posts a session and returns its ID.
+func submit(t *testing.T, base string, req sessionRequest) string {
+	t.Helper()
+	resp, out := postJSON(t, base+"/v1/sessions", req)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d: %v", resp.StatusCode, out)
+	}
+	return out["id"].(string)
+}
+
+// waitState polls the session until it reaches a terminal state.
+func waitState(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		info := getJSON(t, base+"/v1/sessions/"+id)
+		switch info["state"] {
+		case stateDone, stateFailed, stateCanceled:
+			return info
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("session %s did not finish", id)
+	return nil
+}
+
+// streamLines fetches the session's result stream and splits it into
+// result lines and the summary trailer (progress lines are dropped).
+func streamLines(t *testing.T, base, id, query string) ([]map[string]any, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/sessions/" + id + "/results" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	var results []map[string]any
+	var summary map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch line["type"] {
+		case "result":
+			results = append(results, line)
+		case "summary":
+			summary = line
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if summary == nil {
+		t.Fatal("stream ended without a summary trailer")
+	}
+	return results, summary
+}
+
+func sradSession() sessionRequest {
+	return sessionRequest{
+		Bench: "srad",
+		Sweep: []string{"mem-bandwidth=16,32,64", "freq-ghz=1.6,2.4"},
+	}
+}
+
+func TestHealthzAndParams(t *testing.T) {
+	_, ts := testServer(t, t.TempDir(), filepath.Join(t.TempDir(), "cas"), 2)
+	h := getJSON(t, ts.URL+"/v1/healthz")
+	if h["status"] != "ok" {
+		t.Errorf("healthz = %v", h)
+	}
+	if h["store"] == nil {
+		t.Error("healthz missing store stats")
+	}
+	p := getJSON(t, ts.URL+"/v1/params")
+	for _, key := range []string{"benchmarks", "machines", "sweep_parameters", "limit_keys"} {
+		if p[key] == nil {
+			t.Errorf("params missing %s", key)
+		}
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := testServer(t, t.TempDir(), "", 2)
+	id := submit(t, ts.URL, sradSession())
+	info := waitState(t, ts.URL, id)
+	if info["state"] != stateDone {
+		t.Fatalf("session ended %v (%v)", info["state"], info["error"])
+	}
+	results, summary := streamLines(t, ts.URL, id, "?full=1")
+	if len(results) != 6 {
+		t.Fatalf("got %d results, want 6", len(results))
+	}
+	prev := 0.0
+	for i, r := range results {
+		if int(r["rank"].(float64)) != i+1 {
+			t.Errorf("rank %v at position %d", r["rank"], i)
+		}
+		tt := r["total_time_s"].(float64)
+		if tt < prev {
+			t.Errorf("results not ranked: %g after %g", tt, prev)
+		}
+		prev = tt
+		if r["speedup"].(float64) <= 0 {
+			t.Errorf("bad speedup %v", r["speedup"])
+		}
+		if r["analysis"] == nil {
+			t.Errorf("?full=1 line %d missing analysis payload", i)
+		}
+		if r["provenance"] != "computed" {
+			t.Errorf("provenance %v, want computed", r["provenance"])
+		}
+	}
+	if summary["pareto"] == nil || summary["baseline"] != "BlueGene/Q" && summary["baseline"] == "" {
+		t.Errorf("summary incomplete: %v", summary)
+	}
+	if int(summary["total"].(float64)) != 6 {
+		t.Errorf("summary total %v", summary["total"])
+	}
+	// The session list knows it too.
+	l := getJSON(t, ts.URL+"/v1/sessions")
+	if n := len(l["sessions"].([]any)); n != 1 {
+		t.Errorf("list has %d sessions", n)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	_, ts := testServer(t, t.TempDir(), "", 1)
+	bad := []sessionRequest{
+		{},              // no workload
+		{Bench: "srad"}, // no axes
+		{Bench: "nosuch", Sweep: []string{"mem-bandwidth=1,2"}},
+		{Bench: "srad", Source: "x", Sweep: []string{"mem-bandwidth=1,2"}},
+		{Bench: "srad", Sweep: []string{"nosuch-param=1,2"}},
+		{Bench: "srad", Sweep: []string{"mem-bandwidth=1,2"}, Machine: "vax"},
+		{Bench: "srad", Sweep: []string{"mem-bandwidth=1,2"}, Limits: "nosuch=1"},
+		{Bench: "srad", Sweep: []string{"mem-bandwidth=1,2"}, VariantTimeout: "soon"},
+		{Bench: "srad", Sweep: []string{"mem-bandwidth=1,2"}, JournalID: "../escape"},
+	}
+	for i, req := range bad {
+		resp, out := postJSON(t, ts.URL+"/v1/sessions", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("request %d: status %d (%v)", i, resp.StatusCode, out)
+		}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/sessions", map[string]any{"bogus": true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field accepted: %d", resp.StatusCode)
+	}
+	if r, err := http.Get(ts.URL + "/v1/sessions/s-999999"); err != nil || r.StatusCode != http.StatusNotFound {
+		t.Errorf("missing session lookup: %v %v", r.StatusCode, err)
+	} else {
+		r.Body.Close()
+	}
+}
+
+// TestConcurrentSessions is the scale acceptance: four sessions submitted
+// back-to-back run under the shared worker budget — with per-session guard
+// limits isolating one deliberately broken session — and all reach a
+// terminal state with correct results.
+func TestConcurrentSessions(t *testing.T) {
+	_, ts := testServer(t, t.TempDir(), filepath.Join(t.TempDir(), "cas"), 8)
+	reqs := []sessionRequest{
+		{Bench: "srad", Sweep: []string{"mem-bandwidth=16,32,64"}, Workers: 2},
+		{Bench: "sord", Sweep: []string{"net-latency-us=1,2,4"}, Workers: 2},
+		{Bench: "cfd", Sweep: []string{"freq-ghz=1.6,2.4"}, Workers: 2},
+		// Per-session limits: this one is strangled and must fail alone.
+		{Bench: "chargei", Sweep: []string{"mem-bandwidth=16,32"}, Workers: 2, Limits: "bet-nodes=2"},
+	}
+	ids := make([]string, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		ids[i] = submit(t, ts.URL, req)
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			waitState(t, ts.URL, id)
+		}(ids[i])
+	}
+	wg.Wait()
+	for i, id := range ids {
+		info := getJSON(t, ts.URL+"/v1/sessions/"+id)
+		if i == 3 {
+			if info["state"] != stateFailed {
+				t.Errorf("limited session ended %v, want failed", info["state"])
+			} else if msg, _ := info["error"].(string); !strings.Contains(msg, "limit") {
+				t.Errorf("limited session error %q does not name the limit", msg)
+			}
+			continue
+		}
+		if info["state"] != stateDone {
+			t.Errorf("session %s ended %v (%v)", id, info["state"], info["error"])
+		}
+	}
+	h := getJSON(t, ts.URL+"/v1/healthz")
+	if int(h["busy_workers"].(float64)) != 0 {
+		t.Errorf("worker tokens leaked: %v", h["busy_workers"])
+	}
+}
+
+// TestCancelQueuedSession: a session waiting on the worker budget can be
+// canceled before it ever runs.
+func TestCancelQueuedSession(t *testing.T) {
+	_, ts := testServer(t, t.TempDir(), "", 1)
+	// Occupy the whole budget with a real sweep...
+	first := submit(t, ts.URL, sessionRequest{
+		Bench: "srad", Sweep: []string{"mem-bandwidth=8,12,16,24,32,48,64,96"},
+	})
+	// ...then cancel a queued session before the budget frees up.
+	queued := submit(t, ts.URL, sradSession())
+	resp, out := postJSON(t, ts.URL+"/v1/sessions/"+queued+"/cancel", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d %v", resp.StatusCode, out)
+	}
+	if out["state"] != stateCanceled {
+		t.Errorf("canceled session state %v", out["state"])
+	}
+	_, summary := streamLines(t, ts.URL, queued, "")
+	if summary["state"] != stateCanceled {
+		t.Errorf("stream summary state %v", summary["state"])
+	}
+	if info := waitState(t, ts.URL, first); info["state"] != stateDone {
+		t.Errorf("first session ended %v", info["state"])
+	}
+}
+
+// TestSharedStoreAcrossSessions: a second identical session is served
+// entirely from the store the first one populated — preparation skipped,
+// zero model builds, bit-identical result lines.
+func TestSharedStoreAcrossSessions(t *testing.T) {
+	_, ts := testServer(t, t.TempDir(), filepath.Join(t.TempDir(), "cas"), 4)
+	req := sradSession()
+
+	cold := submit(t, ts.URL, req)
+	if info := waitState(t, ts.URL, cold); info["state"] != stateDone {
+		t.Fatalf("cold session ended %v (%v)", info["state"], info["error"])
+	}
+	coldResults, coldSummary := streamLines(t, ts.URL, cold, "?full=1")
+	if coldSummary["skipped_prepare"] != false {
+		t.Errorf("cold session skipped preparation")
+	}
+
+	disarm := guard.Arm("core.body", func(detail string) {
+		t.Errorf("warm session built a BET (at %s)", detail)
+	})
+	defer disarm()
+	warm := submit(t, ts.URL, req)
+	if info := waitState(t, ts.URL, warm); info["state"] != stateDone {
+		t.Fatalf("warm session ended %v (%v)", info["state"], info["error"])
+	}
+	warmResults, warmSummary := streamLines(t, ts.URL, warm, "?full=1")
+	if warmSummary["skipped_prepare"] != true {
+		t.Errorf("warm session did not skip preparation: %v", warmSummary)
+	}
+	if warmSummary["from_store"].(float64) == 0 {
+		t.Errorf("warm session not served from store: %v", warmSummary)
+	}
+	if len(warmResults) != len(coldResults) {
+		t.Fatalf("result counts differ: %d vs %d", len(warmResults), len(coldResults))
+	}
+	for i := range coldResults {
+		c, w := coldResults[i], warmResults[i]
+		if w["provenance"] != "store" {
+			t.Errorf("warm result %d provenance %v", i, w["provenance"])
+		}
+		// Identical content, different provenance.
+		for _, key := range []string{"variant", "total_time_s", "speedup", "confidence"} {
+			if c[key] != w[key] {
+				t.Errorf("result %d field %s drifted: %v vs %v", i, key, c[key], w[key])
+			}
+		}
+		ca, _ := json.Marshal(c["analysis"])
+		wa, _ := json.Marshal(w["analysis"])
+		if !bytes.Equal(ca, wa) {
+			t.Errorf("result %d analysis not identical", i)
+		}
+	}
+}
+
+// TestResumeAfterRestart is the durability acceptance: a journaled session
+// on one daemon, the daemon dies, and a fresh daemon over the same data
+// dir resumes the sweep by journal ID — every journaled variant replayed
+// (zero recomputation) in its original completion order, with identical
+// results.
+func TestResumeAfterRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	req := sradSession()
+	req.JournalID = "night-run"
+
+	srvA, tsA := testServer(t, dataDir, "", 4)
+	id := submit(t, tsA.URL, req)
+	if info := waitState(t, tsA.URL, id); info["state"] != stateDone {
+		t.Fatalf("first session ended %v (%v)", info["state"], info["error"])
+	}
+	firstResults, _ := streamLines(t, tsA.URL, id, "")
+	tsA.Close()
+	srvA.Close() // the daemon "kill"
+
+	srvB, tsB := testServer(t, dataDir, "", 4)
+	defer srvB.Close()
+	id2 := submit(t, tsB.URL, req)
+	info := waitState(t, tsB.URL, id2)
+	if info["state"] != stateDone {
+		t.Fatalf("resumed session ended %v (%v)", info["state"], info["error"])
+	}
+	results, summary := streamLines(t, tsB.URL, id2, "")
+	if n := int(summary["from_journal"].(float64)); n < len(results) {
+		t.Errorf("only %d of %d variants replayed from journal", n, len(results))
+	}
+	for i := range firstResults {
+		if results[i]["provenance"] != "journal" {
+			t.Errorf("resumed result %d provenance %v", i, results[i]["provenance"])
+		}
+		for _, key := range []string{"variant", "total_time_s", "confidence"} {
+			if firstResults[i][key] != results[i][key] {
+				t.Errorf("resumed result %d field %s drifted", i, key)
+			}
+		}
+	}
+
+	// The resumed session reports the journal's original completion order.
+	order, ok := summary["replay_order"].([]any)
+	if !ok || len(order) == 0 {
+		t.Fatalf("resumed summary has no replay_order: %v", summary)
+	}
+	j, err := journal.Open(filepath.Join(dataDir, "night-run.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	entries := j.Entries()
+	if len(entries) != len(order) {
+		t.Fatalf("replay_order has %d keys, journal %d", len(order), len(entries))
+	}
+	for i, e := range entries {
+		if order[i].(string) != e.Key {
+			t.Errorf("replay_order[%d] = %v, journal order %s", i, order[i], e.Key)
+		}
+	}
+}
+
+// TestSubmittedSource: sessions can carry minilang source instead of a
+// named benchmark.
+func TestSubmittedSource(t *testing.T) {
+	_, ts := testServer(t, t.TempDir(), "", 2)
+	id := submit(t, ts.URL, sessionRequest{
+		Source: `
+global n: int = 64;
+global a: [n]float;
+func main() {
+  for i = 0 .. n {
+    a[i] = exp(a[i]) * 0.5;
+  }
+}
+`,
+		Sweep: []string{"mem-bandwidth=16,32"},
+	})
+	if info := waitState(t, ts.URL, id); info["state"] != stateDone {
+		t.Fatalf("source session ended %v (%v)", info["state"], info["error"])
+	}
+	results, _ := streamLines(t, ts.URL, id, "")
+	if len(results) != 2 {
+		t.Errorf("got %d results, want 2", len(results))
+	}
+}

@@ -1,0 +1,452 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"skope/internal/explore"
+	"skope/internal/guard"
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/store"
+	"skope/internal/workloads"
+)
+
+// server holds the daemon's shared state: the content-addressed store,
+// the global worker-budget semaphore, and the session table.
+type server struct {
+	cfg   daemonConfig
+	store *store.Store  // nil when -store is empty
+	sem   chan struct{} // counting semaphore: one token per busy worker
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	order    []string
+	nextID   int
+}
+
+func newServer(cfg daemonConfig) (*server, error) {
+	if _, err := guard.ParseLimits(cfg.grd.Limits); err != nil {
+		return nil, fmt.Errorf("-limits: %w", err)
+	}
+	budget := cfg.maxWorkers
+	if budget < 1 {
+		budget = defaultBudget()
+	}
+	srv := &server{
+		cfg:      cfg,
+		sem:      make(chan struct{}, budget),
+		sessions: make(map[string]*session),
+	}
+	if cfg.storePath != "" {
+		st, err := store.Open(cfg.storePath)
+		if err != nil {
+			return nil, err
+		}
+		srv.store = st
+	}
+	return srv, nil
+}
+
+// Close cancels every running session and closes the store.
+func (srv *server) Close() {
+	srv.mu.Lock()
+	for _, sess := range srv.sessions {
+		if sess.cancel != nil {
+			sess.cancel()
+		}
+	}
+	sessions := make([]*session, 0, len(srv.sessions))
+	for _, sess := range srv.sessions {
+		sessions = append(sessions, sess)
+	}
+	srv.mu.Unlock()
+	for _, sess := range sessions {
+		<-sess.done
+	}
+	if srv.store != nil {
+		srv.store.Close()
+	}
+}
+
+// Handler builds the daemon's route table.
+func (srv *server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", srv.handleHealthz)
+	mux.HandleFunc("GET /v1/params", srv.handleParams)
+	mux.HandleFunc("POST /v1/sessions", srv.handleSubmit)
+	mux.HandleFunc("GET /v1/sessions", srv.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", srv.handleInspect)
+	mux.HandleFunc("GET /v1/sessions/{id}/results", srv.handleResults)
+	mux.HandleFunc("POST /v1/sessions/{id}/cancel", srv.handleCancel)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (srv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	srv.mu.Lock()
+	n := len(srv.sessions)
+	srv.mu.Unlock()
+	resp := map[string]any{
+		"status":        "ok",
+		"sessions":      n,
+		"worker_budget": cap(srv.sem),
+		"busy_workers":  len(srv.sem),
+	}
+	if srv.store != nil {
+		stats := srv.store.Stats()
+		resp["store"] = map[string]any{
+			"path":    srv.store.Path(),
+			"records": srv.store.Len(),
+			"hits":    stats.Hits,
+			"misses":  stats.Misses,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (srv *server) handleParams(w http.ResponseWriter, r *http.Request) {
+	type benchInfo struct {
+		Name, Description string
+	}
+	var benches []benchInfo
+	for _, n := range workloads.Names() {
+		wl, _ := workloads.Get(n, 1)
+		benches = append(benches, benchInfo{Name: n, Description: wl.Description})
+	}
+	var machines []string
+	for n := range hw.Presets() {
+		machines = append(machines, n)
+	}
+	sort.Strings(machines)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"benchmarks":       benches,
+		"machines":         machines,
+		"sweep_parameters": explore.ParamHelp(),
+		"limit_keys":       guard.LimitKeys(),
+	})
+}
+
+func (srv *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "body: "+err.Error())
+		return
+	}
+	srv.mu.Lock()
+	srv.nextID++
+	id := fmt.Sprintf("s-%06d", srv.nextID)
+	srv.mu.Unlock()
+
+	sess, err := srv.newSession(id, req)
+	if err != nil {
+		var reqErr *requestError
+		if errors.As(err, &reqErr) {
+			writeError(w, http.StatusBadRequest, reqErr.msg)
+		} else {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sess.cancel = cancel
+	srv.mu.Lock()
+	srv.sessions[id] = sess
+	srv.order = append(srv.order, id)
+	srv.mu.Unlock()
+	go srv.run(ctx, sess)
+	writeJSON(w, http.StatusCreated, srv.sessionInfo(sess))
+}
+
+func (srv *server) handleList(w http.ResponseWriter, r *http.Request) {
+	srv.mu.Lock()
+	infos := make([]*wireSession, 0, len(srv.order))
+	for _, id := range srv.order {
+		infos = append(infos, srv.sessionInfo(srv.sessions[id]))
+	}
+	srv.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+}
+
+// lookup resolves the {id} path segment; nil means the response was
+// already written.
+func (srv *server) lookup(w http.ResponseWriter, r *http.Request) *session {
+	srv.mu.Lock()
+	sess := srv.sessions[r.PathValue("id")]
+	srv.mu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no session "+r.PathValue("id"))
+	}
+	return sess
+}
+
+func (srv *server) handleInspect(w http.ResponseWriter, r *http.Request) {
+	if sess := srv.lookup(w, r); sess != nil {
+		writeJSON(w, http.StatusOK, srv.sessionInfo(sess))
+	}
+}
+
+func (srv *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	sess := srv.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	sess.cancel()
+	<-sess.done
+	writeJSON(w, http.StatusOK, srv.sessionInfo(sess))
+}
+
+// wireSession is a session snapshot: GET /v1/sessions and the submit
+// response.
+type wireSession struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Workload string `json:"workload"`
+	Machine  string `json:"machine"`
+	Variants int    `json:"variants"`
+	Workers  int    `json:"workers"`
+	Journal  string `json:"journal_id,omitempty"`
+	Created  string `json:"created"`
+
+	Done     int `json:"done"`
+	Replayed int `json:"replayed,omitempty"`
+	Stored   int `json:"stored,omitempty"`
+	Retried  int `json:"retried,omitempty"`
+
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
+
+	// ReplayOrder lists, for a resumed session, the journaled variant
+	// keys in their original completion order — the order they are
+	// replayed and reported in.
+	ReplayOrder []string `json:"replay_order,omitempty"`
+}
+
+func (srv *server) sessionInfo(sess *session) *wireSession {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return &wireSession{
+		ID:          sess.id,
+		State:       sess.state,
+		Workload:    sess.workload.Name,
+		Machine:     sess.base.Name,
+		Variants:    len(sess.variants),
+		Workers:     sess.workers,
+		Journal:     sess.req.JournalID,
+		Created:     sess.created.UTC().Format(time.RFC3339),
+		Done:        sess.progress.Done,
+		Replayed:    sess.progress.Replayed,
+		Stored:      sess.progress.Stored,
+		Retried:     sess.progress.Retried,
+		Degraded:    sess.degraded,
+		Error:       sess.errMsg,
+		ReplayOrder: sess.replayOrder,
+	}
+}
+
+// Result-stream wire types. The stream is JSON lines (chunked transfer):
+// zero or more progress lines while the session runs, one result line per
+// healthy variant in rank order, and a summary trailer carrying the
+// Pareto frontier.
+type wireProgress struct {
+	Type     string `json:"type"` // "progress"
+	State    string `json:"state"`
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+	Replayed int    `json:"replayed,omitempty"`
+	Stored   int    `json:"stored,omitempty"`
+}
+
+// wireResult is one ranked variant — the session's pipeline.Eval on the
+// wire. Analysis carries the store's canonical encoding (hotspot.
+// EncodeAnalysis), so daemon clients read the exact bytes the store
+// serves and the full per-block breakdown; the scalar fields beside it
+// are conveniences lifted from the Eval.
+type wireResult struct {
+	Type        string          `json:"type"` // "result"
+	Rank        int             `json:"rank"`
+	Variant     string          `json:"variant"`
+	Fingerprint string          `json:"machine_fingerprint"`
+	TotalTimeS  float64         `json:"total_time_s"`
+	Speedup     float64         `json:"speedup"`
+	Confidence  float64         `json:"confidence"`
+	Provenance  string          `json:"provenance"`
+	Degraded    bool            `json:"degraded,omitempty"`
+	Spots       []wireSpot      `json:"spots"`
+	Diagnostics []string        `json:"diagnostics,omitempty"`
+	Analysis    json.RawMessage `json:"analysis,omitempty"`
+}
+
+type wireSpot struct {
+	Block       string  `json:"block"`
+	Coverage    float64 `json:"coverage"`
+	MemoryBound bool    `json:"memory_bound,omitempty"`
+}
+
+type wirePareto struct {
+	Variant string  `json:"variant"`
+	Cost    float64 `json:"cost"`
+	TimeS   float64 `json:"time_s"`
+}
+
+type wireSummary struct {
+	Type              string       `json:"type"` // "summary"
+	State             string       `json:"state"`
+	Workload          string       `json:"workload"`
+	LayoutFingerprint string       `json:"layout_fingerprint,omitempty"`
+	Total             int          `json:"total"`
+	Computed          int          `json:"computed"`
+	FromJournal       int          `json:"from_journal"`
+	FromStore         int          `json:"from_store"`
+	SkippedPrepare    bool         `json:"skipped_prepare"`
+	Confidence        float64      `json:"confidence"`
+	Degraded          bool         `json:"degraded,omitempty"`
+	Error             string       `json:"error,omitempty"`
+	Baseline          string       `json:"baseline"`
+	BaselineTimeS     float64      `json:"baseline_time_s"`
+	Best              string       `json:"best,omitempty"`
+	Pareto            []wirePareto `json:"pareto"`
+	ReplayOrder       []string     `json:"replay_order,omitempty"`
+}
+
+// handleResults streams the session's outcome as chunked JSON lines. While
+// the session runs it emits progress lines (flushed, so clients see live
+// state); once the session reaches a terminal state it streams the ranked
+// results and the summary trailer. ?full=1 embeds each variant's canonical
+// analysis encoding in its result line.
+func (srv *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	sess := srv.lookup(w, r)
+	if sess == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Session-ID", sess.id)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	ticker := time.NewTicker(200 * time.Millisecond)
+	defer ticker.Stop()
+wait:
+	for {
+		select {
+		case <-sess.done:
+			break wait
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			sess.mu.Lock()
+			p := sess.progress
+			state := sess.state
+			sess.mu.Unlock()
+			_ = enc.Encode(wireProgress{
+				Type: "progress", State: state,
+				Done: p.Done, Total: len(sess.variants) + 1,
+				Replayed: p.Replayed, Stored: p.Stored,
+			})
+			flush()
+		}
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.state != stateDone {
+		_ = enc.Encode(wireSummary{
+			Type: "summary", State: sess.state, Workload: sess.workload.Name,
+			Error: sess.errMsg,
+		})
+		return
+	}
+
+	full := r.URL.Query().Get("full") != ""
+	baseline := sess.baseEval.Analysis.TotalTime
+	for rank, i := range sess.ranked() {
+		ev := sess.evals[i]
+		line := wireResult{
+			Type: "result", Rank: rank + 1,
+			Variant:     ev.Machine.Name,
+			Fingerprint: ev.Machine.Fingerprint(),
+			TotalTimeS:  ev.Analysis.TotalTime,
+			Speedup:     baseline / ev.Analysis.TotalTime,
+			Confidence:  ev.Confidence,
+			Provenance:  ev.Provenance.String(),
+			Degraded:    ev.Degraded(),
+		}
+		for _, s := range ev.Selection.Spots {
+			line.Spots = append(line.Spots, wireSpot{
+				Block:       s.BlockID,
+				Coverage:    ev.Analysis.Coverage(s),
+				MemoryBound: s.MemoryBound,
+			})
+		}
+		for _, d := range ev.Diagnostics {
+			line.Diagnostics = append(line.Diagnostics, d.String())
+		}
+		if full {
+			if data, err := hotspot.EncodeAnalysis(ev.Analysis); err == nil {
+				line.Analysis = data
+			}
+		}
+		_ = enc.Encode(line)
+		flush()
+	}
+
+	sum := wireSummary{
+		Type: "summary", State: sess.state,
+		Workload:          sess.summary.Workload,
+		LayoutFingerprint: sess.summary.LayoutFingerprint,
+		Total:             len(sess.variants),
+		Computed:          sess.summary.Computed,
+		FromJournal:       sess.summary.FromJournal,
+		FromStore:         sess.summary.FromStore,
+		SkippedPrepare:    sess.summary.SkippedPrepare,
+		Confidence:        sess.summary.Confidence,
+		Degraded:          sess.degraded,
+		Error:             sess.errMsg,
+		Baseline:          sess.base.Name,
+		BaselineTimeS:     baseline,
+		ReplayOrder:       sess.replayOrder,
+	}
+	analyses := sess.analyses()
+	if best := explore.Best(analyses); best >= 0 {
+		sum.Best = sess.variants[best].Name
+	}
+	for _, p := range explore.Pareto(sess.variants, analyses, explore.RelativeCost) {
+		sum.Pareto = append(sum.Pareto, wirePareto{
+			Variant: p.Machine.Name, Cost: p.Cost, TimeS: p.Time,
+		})
+	}
+	_ = enc.Encode(sum)
+}
+
+// defaultBudget mirrors pipeline.WithWorkers(0): GOMAXPROCS.
+func defaultBudget() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}

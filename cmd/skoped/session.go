@@ -1,0 +1,362 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"skope/internal/cliflags"
+	"skope/internal/explore"
+	"skope/internal/guard"
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/journal"
+	"skope/internal/pipeline"
+	"skope/internal/resilience"
+	"skope/internal/store"
+	"skope/internal/workloads"
+)
+
+// sessionRequest is the POST /v1/sessions body. Everything except the
+// sweep axes is optional; omitted knobs inherit the daemon's defaults.
+type sessionRequest struct {
+	// Bench names a built-in benchmark; Source submits minilang text
+	// instead. Exactly one must be set.
+	Bench  string  `json:"bench,omitempty"`
+	Source string  `json:"source,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+
+	// Machine is the base preset the sweep axes vary around.
+	Machine string `json:"machine,omitempty"`
+	// Sweep lists the grid axes, e.g. "mem-bandwidth=16,32,64".
+	Sweep []string `json:"sweep"`
+
+	// Workers is the session's worker budget — tokens it holds from the
+	// daemon's global semaphore while running (default 1).
+	Workers int `json:"workers,omitempty"`
+
+	// Limits and Lenient override the daemon's guard defaults.
+	Limits  string `json:"limits,omitempty"`
+	Lenient *bool  `json:"lenient,omitempty"`
+
+	// Coverage, Leanness and Spots override the hot-spot criteria.
+	Coverage float64 `json:"coverage,omitempty"`
+	Leanness float64 `json:"leanness,omitempty"`
+	Spots    *int    `json:"spots,omitempty"`
+
+	// MinConfidence, Retries and VariantTimeout ("30s") are the sweep's
+	// quality floor and resilience knobs.
+	MinConfidence  float64 `json:"min_confidence,omitempty"`
+	Retries        int     `json:"retries,omitempty"`
+	VariantTimeout string  `json:"variant_timeout,omitempty"`
+
+	// JournalID makes the sweep durable: completed variants are appended
+	// to <data-dir>/<journal_id>.journal, and a later session with the
+	// same ID — same daemon or a restarted one — resumes it, replaying
+	// journaled variants in their original completion order.
+	JournalID string `json:"journal_id,omitempty"`
+}
+
+// Session states.
+const (
+	stateQueued   = "queued" // waiting for worker-budget tokens
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateFailed   = "failed"
+	stateCanceled = "canceled"
+)
+
+// session is one submitted sweep and its lifecycle. All mutable fields are
+// behind mu; done closes when the terminal state is reached.
+type session struct {
+	id      string
+	req     sessionRequest
+	created time.Time
+
+	workload *workloads.Workload
+	base     *hw.Machine
+	variants []*hw.Machine
+	workers  int
+	opts     []pipeline.Option
+	jpath    string
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu          sync.Mutex
+	state       string
+	errMsg      string
+	degraded    bool
+	progress    explore.Progress
+	evals       []*pipeline.Eval // index-aligned with variants
+	baseEval    *pipeline.Eval
+	summary     *pipeline.SweepSummary
+	replayOrder []string // journal keys in original completion order (resumed sessions)
+}
+
+func (s *session) setState(state string) {
+	s.mu.Lock()
+	s.state = state
+	s.mu.Unlock()
+}
+
+func (s *session) snapshotState() (state, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state, s.errMsg
+}
+
+// jid validates journal IDs: they become file names under -data-dir.
+var jid = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
+
+// newSession validates the request against the daemon defaults and
+// assembles everything the runner needs. Validation failures surface as
+// *requestError (HTTP 400); nothing is computed yet.
+func (srv *server) newSession(id string, req sessionRequest) (*session, error) {
+	if (req.Bench == "") == (req.Source == "") {
+		return nil, badRequest("exactly one of bench or source is required")
+	}
+	if len(req.Sweep) == 0 {
+		return nil, badRequest("sweep axes are required")
+	}
+	scale := req.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	var w *workloads.Workload
+	var err error
+	if req.Source != "" {
+		w = &workloads.Workload{
+			Name:        "session-" + id,
+			Description: "submitted source (session " + id + ")",
+			Source:      req.Source,
+			Seed:        1,
+		}
+	} else if w, err = workloads.Get(req.Bench, workloads.Scale(scale)); err != nil {
+		return nil, badRequest(err.Error())
+	}
+
+	preset := req.Machine
+	if preset == "" {
+		preset = srv.cfg.machine
+	}
+	base, err := hw.Preset(preset)
+	if err != nil {
+		return nil, badRequest(err.Error())
+	}
+	var sw cliflags.Sweep
+	for _, spec := range req.Sweep {
+		if err := sw.Axes.Set(spec); err != nil {
+			return nil, badRequest("sweep: " + err.Error())
+		}
+	}
+	variants, err := sw.Variants(base)
+	if err != nil {
+		return nil, badRequest("sweep: " + err.Error())
+	}
+
+	limSrc := srv.cfg.grd.Limits
+	if req.Limits != "" {
+		limSrc = req.Limits
+	}
+	lim, err := guard.ParseLimits(limSrc)
+	if err != nil {
+		return nil, badRequest("limits: " + err.Error())
+	}
+	lenient := srv.cfg.grd.Lenient
+	if req.Lenient != nil {
+		lenient = *req.Lenient
+	}
+	crit := srv.cfg.crit.Resolve()
+	if req.Coverage != 0 {
+		crit.TimeCoverage = req.Coverage
+	}
+	if req.Leanness != 0 {
+		crit.CodeLeanness = req.Leanness
+	}
+	if req.Spots != nil {
+		crit.MaxSpots = *req.Spots
+	}
+	var timeout time.Duration
+	if req.VariantTimeout != "" {
+		if timeout, err = time.ParseDuration(req.VariantTimeout); err != nil {
+			return nil, badRequest("variant_timeout: " + err.Error())
+		}
+	}
+	workers := req.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > cap(srv.sem) {
+		workers = cap(srv.sem)
+	}
+
+	sess := &session{
+		id:       id,
+		req:      req,
+		created:  time.Now(),
+		workload: w,
+		base:     base,
+		variants: variants,
+		workers:  workers,
+		state:    stateQueued,
+		done:     make(chan struct{}),
+	}
+	sess.opts = []pipeline.Option{
+		pipeline.WithLimits(lim),
+		pipeline.WithLenient(lenient),
+		pipeline.WithCriteria(crit),
+		pipeline.WithWorkers(workers),
+		pipeline.WithRetry(resilience.DefaultPolicy(req.Retries)),
+		pipeline.WithVariantTimeout(timeout),
+		pipeline.WithMinConfidence(req.MinConfidence),
+		pipeline.WithProgress(func(p explore.Progress) {
+			sess.mu.Lock()
+			sess.progress = p
+			sess.mu.Unlock()
+		}),
+	}
+	if req.JournalID != "" {
+		if !jid.MatchString(req.JournalID) {
+			return nil, badRequest("journal_id must match " + jid.String())
+		}
+		sess.jpath = filepath.Join(srv.cfg.dataDir, req.JournalID+".journal")
+	}
+	return sess, nil
+}
+
+// run executes the session: acquire the worker budget, run the sweep
+// through the shared store (and the session journal when named), record
+// the outcome. It owns the session's terminal state.
+func (srv *server) run(ctx context.Context, sess *session) {
+	defer close(sess.done)
+
+	// Hold `workers` tokens of the daemon's global budget for the whole
+	// sweep. Tokens are acquired one at a time so several queued sessions
+	// make progress as budget frees up; cancellation while queued releases
+	// whatever was acquired.
+	held := 0
+	defer func() {
+		for ; held > 0; held-- {
+			<-srv.sem
+		}
+	}()
+	for ; held < sess.workers; held++ {
+		select {
+		case srv.sem <- struct{}{}:
+		case <-ctx.Done():
+			sess.setState(stateCanceled)
+			return
+		}
+	}
+	sess.setState(stateRunning)
+
+	opts := sess.opts
+	if sess.jpath != "" {
+		j, err := journal.Open(sess.jpath)
+		if err != nil {
+			sess.fail(err)
+			return
+		}
+		defer j.Close()
+		// Original completion order of the resumed run — the order the
+		// replayed variants are reported in.
+		var order []string
+		for _, e := range j.Entries() {
+			order = append(order, e.Key)
+		}
+		sess.mu.Lock()
+		sess.replayOrder = order
+		sess.mu.Unlock()
+		opts = append(opts, pipeline.WithJournal(j))
+	}
+
+	all := append(append([]*hw.Machine{}, sess.variants...), sess.base)
+	evals, sum, err := pipeline.SweepCached(ctx, sess.workload, all, srv.store, opts...)
+	if err != nil && !tolerable(err) || evals == nil {
+		if ctx.Err() != nil {
+			sess.setState(stateCanceled)
+			return
+		}
+		sess.fail(err)
+		return
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.baseEval = evals[len(all)-1]
+	sess.evals = evals[:len(sess.variants)]
+	sess.summary = sum
+	sess.degraded = err != nil || sum.Confidence < 1 || len(sum.Diagnostics) > 0
+	if err != nil {
+		sess.errMsg = err.Error()
+	}
+	// A fully warm run never invoked the engine, so synthesize the final
+	// progress from the summary.
+	sess.progress = explore.Progress{
+		Done: sum.Total, Total: sum.Total,
+		Replayed: sum.FromJournal, Stored: sum.FromStore,
+		Retried: sess.progress.Retried, Elapsed: time.Since(sess.created),
+	}
+	if sess.baseEval == nil {
+		sess.state = stateFailed
+		sess.errMsg = "baseline " + sess.base.Name + " failed to evaluate"
+		return
+	}
+	sess.state = stateDone
+}
+
+func (s *session) fail(err error) {
+	s.mu.Lock()
+	s.state = stateFailed
+	s.errMsg = err.Error()
+	s.mu.Unlock()
+}
+
+// tolerable reports whether a sweep error leaves usable results: poisoned
+// variants (reported per-variant), or journal/store degradation (results
+// complete, durability partial).
+func tolerable(err error) bool {
+	var sweepErr *explore.SweepError
+	return errors.As(err, &sweepErr) ||
+		errors.Is(err, explore.ErrJournalDegraded) ||
+		errors.Is(err, store.ErrDegraded)
+}
+
+// ranked returns the indices of the session's healthy evals in ascending
+// projected-time order.
+func (s *session) ranked() []int {
+	var order []int
+	for i, ev := range s.evals {
+		if ev != nil {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.evals[order[a]].Analysis.TotalTime < s.evals[order[b]].Analysis.TotalTime
+	})
+	return order
+}
+
+// analyses returns the session's analyses index-aligned with its variants
+// (nil for failed variants) — the shape explore.Pareto consumes.
+func (s *session) analyses() []*hotspot.Analysis {
+	out := make([]*hotspot.Analysis, len(s.evals))
+	for i, ev := range s.evals {
+		if ev != nil {
+			out[i] = ev.Analysis
+		}
+	}
+	return out
+}
+
+// badRequest marks a client error (HTTP 400).
+type requestError struct{ msg string }
+
+func (e *requestError) Error() string { return e.msg }
+
+func badRequest(msg string) error { return &requestError{msg: msg} }

@@ -1,0 +1,102 @@
+package explore
+
+import (
+	"fmt"
+
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/store"
+)
+
+// This file connects the engine to the content-addressed result store
+// (internal/store) — the cross-sweep, cross-process complement of the
+// sweep journal:
+//
+//   - the journal is per-sweep state: bound to one layout fingerprint,
+//     replayed in full at bind time, usually deleted when its sweep ends;
+//   - the store is shared state: keyed by (layout, machine, mode)
+//     fingerprints, it serves any sweep of any workload that hashes to the
+//     same identity, indefinitely.
+//
+// The lookup order inside a worker is journal → store → evaluate: the
+// journal is authoritative for this sweep (its entries already passed this
+// sweep's meta binding), the store is the global fallback, and only a miss
+// on both computes. Fresh evaluations and journal replays are both written
+// through to the store (best-effort, sticky failure — identical contract
+// to journal writes), so finishing a journaled sweep also warms the store.
+
+// CAS attaches a content-addressed result store to the engine. mode is the
+// evaluation-mode digest (store.ModeDigest) under which this engine's
+// results are addressed — the caller owns folding its criteria, lenient
+// flag, and confidence floor into it. The store is consulted after the
+// sweep journal and before any computation; hits are grafted onto the
+// engine's layout, so they carry Node links like freshly computed analyses.
+// The store is owned by the caller (Close it after the sweep).
+func CAS(s *store.Store, mode string) Option {
+	return func(e *Engine) {
+		e.cas = s
+		e.casMode = mode
+	}
+}
+
+// LayoutFingerprint exposes the engine's layout identity — the first
+// component of the store's eval keys, and the value daemon sessions report
+// so a client can correlate a session with store contents.
+func (e *Engine) LayoutFingerprint() string { return e.layout.Fingerprint() }
+
+// casGet looks the variant up in the attached store. A hit is grafted onto
+// the engine's layout; a record that fails to decode or graft (version
+// skew, fingerprint collision) is treated as a miss and recorded as the
+// sticky store error rather than failing the variant.
+func (e *Engine) casGet(m *hw.Machine) (*hotspot.Analysis, bool) {
+	if e.cas == nil {
+		return nil, false
+	}
+	a, ok, err := e.cas.GetEval(e.layout.Fingerprint(), m.Fingerprint(), e.casMode)
+	if err == nil && ok {
+		err = e.layout.Graft(a)
+	}
+	if err != nil {
+		e.casFail(err)
+		return nil, false
+	}
+	if !ok {
+		return nil, false
+	}
+	return a, true
+}
+
+// casPut writes one completed variant through to the store. Like
+// journalAppend, a write failure never fails the variant: it disables
+// further store writes and surfaces once from the sweep's wait error.
+func (e *Engine) casPut(m *hw.Machine, a *hotspot.Analysis) {
+	if e.cas == nil {
+		return
+	}
+	e.mu.Lock()
+	broken := e.casErr != nil
+	e.mu.Unlock()
+	if broken {
+		return
+	}
+	if err := e.cas.PutEval(e.layout.Fingerprint(), m.Fingerprint(), e.casMode, a); err != nil {
+		e.casFail(err)
+	}
+}
+
+// casFail records the first store failure; the sweep continues uncached.
+func (e *Engine) casFail(err error) {
+	e.mu.Lock()
+	if e.casErr == nil {
+		e.casErr = fmt.Errorf("explore: %w: store disabled after failure (sweep continues uncached): %w",
+			store.ErrDegraded, err)
+	}
+	e.mu.Unlock()
+}
+
+// casError returns the sticky store failure, if any.
+func (e *Engine) casError() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.casErr
+}

@@ -37,6 +37,7 @@ import (
 	"skope/internal/hw"
 	"skope/internal/journal"
 	"skope/internal/resilience"
+	"skope/internal/store"
 )
 
 // compKey is the subset of machine parameters the roofline characterization
@@ -96,6 +97,10 @@ type Progress struct {
 	// Replayed counts variants served from the sweep journal (a subset
 	// of Done): completed in an earlier run and not recomputed.
 	Replayed int
+	// Stored counts variants served from the content-addressed result
+	// store (also a subset of Done): computed by some earlier sweep —
+	// possibly another session or process — and not recomputed.
+	Stored int
 	// Retried counts evaluation attempts beyond each variant's first —
 	// the sweep's total transient-fault bill.
 	Retried int
@@ -116,6 +121,10 @@ type Result struct {
 	// Replayed marks an analysis served from the sweep journal: assembled
 	// from the durable per-block times of an earlier run, not recomputed.
 	Replayed bool
+	// Stored marks an analysis served from the content-addressed result
+	// store: decoded bit-identically from an earlier sweep's record, not
+	// recomputed.
+	Stored bool
 	// Attempts is the number of evaluation attempts the variant consumed
 	// (0 when replayed, 1 on a first-try success or without retries).
 	Attempts int
@@ -149,11 +158,17 @@ type Engine struct {
 	jnl    *journal.Journal
 	replay map[string]replayEntry
 
+	// Content-addressed store state (see CAS in cas.go): cas serves and
+	// receives results under the casMode digest.
+	cas     *store.Store
+	casMode string
+
 	mu     sync.Mutex
 	comp   map[compKey][]hotspot.BlockTimes
 	comm   map[commKey][]hotspot.BlockTimes
 	stats  CacheStats
 	jnlErr error
+	casErr error
 }
 
 // Option configures an Engine.
@@ -444,6 +459,7 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 		doneMu   sync.Mutex
 		done     int
 		replayed int
+		stored   int
 		retried  int
 	)
 	finish := func(r Result) {
@@ -453,13 +469,16 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 		if r.Replayed {
 			replayed++
 		}
+		if r.Stored {
+			stored++
+		}
 		if r.Attempts > 1 {
 			retried += r.Attempts - 1
 		}
 		if e.progress != nil {
 			e.progress(Progress{
 				Done: done, Total: len(variants),
-				Replayed: replayed, Retried: retried,
+				Replayed: replayed, Stored: stored, Retried: retried,
 				Cache:   e.CacheStats(),
 				Elapsed: time.Since(start),
 			})
@@ -498,12 +517,28 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 							// the scoring formula evolves.
 							a.Confidence = *entry.conf
 						}
+						// Write replays through to the store (before the
+						// confidence gate, like fresh completions), so
+						// finishing a journaled sweep also warms it.
+						e.casPut(m, a)
 						if lcErr := e.confidenceErr(a); lcErr != nil {
 							r.Err = e.variantError(i, m, 0, lcErr)
 						} else {
 							r.Analysis = a
 							r.Replayed = true
 						}
+					}
+				} else if a, ok := e.casGet(m); ok {
+					// Stored by an earlier sweep — possibly another
+					// session or process — under the same (layout,
+					// machine, mode) identity: decoded bit-identically,
+					// zero recomputation. The confidence gate still
+					// applies (the stored score is the computed one).
+					if lcErr := e.confidenceErr(a); lcErr != nil {
+						r.Err = e.variantError(i, m, 0, lcErr)
+					} else {
+						r.Analysis = a
+						r.Stored = true
 					}
 				} else {
 					a, comp, comm, attempts, err := e.evaluateVariant(sctx, m)
@@ -516,10 +551,11 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 						}
 						r.Err = e.variantError(i, m, attempts, err)
 					} else {
-						// Journal before the confidence gate: the
-						// per-block times are valid either way, and a
-						// re-run with a lower floor replays them for free.
+						// Journal and store before the confidence gate:
+						// the results are valid either way, and a re-run
+						// with a lower floor replays them for free.
 						e.journalAppend(m, comp, comm, a.Confidence)
+						e.casPut(m, a)
 						if lcErr := e.confidenceErr(a); lcErr != nil {
 							r.Err = e.variantError(i, m, attempts, lcErr)
 						} else {
@@ -552,6 +588,9 @@ func (e *Engine) Stream(ctx context.Context, variants []*hw.Machine) (<-chan Res
 		}
 		if jerr := e.journalError(); jerr != nil {
 			errs = append(errs, jerr)
+		}
+		if cerr := e.casError(); cerr != nil {
+			errs = append(errs, cerr)
 		}
 		return errors.Join(errs...)
 	}

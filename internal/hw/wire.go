@@ -1,0 +1,82 @@
+package hw
+
+import "math"
+
+// WireMachine is the canonical serialized form of a Machine: every float
+// travels as its IEEE-754 bit pattern, so encode/decode round-trips are
+// exact to the bit and the encoded bytes are a stable identity for the
+// machine. It backs the content-addressed result store, where a decoded
+// machine must compare (and fingerprint) identical to the one that was
+// stored.
+//
+// The JSON field names are part of the on-disk store contract; append new
+// fields rather than renaming or reordering.
+type WireMachine struct {
+	Name string `json:"name"`
+
+	FreqGHz        uint64 `json:"freq"`
+	IssueWidth     int    `json:"issue"`
+	FPOpsPerCycle  uint64 `json:"fp"`
+	IntOpsPerCycle uint64 `json:"int"`
+	VectorWidth    int    `json:"vec"`
+	AutoVectorize  bool   `json:"autovec,omitempty"`
+
+	DivLatencyCyc int  `json:"divlat"`
+	Prefetch      bool `json:"prefetch,omitempty"`
+
+	L1SizeB       int `json:"l1size"`
+	L1LineB       int `json:"l1line"`
+	L1Assoc       int `json:"l1assoc"`
+	L1LatencyCyc  int `json:"l1lat"`
+	LLCSizeB      int `json:"llcsize"`
+	LLCLineB      int `json:"llcline"`
+	LLCAssoc      int `json:"llcassoc"`
+	LLCLatencyCyc int `json:"llclat"`
+	MemLatencyCyc int `json:"memlat"`
+
+	MemBandwidthGBs uint64 `json:"membw"`
+	MemConcurrency  uint64 `json:"memconc"`
+	HitL1           uint64 `json:"hitl1"`
+	HitLLC          uint64 `json:"hitllc"`
+
+	NetLatencyUs    uint64 `json:"netlat"`
+	NetBandwidthGBs uint64 `json:"netbw"`
+}
+
+// Wire converts the machine to its canonical serialized form.
+func (m *Machine) Wire() WireMachine {
+	f := math.Float64bits
+	return WireMachine{
+		Name:    m.Name,
+		FreqGHz: f(m.FreqGHz), IssueWidth: m.IssueWidth,
+		FPOpsPerCycle: f(m.FPOpsPerCycle), IntOpsPerCycle: f(m.IntOpsPerCycle),
+		VectorWidth: m.VectorWidth, AutoVectorize: m.AutoVectorize,
+		DivLatencyCyc: m.DivLatencyCyc, Prefetch: m.Prefetch,
+		L1SizeB: m.L1SizeB, L1LineB: m.L1LineB, L1Assoc: m.L1Assoc, L1LatencyCyc: m.L1LatencyCyc,
+		LLCSizeB: m.LLCSizeB, LLCLineB: m.LLCLineB, LLCAssoc: m.LLCAssoc, LLCLatencyCyc: m.LLCLatencyCyc,
+		MemLatencyCyc:   m.MemLatencyCyc,
+		MemBandwidthGBs: f(m.MemBandwidthGBs), MemConcurrency: f(m.MemConcurrency),
+		HitL1: f(m.HitL1), HitLLC: f(m.HitLLC),
+		NetLatencyUs: f(m.NetLatencyUs), NetBandwidthGBs: f(m.NetBandwidthGBs),
+	}
+}
+
+// Machine converts the wire form back to a Machine. The result is
+// bit-identical to the machine Wire was called on: same Fingerprint, same
+// projected times on every model.
+func (w WireMachine) Machine() *Machine {
+	f := math.Float64frombits
+	return &Machine{
+		Name:    w.Name,
+		FreqGHz: f(w.FreqGHz), IssueWidth: w.IssueWidth,
+		FPOpsPerCycle: f(w.FPOpsPerCycle), IntOpsPerCycle: f(w.IntOpsPerCycle),
+		VectorWidth: w.VectorWidth, AutoVectorize: w.AutoVectorize,
+		DivLatencyCyc: w.DivLatencyCyc, Prefetch: w.Prefetch,
+		L1SizeB: w.L1SizeB, L1LineB: w.L1LineB, L1Assoc: w.L1Assoc, L1LatencyCyc: w.L1LatencyCyc,
+		LLCSizeB: w.LLCSizeB, LLCLineB: w.LLCLineB, LLCAssoc: w.LLCAssoc, LLCLatencyCyc: w.LLCLatencyCyc,
+		MemLatencyCyc:   w.MemLatencyCyc,
+		MemBandwidthGBs: f(w.MemBandwidthGBs), MemConcurrency: f(w.MemConcurrency),
+		HitL1: f(w.HitL1), HitLLC: f(w.HitLLC),
+		NetLatencyUs: f(w.NetLatencyUs), NetBandwidthGBs: f(w.NetBandwidthGBs),
+	}
+}

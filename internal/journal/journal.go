@@ -67,6 +67,7 @@ type Journal struct {
 	path      string
 	meta      map[string]string
 	records   map[string][]byte
+	order     []string // distinct keys in first-append order
 	recovered int
 	truncated bool
 }
@@ -136,6 +137,9 @@ func (j *Journal) recover() error {
 			var rec record
 			if uerr := json.Unmarshal(payload, &rec); uerr != nil {
 				return fmt.Errorf("journal %s: line %d: bad record: %w", j.path, lineNo, uerr)
+			}
+			if _, seen := j.records[rec.Key]; !seen {
+				j.order = append(j.order, rec.Key)
 			}
 			j.records[rec.Key] = rec.Payload
 			j.recovered++
@@ -254,12 +258,57 @@ func (j *Journal) Append(key string, payload []byte) error {
 	}
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
+	if _, seen := j.records[key]; !seen {
+		j.order = append(j.order, key)
+	}
 	j.records[key] = cp
 	return nil
 }
 
+// Entry is one journal record as returned by Entries: its key and the
+// latest payload appended under it.
+type Entry struct {
+	Key     string
+	Payload []byte
+}
+
+// Entries returns a copy of every intact record in original completion
+// order: distinct keys appear in the order they were first appended
+// (recovered records first, in file order), each carrying its most recent
+// payload. This is the ordered counterpart of Replay — resuming consumers
+// (the skoped daemon streaming a dead session's results) use it to replay
+// work in the order it originally finished.
+func (j *Journal) Entries() []Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Entry, 0, len(j.order))
+	for _, k := range j.order {
+		v := j.records[k]
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		out = append(out, Entry{Key: k, Payload: cp})
+	}
+	return out
+}
+
+// Get returns a copy of the latest payload appended under key, if any.
+// It is the point-lookup counterpart of Replay, for consumers (the result
+// store) that address individual records rather than replaying the log.
+func (j *Journal) Get(key string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.records[key]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, true
+}
+
 // Replay returns a copy of every intact record currently in the journal
-// (recovered at Open plus any appended since), keyed as appended.
+// (recovered at Open plus any appended since), keyed as appended. The map
+// carries no ordering; use Entries for original completion order.
 func (j *Journal) Replay() map[string][]byte {
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -205,3 +205,53 @@ func TestEmptyPayload(t *testing.T) {
 		t.Errorf("empty payload lost: %v %v", v, ok)
 	}
 }
+
+func TestEntriesPreserveCompletionOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j := openT(t, path)
+	j.SetMeta(nil)
+	keys := []string{"c", "a", "z", "b", "m"}
+	for i, k := range keys {
+		if err := j.Append(k, []byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rewriting an existing key keeps its original position but serves the
+	// newest payload (last record wins, like Replay).
+	if err := j.Append("a", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	check := func(j *journal.Journal, where string) {
+		t.Helper()
+		entries := j.Entries()
+		if len(entries) != len(keys) {
+			t.Fatalf("%s: %d entries, want %d", where, len(entries), len(keys))
+		}
+		for i, e := range entries {
+			if e.Key != keys[i] {
+				t.Errorf("%s: entry %d is %q, want %q", where, i, e.Key, keys[i])
+			}
+		}
+		if got := string(entries[1].Payload); got != "new" {
+			t.Errorf("%s: rewritten key serves %q, want \"new\"", where, got)
+		}
+	}
+	check(j, "live")
+	j.Close()
+	// The order must survive recovery, including last-wins dedupe.
+	check(openT(t, path), "recovered")
+}
+
+func TestEntriesCopiesPayloads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j := openT(t, path)
+	j.SetMeta(nil)
+	if err := j.Append("k", []byte("orig")); err != nil {
+		t.Fatal(err)
+	}
+	e := j.Entries()[0]
+	copy(e.Payload, "XXXX")
+	if got := string(j.Entries()[0].Payload); got != "orig" {
+		t.Errorf("mutating a returned payload leaked into the journal: %q", got)
+	}
+}

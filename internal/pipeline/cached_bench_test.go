@@ -1,0 +1,68 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"skope/internal/store"
+	"skope/internal/workloads"
+)
+
+// The cold/warm pair quantifies what the content-addressed store buys:
+// cold is the full pipeline (parse, profile, model, sweep), warm is the
+// same sweep served entirely from the store — no preparation, no
+// evaluation, just digest lookups and canonical decoding. The ratio is
+// pinned in BENCH_store.json.
+
+func benchWorkload(b *testing.B) *workloads.Workload {
+	b.Helper()
+	w, err := workloads.Get("srad", workloads.ScaleTest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func BenchmarkSweepCachedCold(b *testing.B) {
+	w := benchWorkload(b)
+	variants := cachedVariants()
+	dir := b.TempDir()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A fresh store file per iteration keeps every run cold.
+		s, err := store.Open(filepath.Join(dir, fmt.Sprintf("cas-%d.journal", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := SweepCached(context.Background(), w, variants, s); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+func BenchmarkSweepCachedWarm(b *testing.B) {
+	w := benchWorkload(b)
+	variants := cachedVariants()
+	s, err := store.Open(filepath.Join(b.TempDir(), "cas.journal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, err := SweepCached(context.Background(), w, variants, s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sum, err := SweepCached(context.Background(), w, variants, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sum.SkippedPrepare {
+			b.Fatal("warm iteration was not fully warm")
+		}
+	}
+}

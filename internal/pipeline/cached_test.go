@@ -1,0 +1,242 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"skope/internal/guard"
+	"skope/internal/hotspot"
+	"skope/internal/hw"
+	"skope/internal/store"
+	"skope/internal/workloads"
+)
+
+func cachedVariants() []*hw.Machine {
+	var variants []*hw.Machine
+	for _, bw := range []float64{8, 16, 32, 64} {
+		m := hw.BGQ()
+		m.MemBandwidthGBs = bw
+		variants = append(variants, m)
+	}
+	return variants
+}
+
+// TestSweepCachedWarmIsColdBitIdentical is the store's acceptance test in
+// one process: a cold SweepCached populates the store; a second identical
+// call is served entirely from it — prep record and all — with zero
+// core.Build calls (enforced via the fault point core.Build hits on every
+// statement) and Evals equal to the cold run's in every field.
+func TestSweepCachedWarmIsColdBitIdentical(t *testing.T) {
+	s, err := store.Open(filepath.Join(t.TempDir(), "cas.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	w, err := workloads.Get("srad", workloads.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := cachedVariants()
+
+	cold, coldSum, err := SweepCached(context.Background(), w, variants, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldSum.SkippedPrepare {
+		t.Error("cold run claims to have skipped preparation")
+	}
+	if coldSum.Computed != len(variants) {
+		t.Errorf("cold run computed %d/%d", coldSum.Computed, len(variants))
+	}
+	if coldSum.LayoutFingerprint == "" {
+		t.Error("cold summary has no layout fingerprint")
+	}
+
+	// Any model construction during the warm run is a hard failure.
+	disarm := guard.Arm("core.body", func(detail string) {
+		t.Errorf("warm run built a BET (at %s)", detail)
+	})
+	defer disarm()
+
+	warm, warmSum, err := SweepCached(context.Background(), w, variants, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmSum.SkippedPrepare {
+		t.Error("warm run did not skip preparation")
+	}
+	if warmSum.FromStore != len(variants) {
+		t.Errorf("warm run served %d/%d from store", warmSum.FromStore, len(variants))
+	}
+	if warmSum.LayoutFingerprint != coldSum.LayoutFingerprint {
+		t.Errorf("layout fingerprint drifted: %s vs %s", warmSum.LayoutFingerprint, coldSum.LayoutFingerprint)
+	}
+	if math.Float64bits(warmSum.Confidence) != math.Float64bits(coldSum.Confidence) {
+		t.Errorf("summary confidence drifted")
+	}
+
+	for i := range variants {
+		c, wv := cold[i], warm[i]
+		e1, err := hotspot.EncodeAnalysis(c.Analysis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := hotspot.EncodeAnalysis(wv.Analysis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Errorf("variant %d: analysis not bit-identical", i)
+		}
+		if math.Float64bits(c.Confidence) != math.Float64bits(wv.Confidence) {
+			t.Errorf("variant %d: confidence drifted", i)
+		}
+		if !reflect.DeepEqual(c.SpotIDs(), wv.SpotIDs()) {
+			t.Errorf("variant %d: selection drifted: %v vs %v", i, c.SpotIDs(), wv.SpotIDs())
+		}
+		if !reflect.DeepEqual(c.Diagnostics, wv.Diagnostics) {
+			t.Errorf("variant %d: diagnostics drifted", i)
+		}
+		if wv.Provenance != FromStore {
+			t.Errorf("variant %d: provenance %v, want FromStore", i, wv.Provenance)
+		}
+		if c.Provenance != Computed {
+			t.Errorf("variant %d: cold provenance %v, want Computed", i, c.Provenance)
+		}
+	}
+}
+
+// TestSweepCachedPartialWarm: a new variant joins the grid; only it is
+// computed, the rest are served from the store, and preparation happens
+// (the new variant needs the layout).
+func TestSweepCachedPartialWarm(t *testing.T) {
+	s, err := store.Open(filepath.Join(t.TempDir(), "cas.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	w, err := workloads.Get("srad", workloads.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := cachedVariants()
+	if _, _, err := SweepCached(context.Background(), w, variants, s); err != nil {
+		t.Fatal(err)
+	}
+
+	extra := hw.BGQ()
+	extra.MemBandwidthGBs = 128
+	grown := append(append([]*hw.Machine{}, variants...), extra)
+	evals, sum, err := SweepCached(context.Background(), w, grown, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SkippedPrepare {
+		t.Error("partial warm run claims to have skipped preparation")
+	}
+	if sum.FromStore != len(variants) || sum.Computed != 1 {
+		t.Errorf("partial warm: %d stored / %d computed, want %d / 1", sum.FromStore, sum.Computed, len(variants))
+	}
+	if evals[len(grown)-1].Provenance != Computed {
+		t.Errorf("new variant provenance %v, want Computed", evals[len(grown)-1].Provenance)
+	}
+	// And now the grown grid is fully warm.
+	_, sum2, err := SweepCached(context.Background(), w, grown, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum2.SkippedPrepare || sum2.FromStore != len(grown) {
+		t.Errorf("grown grid not fully warm: %+v", sum2)
+	}
+}
+
+// TestSweepCachedModeIsolation: changing criteria, lenient mode, or the
+// confidence floor must miss the store's warm path.
+func TestSweepCachedModeIsolation(t *testing.T) {
+	s, err := store.Open(filepath.Join(t.TempDir(), "cas.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	w, err := workloads.Get("srad", workloads.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := cachedVariants()[:2]
+	if _, _, err := SweepCached(context.Background(), w, variants, s); err != nil {
+		t.Fatal(err)
+	}
+
+	crit := hotspot.DefaultCriteria()
+	crit.MaxSpots = 1
+	_, sum, err := SweepCached(context.Background(), w, variants, s, WithCriteria(crit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SkippedPrepare || sum.FromStore != 0 {
+		t.Errorf("criteria change hit the warm path: %+v", sum)
+	}
+}
+
+// TestSweepCachedBypassesForeignModel: WithModelFunc results are not
+// content-addressable; the store must stay untouched.
+func TestSweepCachedBypassesForeignModel(t *testing.T) {
+	s, err := store.Open(filepath.Join(t.TempDir(), "cas.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	w, err := workloads.Get("srad", workloads.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SweepCached(context.Background(), w, cachedVariants()[:2], s, WithModelFunc(hw.NewVectorAwareModel)); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(); n != 0 {
+		t.Errorf("foreign-model sweep wrote %d store records", n)
+	}
+}
+
+// TestEvaluateStoreHit: Evaluate serves its analysis from the store on the
+// second call — grafted, so hot-path extraction still works — while the
+// simulation (machine-specific, never cached) runs both times.
+func TestEvaluateStoreHit(t *testing.T) {
+	s, err := store.Open(filepath.Join(t.TempDir(), "cas.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	run := prepared(t, "srad")
+	m := hw.BGQ()
+
+	ev1, err := Evaluate(context.Background(), run, m, WithStore(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev1.Provenance != Computed {
+		t.Fatalf("first evaluation provenance %v, want Computed", ev1.Provenance)
+	}
+	ev2, err := Evaluate(context.Background(), run, m, WithStore(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Provenance != FromStore {
+		t.Fatalf("second evaluation provenance %v, want FromStore", ev2.Provenance)
+	}
+	e1, _ := hotspot.EncodeAnalysis(ev1.Analysis)
+	e2, _ := hotspot.EncodeAnalysis(ev2.Analysis)
+	if !bytes.Equal(e1, e2) {
+		t.Error("store-served analysis not bit-identical")
+	}
+	if ev2.HotPath == nil || ev2.HotPath.NumNodes != ev1.HotPath.NumNodes {
+		t.Error("hot path lost on store-served evaluation")
+	}
+	if ev2.Sim == nil {
+		t.Error("simulation skipped on store hit (it is machine-specific and never cached)")
+	}
+}

@@ -153,7 +153,7 @@ func TestGoldenMissingBranchProfile(t *testing.T) {
 	if err != nil {
 		t.Fatalf("sweep: %v", err)
 	}
-	checkDegradedGolden(t, "degraded-profile", renderDegraded("sord-missing-branch", run.Confidence, run.Diagnostics, out[0]))
+	checkDegradedGolden(t, "degraded-profile", renderDegraded("sord-missing-branch", run.Confidence, run.Diagnostics, out[0].Analysis))
 }
 
 // TestStrictLenientParity verifies the acceptance bar for lenient mode:
@@ -196,12 +196,12 @@ func TestStrictLenientParity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !bytes.Equal(renderGolden(name, la[0]), renderGolden(name, sa[0])) {
+			if !bytes.Equal(renderGolden(name, la[0].Analysis), renderGolden(name, sa[0].Analysis)) {
 				t.Errorf("lenient analysis differs from strict:\n--- strict\n%s--- lenient\n%s",
-					renderGolden(name, sa[0]), renderGolden(name, la[0]))
+					renderGolden(name, sa[0].Analysis), renderGolden(name, la[0].Analysis))
 			}
-			if math.Float64bits(la[0].Confidence) != math.Float64bits(sa[0].Confidence) {
-				t.Errorf("analysis confidence: lenient %v, strict %v", la[0].Confidence, sa[0].Confidence)
+			if math.Float64bits(la[0].Analysis.Confidence) != math.Float64bits(sa[0].Analysis.Confidence) {
+				t.Errorf("analysis confidence: lenient %v, strict %v", la[0].Analysis.Confidence, sa[0].Analysis.Confidence)
 			}
 		})
 	}

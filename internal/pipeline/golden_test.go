@@ -62,7 +62,7 @@ func TestGoldenAnalyses(t *testing.T) {
 			if err != nil {
 				t.Fatalf("analyze %s: %v", name, err)
 			}
-			got := renderGolden(name, out[0])
+			got := renderGolden(name, out[0].Analysis)
 			path := filepath.Join("testdata", "golden", name+".golden")
 			if *updateGolden {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

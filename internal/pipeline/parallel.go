@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"skope/internal/explore"
+	"skope/internal/guard"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
 	"skope/internal/resilience"
@@ -117,8 +119,9 @@ func evaluateResilient(ctx context.Context, run *Run, m *hw.Machine, o options, 
 // Explorer builds a design-space exploration engine over the prepared
 // workload's BET and library model — the entry point for co-design studies
 // that need the engine's streaming or cache-statistics API directly.
-// WithModelFunc, WithWorkers, WithProgress, WithRetry, WithVariantTimeout
-// and WithJournal carry over.
+// WithModelFunc, WithWorkers, WithProgress, WithRetry, WithVariantTimeout,
+// WithJournal and WithStore carry over (the store is keyed under this
+// configuration's criteria, lenient flag, and confidence floor).
 func Explorer(run *Run, opts ...Option) (*explore.Engine, error) {
 	o := buildOptions(opts)
 	eopts := []explore.Option{
@@ -136,6 +139,9 @@ func Explorer(run *Run, opts ...Option) (*explore.Engine, error) {
 	if o.jnl != nil {
 		eopts = append(eopts, explore.Journal(o.jnl))
 	}
+	if o.storeUsable() {
+		eopts = append(eopts, explore.CAS(o.st, o.modeDigest()))
+	}
 	eng, err := explore.New(run.BET, run.Libs, eopts...)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %s: %w", run.Workload.Name, err)
@@ -146,12 +152,98 @@ func Explorer(run *Run, opts ...Option) (*explore.Engine, error) {
 // Sweep projects a prepared workload over a set of machine variants purely
 // analytically (no simulation) — the co-design design-space exploration
 // loop. It runs on the exploration engine: a bounded worker pool with
-// memoized per-block characterization, so large grids that vary only a few
-// parameters cost a fraction of naive repeated analysis. The returned
-// analyses are index-aligned with the variants; failed variants (see
+// memoized per-block characterization, plus the sweep journal (WithJournal)
+// and the content-addressed store (WithStore) as zero-recompute sources.
+//
+// It returns the unified Eval type: per variant, the analysis, the hot-spot
+// selection under this configuration's criteria, the merged diagnostics,
+// the end-to-end confidence, and the provenance (computed, journal, store).
+// The measured fields (Sim, Modl/Prof, quality, HotPath) stay zero — sweeps
+// never simulate — so cached and computed sweep results are interchangeable.
+// Evals are index-aligned with the variants; failed variants (see
 // explore.SweepError) leave nils behind and come back as a wrapped
-// aggregate error alongside the healthy analyses.
-func Sweep(ctx context.Context, run *Run, variants []*hw.Machine, opts ...Option) ([]*hotspot.Analysis, error) {
+// aggregate error alongside the healthy evaluations. Cancellation (the only
+// way to lose healthy results) returns nil evaluations and the wrapped
+// context error.
+func Sweep(ctx context.Context, run *Run, variants []*hw.Machine, opts ...Option) ([]*Eval, error) {
+	o := buildOptions(opts)
+	eng, err := Explorer(run, opts...)
+	if err != nil {
+		return nil, err
+	}
+	evals := make([]*Eval, len(variants))
+	var failures []*explore.VariantError
+	results, wait := eng.Stream(ctx, variants)
+	for r := range results {
+		if r.Err != nil {
+			var ve *explore.VariantError
+			if !errors.As(r.Err, &ve) {
+				ve = &explore.VariantError{Index: r.Index, Machine: r.Machine, MachineName: r.Machine.Name, Err: r.Err}
+			}
+			failures = append(failures, ve)
+			continue
+		}
+		evals[r.Index] = sweepEval(run.Diagnostics, run.Confidence, r, o.crit)
+	}
+	werr := wait()
+	if werr != nil && (errors.Is(werr, context.Canceled) || errors.Is(werr, context.DeadlineExceeded)) {
+		return nil, fmt.Errorf("pipeline: sweep %s: %w", run.Workload.Name, werr)
+	}
+	var errs []error
+	if len(failures) > 0 {
+		sort.Slice(failures, func(i, j int) bool { return failures[i].Index < failures[j].Index })
+		errs = append(errs, &explore.SweepError{Variants: failures})
+	}
+	if werr != nil {
+		// Journal or store degradation: results are complete, only
+		// durability/cache coverage is partial.
+		errs = append(errs, werr)
+	}
+	if err := errors.Join(errs...); err != nil {
+		return evals, fmt.Errorf("pipeline: sweep %s: %w", run.Workload.Name, err)
+	}
+	return evals, nil
+}
+
+// sweepEval assembles the unified Eval for one analytical sweep result:
+// selection under the configured criteria, preparation + analysis
+// diagnostics merged, end-to-end confidence, provenance from the result's
+// source flags. Shared by Sweep and the daemon's session runner.
+func sweepEval(prepDiags []guard.Diagnostic, prepConf float64, r explore.Result, crit hotspot.Criteria) *Eval {
+	a := r.Analysis
+	diags := make([]guard.Diagnostic, 0, len(prepDiags)+len(a.Diagnostics))
+	diags = append(diags, prepDiags...)
+	diags = append(diags, a.Diagnostics...)
+	guard.SortDiagnostics(diags)
+	conf := prepConf
+	if a.Confidence < conf {
+		conf = a.Confidence
+	}
+	prov := Computed
+	switch {
+	case r.Replayed:
+		prov = FromJournal
+	case r.Stored:
+		prov = FromStore
+	}
+	return &Eval{
+		Machine:     r.Machine,
+		Analysis:    a,
+		Selection:   hotspot.Select(a, crit),
+		Diagnostics: diags,
+		Confidence:  conf,
+		Provenance:  prov,
+	}
+}
+
+// SweepAnalyses is the pre-unification Sweep: bare analyses, no selection,
+// diagnostics, confidence, or provenance.
+//
+// Deprecated: use Sweep, which returns the unified *Eval (carrying the
+// same Analysis plus selection, degradation state, and provenance), or
+// Explorer for direct engine access. SweepAnalyses remains only as a
+// migration shim and will be removed.
+func SweepAnalyses(ctx context.Context, run *Run, variants []*hw.Machine, opts ...Option) ([]*hotspot.Analysis, error) {
 	eng, err := Explorer(run, opts...)
 	if err != nil {
 		return nil, err

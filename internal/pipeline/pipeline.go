@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"skope/internal/bst"
@@ -32,6 +33,7 @@ import (
 	"skope/internal/profile"
 	"skope/internal/resilience"
 	"skope/internal/sim"
+	"skope/internal/store"
 	"skope/internal/translate"
 	"skope/internal/workloads"
 )
@@ -91,6 +93,24 @@ type Run struct {
 	// control-flow sites), and the BET's confidence. Exactly 1.0 for a
 	// fully profiled strict preparation.
 	Confidence float64
+
+	layoutOnce sync.Once
+	layout     *hotspot.Layout
+	layoutErr  error
+}
+
+// Layout returns the run's machine-independent analysis layout, resolving
+// it on first use and memoizing it for the run's lifetime. The layout's
+// Fingerprint is the run's identity in the content-addressed result store;
+// its Graft re-links store-served analyses to this run's BET.
+func (r *Run) Layout() (*hotspot.Layout, error) {
+	r.layoutOnce.Do(func() {
+		r.layout, r.layoutErr = hotspot.NewLayout(r.BET, r.Libs)
+	})
+	if r.layoutErr != nil {
+		return nil, stage(ErrModel, fmt.Errorf("pipeline: layout %s: %w", r.Workload.Name, r.layoutErr))
+	}
+	return r.layout, nil
 }
 
 // Degraded reports whether any part of the preparation rests on recovered
@@ -105,15 +125,30 @@ type Option func(*options)
 type options struct {
 	crit      hotspot.Criteria
 	modelFunc func(*hw.Machine) *hw.Model
-	workers   int
-	progress  func(explore.Progress)
-	lim       *guard.Limits
-	retry     resilience.Policy
-	timeout   time.Duration
-	jnl       *journal.Journal
-	lenient   bool
-	minConf   float64
-	prof      *interp.Profile
+	// customModel marks a WithModelFunc override: results under a foreign
+	// model constructor are not content-addressable (the constructor is
+	// not part of any fingerprint), so the store is bypassed.
+	customModel bool
+	workers     int
+	progress    func(explore.Progress)
+	lim         *guard.Limits
+	retry       resilience.Policy
+	timeout     time.Duration
+	jnl         *journal.Journal
+	st          *store.Store
+	lenient     bool
+	minConf     float64
+	prof        *interp.Profile
+}
+
+// storeUsable reports whether the configured store may serve and receive
+// results for these options.
+func (o *options) storeUsable() bool { return o.st != nil && !o.customModel }
+
+// modeDigest is the evaluation-mode component of this configuration's
+// store keys.
+func (o *options) modeDigest() string {
+	return store.ModeDigest(o.crit, o.lenient, o.minConf)
 }
 
 func buildOptions(opts []Option) options {
@@ -141,6 +176,7 @@ func WithModelFunc(f func(*hw.Machine) *hw.Model) Option {
 	return func(o *options) {
 		if f != nil {
 			o.modelFunc = f
+			o.customModel = true
 		}
 	}
 }
@@ -213,6 +249,18 @@ func WithProfile(p *interp.Profile) Option {
 // Explorer and Sweep fail with journal.ErrMetaMismatch otherwise.
 func WithJournal(j *journal.Journal) Option {
 	return func(o *options) { o.jnl = j }
+}
+
+// WithStore attaches a content-addressed result store to Evaluate, Sweep,
+// SweepCached, and Explorer-built engines. Results whose identity — layout
+// fingerprint × machine fingerprint × evaluation-mode digest — is already
+// stored are served bit-identically with zero recomputation, across
+// sessions, processes, and restarts; fresh results are durably written
+// through. The store is ignored under WithModelFunc: a foreign model
+// constructor is not part of any fingerprint, so its results are not
+// content-addressable. The store is owned by the caller.
+func WithStore(s *store.Store) Option {
+	return func(o *options) { o.st = s }
 }
 
 // Prepare runs the machine-independent half of the pipeline on a workload.
@@ -374,8 +422,42 @@ func PrepareByName(ctx context.Context, name string, s workloads.Scale, opts ...
 	return Prepare(ctx, w, opts...)
 }
 
-// Eval is a machine-specific evaluation: the analytical projection plus the
-// measured (simulated) baseline and their comparison.
+// Provenance records where an evaluation's analysis came from. Every
+// source is bit-identical by construction — provenance is attribution
+// (what work was skipped), never a quality grade.
+type Provenance int
+
+const (
+	// Computed marks a freshly computed analysis.
+	Computed Provenance = iota
+	// FromJournal marks an analysis assembled from a sweep journal record
+	// written by an earlier run of the same sweep.
+	FromJournal
+	// FromStore marks an analysis served from the content-addressed
+	// result store — possibly computed by another session or process.
+	FromStore
+)
+
+// String names the provenance for logs and wire encodings.
+func (p Provenance) String() string {
+	switch p {
+	case FromJournal:
+		return "journal"
+	case FromStore:
+		return "store"
+	default:
+		return "computed"
+	}
+}
+
+// Eval is one machine-specific evaluation — the unified result type of
+// Evaluate, EvaluateMany, Sweep, and SweepCached, and the wire type the
+// skoped daemon serves. The analytical fields (Analysis, Selection,
+// Diagnostics, Confidence) are always present; the measured fields (Modl,
+// Prof, Sim, the quality metrics, HotPath) are populated only by the
+// simulating entry points (Evaluate, EvaluateMany) — purely analytical
+// sweeps leave them zero so that cached and computed sweep results are
+// interchangeable.
 type Eval struct {
 	Machine *hw.Machine
 	// Analysis is the per-block roofline projection over the BET.
@@ -405,6 +487,9 @@ type Eval struct {
 	// Confidence is the end-to-end measured-vs-assumed coverage: the
 	// minimum of the preparation's and the analysis's scores.
 	Confidence float64
+	// Provenance records whether the analysis was computed, replayed from
+	// a sweep journal, or served from the result store.
+	Provenance Provenance
 }
 
 // Degraded reports whether any part of the evaluation rests on recovered
@@ -423,9 +508,34 @@ func Evaluate(ctx context.Context, run *Run, m *hw.Machine, opts ...Option) (ev 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("pipeline: evaluate %s on %s: %w", run.Workload.Name, m.Name, err)
 	}
-	analysis, err := hotspot.Analyze(ctx, run.BET, o.modelFunc(m), run.Libs)
-	if err != nil {
-		return nil, stage(ErrModel, fmt.Errorf("pipeline: analyze %s on %s: %w", run.Workload.Name, m.Name, err))
+	// Store path: serve the analysis by content address when one is
+	// attached. A hit is grafted onto the run's layout, so hot-path
+	// extraction below works identically; any store trouble (layout
+	// failure, decode skew, graft mismatch) falls back to computing.
+	var analysis *hotspot.Analysis
+	prov := Computed
+	if o.storeUsable() {
+		if l, lerr := run.Layout(); lerr == nil {
+			if a, ok, gerr := o.st.GetEval(l.Fingerprint(), m.Fingerprint(), o.modeDigest()); gerr == nil && ok {
+				if l.Graft(a) == nil {
+					analysis = a
+					prov = FromStore
+				}
+			}
+		}
+	}
+	if analysis == nil {
+		analysis, err = hotspot.Analyze(ctx, run.BET, o.modelFunc(m), run.Libs)
+		if err != nil {
+			return nil, stage(ErrModel, fmt.Errorf("pipeline: analyze %s on %s: %w", run.Workload.Name, m.Name, err))
+		}
+		if o.storeUsable() {
+			if l, lerr := run.Layout(); lerr == nil {
+				// Best-effort write-through: a store failure never fails
+				// the evaluation, the result is already in hand.
+				_ = o.st.PutEval(l.Fingerprint(), m.Fingerprint(), o.modeDigest(), analysis)
+			}
+		}
 	}
 	sel := hotspot.Select(analysis, o.crit)
 
@@ -461,6 +571,7 @@ func Evaluate(ctx context.Context, run *Run, m *hw.Machine, opts ...Option) (ev 
 		HotPath:          hotpath.Extract(run.BET.Root, sel.Spots),
 		Diagnostics:      evDiags,
 		Confidence:       conf,
+		Provenance:       prov,
 	}, nil
 }
 

@@ -231,8 +231,11 @@ func TestSweepParallel(t *testing.T) {
 		t.Fatalf("got %d analyses", len(analyses))
 	}
 	for i, a := range analyses {
-		if a == nil || a.TotalTime <= 0 {
+		if a == nil || a.Analysis.TotalTime <= 0 {
 			t.Errorf("variant %d empty", i)
+		}
+		if a != nil && a.Selection == nil {
+			t.Errorf("variant %d has no selection", i)
 		}
 	}
 	// Invalid variant rejected.
