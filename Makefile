@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-store bench-smoke fuzz-short check
+.PHONY: all build vet fmt-check test race bench bench-store bench-shard bench-smoke chaos fuzz-short check
 
 all: check
 
@@ -34,11 +34,23 @@ bench:
 bench-store:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweepCached' -benchmem ./internal/pipeline/
 
+# 1-vs-4 worker scaling of the sharded sweep protocol (modeled per-eval
+# latency; see BENCH_shard.json for why and the pinned numbers).
+bench-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedSweep' -benchtime 3x ./internal/shard/
+
 # One-iteration smoke over the store benchmarks: proves the cold and warm
 # paths still run (and that warm is actually warm — the benchmark fails if
 # preparation is not skipped) without paying for a full measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweepCached' -benchtime 1x ./internal/pipeline/
+
+# The shard protocol under fire: the full shard suite with the race
+# detector, including the kill-and-resume chaos test (worker subprocesses
+# SIGKILLed mid-shard, replacements resume from the journals, merged
+# result asserted bit-identical to a single-process sweep).
+chaos:
+	$(GO) test -race -count=1 ./internal/shard/
 
 # Short fuzz smoke over the three parser frontiers (10s per target).
 FUZZTIME ?= 10s

@@ -39,6 +39,17 @@
 //	skope -bench sord -sweep mem-bandwidth=16,32,64 -store results.cas
 //	skope -bench sord -sweep mem-bandwidth=16,32,64 -store results.cas   # zero recomputation
 //
+// -shard-workers distributes a sweep across N coordinated worker
+// processes: the parent hosts a shard coordinator on a loopback listener,
+// re-executes itself N times as workers, and merges their crash-safe
+// per-shard journals into one result, bit-identical to a single-process
+// sweep. Expired leases (a killed or hung worker) are stolen by the
+// survivors, and re-running with the same -shard-dir replays everything
+// already journaled instead of recomputing it:
+//
+//	skope -bench sord -sweep mem-bandwidth=16,32,64 -sweep freq-ghz=1.6,2.0 \
+//	      -shard-workers 4 -shard-dir sweep.shards
+//
 // -lenient switches the frontend and model construction into
 // error-recovering mode: syntax errors drop the offending statement,
 // missing branch probabilities and trip counts fall back to documented
@@ -82,6 +93,12 @@ import (
 )
 
 func main() {
+	if os.Getenv(shardWorkerURLEnv) != "" {
+		// Child role of -shard-workers: this process was re-executed by a
+		// sharded sweep's parent and must join its coordinator instead of
+		// parsing a command line.
+		os.Exit(runShardWorker())
+	}
 	var cfg config
 	cfg.register(flag.CommandLine)
 	flag.Parse()
@@ -190,6 +207,15 @@ func run(ctx context.Context, out io.Writer, cfg config) (degraded bool, err err
 	}
 	fmt.Fprintf(out, "# %s\n\n", w.Description)
 
+	if cfg.sw.ShardWorkers > 0 {
+		if len(cfg.sw.Axes) == 0 {
+			return false, fmt.Errorf("-shard-workers needs -sweep axes to distribute")
+		}
+		if cfg.sw.Store != "" {
+			return false, fmt.Errorf("-shard-workers and -store cannot be combined; merge the sharded journal into a store with skopec instead")
+		}
+	}
+
 	if len(cfg.sw.Axes) > 0 && cfg.sw.Store != "" {
 		// Store-backed sweeps branch before preparation on purpose: a
 		// fully warm store serves the whole sweep — preparation included —
@@ -210,6 +236,9 @@ func run(ctx context.Context, out io.Writer, cfg config) (degraded bool, err err
 	}
 
 	if len(cfg.sw.Axes) > 0 {
+		if cfg.sw.ShardWorkers > 0 {
+			return sweepSharded(ctx, out, cfg, run, m)
+		}
 		return sweep(ctx, out, cfg, run, m)
 	}
 

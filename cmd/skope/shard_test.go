@@ -1,0 +1,133 @@
+package main
+
+// Tests of the -shard-workers multi-process sweep mode. The test binary
+// doubles as the worker executable: sweepSharded re-executes
+// os.Executable(), which under `go test` is the test binary, so TestMain
+// routes the shard-worker role to runShardWorker exactly like the real
+// skope main does.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"skope/internal/cliflags"
+	"skope/internal/journal"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(shardWorkerURLEnv) != "" {
+		os.Exit(runShardWorker())
+	}
+	os.Exit(m.Run())
+}
+
+// shardedConfig is the shared base: 4 variants over two axes, small
+// enough that two workers plus the in-process replay stay fast.
+func shardedConfig(t *testing.T, workers int, dir string) config {
+	t.Helper()
+	cfg := config{
+		bench: "sord",
+		mach:  cliflags.Machine{Preset: "bgq"},
+		scale: 1,
+		show:  "spots",
+	}
+	cfg.sw.ShardWorkers = workers
+	cfg.sw.ShardDir = dir
+	for _, ax := range []string{"mem-bandwidth=16,32", "net-latency-us=1,2"} {
+		if err := cfg.sw.Axes.Set(ax); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cfg
+}
+
+// tableOf strips the run header and trailing stats line, leaving the
+// rendered sweep (table, frontier, best variant) for comparison.
+func tableOf(t *testing.T, out string) string {
+	t.Helper()
+	i := strings.Index(out, "design-space sweep")
+	j := strings.Index(out, "sweep stats:")
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("output missing sweep table or stats:\n%s", out)
+	}
+	return out[i:j]
+}
+
+func TestRunSweepSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	dir := t.TempDir()
+	var sharded bytes.Buffer
+	if _, err := run(context.Background(), &sharded, shardedConfig(t, 2, dir)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The headline contract: the sharded sweep renders exactly what the
+	// single-process sweep renders (same ranking, same times, same
+	// frontier) — the merged journals are bit-identical to local results.
+	single := shardedConfig(t, 0, "")
+	single.sw.ShardWorkers = 0
+	var direct bytes.Buffer
+	if _, err := run(context.Background(), &direct, single); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tableOf(t, sharded.String()), tableOf(t, direct.String()); got != want {
+		t.Errorf("sharded sweep rendered differently than direct sweep:\n--- sharded ---\n%s\n--- direct ---\n%s", got, want)
+	}
+
+	if !strings.Contains(sharded.String(), "worker processes") {
+		t.Errorf("sharded stats line missing:\n%s", sharded.String())
+	}
+
+	// The merged journal is durable output, not a temp artifact, when the
+	// caller named the shard directory.
+	merged := filepath.Join(dir, "merged.journal")
+	var n int
+	if _, err := journal.Scan(merged, func(string, []byte) error { n++; return nil }); err != nil {
+		t.Fatalf("merged journal: %v", err)
+	}
+	if n != 4 {
+		t.Errorf("merged journal has %d records, want 4", n)
+	}
+
+	// Re-running against the same shard directory replays: the workers
+	// find every variant already journaled and evaluate nothing.
+	var again bytes.Buffer
+	if _, err := run(context.Background(), &again, shardedConfig(t, 2, dir)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tableOf(t, again.String()), tableOf(t, direct.String()); got != want {
+		t.Errorf("resumed sharded sweep rendered differently than direct sweep")
+	}
+}
+
+func TestRunShardFlagValidation(t *testing.T) {
+	// -shard-workers without -sweep axes.
+	cfg := config{bench: "sord", mach: cliflags.Machine{Preset: "bgq"}, scale: 1, show: "spots"}
+	cfg.sw.ShardWorkers = 2
+	if _, err := run(context.Background(), &bytes.Buffer{}, cfg); err == nil ||
+		!strings.Contains(err.Error(), "-sweep") {
+		t.Errorf("shard-workers without sweep: err = %v", err)
+	}
+
+	// -shard-workers with -store.
+	cfg = shardedConfig(t, 2, t.TempDir())
+	cfg.sw.Store = filepath.Join(t.TempDir(), "s.cas")
+	if _, err := run(context.Background(), &bytes.Buffer{}, cfg); err == nil ||
+		!strings.Contains(err.Error(), "-store") {
+		t.Errorf("shard-workers with store: err = %v", err)
+	}
+
+	// -shard-workers with -limits (limits do not travel in the job spec).
+	cfg = shardedConfig(t, 2, t.TempDir())
+	cfg.grd.Limits = "nest-depth=32"
+	if _, err := run(context.Background(), &bytes.Buffer{}, cfg); err == nil ||
+		!strings.Contains(err.Error(), "-limits") {
+		t.Errorf("shard-workers with limits: err = %v", err)
+	}
+}

@@ -7,6 +7,7 @@
 //	skopec -file app.skel -input "n=2048,m=2048" [-entry main]
 //	       [-machine bgq | -machine-file m.json]
 //	       [-show bet,spots,breakdown,path,dot] [-spots 10] [-lenient]
+//	skopec -verify-store cas.journal [-repair]
 //
 // The input string binds the skeleton's free variables (array dimensions,
 // developer hints). Every section is pure analysis — nothing is executed.
@@ -16,6 +17,13 @@
 // missing probabilities and trip counts fall back to documented priors,
 // and the analysis reports a confidence score plus one diagnostic per
 // substitution. A degraded-but-completed run exits with code 3.
+//
+// -verify-store scrubs a content-addressed result store instead of
+// analyzing a skeleton: every record's crc32c frame is re-checked and its
+// payload canonically decoded. A clean store exits 0; recoverable damage
+// (a torn tail, undecodable payloads) exits 3 — or, with -repair, the
+// torn tail is truncated away first. Unrecoverable mid-file corruption
+// exits 1.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"skope/internal/hw"
 	"skope/internal/libmodel"
 	"skope/internal/skeleton"
+	"skope/internal/store"
 )
 
 func main() {
@@ -48,7 +57,20 @@ func main() {
 	flag.StringVar(&cfg.input, "input", "", "input bindings, e.g. \"n=2048,m=512\"")
 	flag.StringVar(&cfg.entry, "entry", "main", "entry function")
 	flag.StringVar(&cfg.show, "show", "spots,path", "sections: bet,spots,breakdown,path,dot")
+	flag.StringVar(&cfg.verifyStore, "verify-store", "", "scrub the result store at this path instead of analyzing")
+	flag.BoolVar(&cfg.repair, "repair", false, "with -verify-store: truncate a torn tail instead of just reporting it")
 	flag.Parse()
+	if cfg.verifyStore != "" {
+		damaged, err := runVerifyStore(os.Stdout, cfg.verifyStore, cfg.repair)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skopec:", err)
+			os.Exit(1)
+		}
+		if damaged {
+			os.Exit(exitDegraded)
+		}
+		return
+	}
 	degraded, err := run(os.Stdout, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skopec:", err)
@@ -72,6 +94,41 @@ type config struct {
 	crit cliflags.Criteria
 
 	file, input, entry, show string
+
+	verifyStore string
+	repair      bool
+}
+
+// runVerifyStore scrubs (and with repair, truncates the torn tail of) the
+// result store at path. The boolean reports remaining damage: a torn tail
+// left unrepaired, or payloads that no longer decode. Mid-file framing
+// corruption — damage no repair can fix — comes back as an error.
+func runVerifyStore(out io.Writer, path string, repair bool) (damaged bool, err error) {
+	var rep store.VerifyReport
+	repaired := false
+	if repair {
+		rep, repaired, err = store.Repair(path)
+	} else {
+		rep, err = store.Verify(path)
+	}
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(out, "store %s: %d records (%d eval, %d prep)\n", path, rep.Records, rep.Evals, rep.Preps)
+	switch {
+	case repaired:
+		fmt.Fprintf(out, "torn tail truncated at offset %d\n", rep.TornOffset)
+	case rep.TornTail:
+		fmt.Fprintf(out, "torn tail at offset %d (rerun with -repair to truncate)\n", rep.TornOffset)
+	}
+	for _, p := range rep.Problems {
+		fmt.Fprintf(out, "bad record %s: %s\n", p.Key, p.Err)
+	}
+	if rep.Clean() || (repaired && len(rep.Problems) == 0) {
+		fmt.Fprintln(out, "store verified clean")
+		return false, nil
+	}
+	return true, nil
 }
 
 // parseInput parses "n=2048,m=512" into an environment. Values are

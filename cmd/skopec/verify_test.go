@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"skope/internal/store"
+)
+
+// seedStore creates a small result store and returns its path.
+func seedStore(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cas.journal")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.PutPrep("feedface", store.Prep{LayoutFingerprint: "lfp", Confidence: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func tear(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`00000000 {"key":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func TestVerifyStoreClean(t *testing.T) {
+	path := seedStore(t)
+	var buf bytes.Buffer
+	damaged, err := runVerifyStore(&buf, path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged {
+		t.Errorf("clean store reported damaged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "store verified clean") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestVerifyStoreReportsTornTail(t *testing.T) {
+	path := seedStore(t)
+	tear(t, path)
+	before, _ := os.Stat(path)
+
+	var buf bytes.Buffer
+	damaged, err := runVerifyStore(&buf, path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !damaged {
+		t.Error("torn store not reported as damaged")
+	}
+	if !strings.Contains(buf.String(), "torn tail") || !strings.Contains(buf.String(), "-repair") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+	after, _ := os.Stat(path)
+	if before.Size() != after.Size() {
+		t.Fatal("verify without -repair modified the store")
+	}
+}
+
+func TestVerifyStoreRepairs(t *testing.T) {
+	path := seedStore(t)
+	intact, _ := os.Stat(path)
+	tear(t, path)
+
+	var buf bytes.Buffer
+	damaged, err := runVerifyStore(&buf, path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged {
+		t.Errorf("repaired store still reported damaged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "truncated") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+	fi, _ := os.Stat(path)
+	if fi.Size() != intact.Size() {
+		t.Errorf("repaired size %d, want %d", fi.Size(), intact.Size())
+	}
+	// The repaired store reopens as a store.
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}
+
+func TestVerifyStoreRejectsNonStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(path, []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := runVerifyStore(&buf, path, false); err == nil {
+		t.Fatal("scrub accepted a non-journal file")
+	}
+}

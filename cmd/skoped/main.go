@@ -24,47 +24,150 @@
 // variants are replayed bit-identically in their original completion
 // order, and only the remainder is computed.
 //
+// Sharded jobs distribute one sweep across worker processes (possibly on
+// other machines). POST /v1/shards creates a coordinated job — the daemon
+// prepares the workload, pins its layout fingerprint, and partitions the
+// grid into leased shards — and `skoped -worker http://daemon:8080` joins
+// as a worker: it leases shards, journals every variant crash-safely, and
+// heartbeats; a worker that dies loses its lease and its shards are
+// stolen by the survivors. POST /v1/shards/{job}/harvest merges the
+// results into a journal under -data-dir and replays them into the shared
+// store, bit-identical to a single-process sweep.
+//
+// On SIGTERM or SIGINT the daemon drains: new session and job submissions
+// are refused with 503 while running sessions get up to -drain-timeout to
+// finish (result streams and the shard worker protocol keep serving);
+// whatever is still running after the timeout is canceled and the daemon
+// exits 1 instead of 0.
+//
 // Usage:
 //
 //	skoped -addr :8080 -store skoped.cas -data-dir /var/lib/skoped \
 //	       [-max-workers 16] [-limits ...] [-lenient] \
-//	       [-coverage 0.9] [-leanness 0.5] [-spots 10]
+//	       [-coverage 0.9] [-leanness 0.5] [-spots 10] [-drain-timeout 30s]
+//	skoped -worker http://daemon:8080 [-worker-id w1] [-data-dir /var/lib/skoped]
 //
 // Endpoints:
 //
-//	GET  /v1/healthz               liveness + session count
+//	GET  /v1/healthz               liveness + session count (+ draining)
 //	GET  /v1/params                benchmarks, machine presets, sweep axes, limit keys
 //	POST /v1/sessions              submit a sweep session
 //	GET  /v1/sessions              list sessions
 //	GET  /v1/sessions/{id}         inspect one session
 //	GET  /v1/sessions/{id}/results stream results (chunked JSON lines)
 //	POST /v1/sessions/{id}/cancel  cancel a running session
+//	POST /v1/shards                create a sharded job
+//	GET  /v1/shards                list sharded jobs
+//	GET  /v1/shards/{job}          job status, spec, and partition
+//	POST /v1/shards/{job}/harvest  merge a done job into the store
+//	POST /v1/shards/{job}/...      worker protocol (register, lease, heartbeat, complete, fail)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"skope/internal/cliflags"
+	"skope/internal/shard"
 )
 
 func main() {
 	var cfg daemonConfig
 	cfg.register(flag.CommandLine)
 	flag.Parse()
+	if cfg.worker != "" {
+		os.Exit(runWorker(cfg))
+	}
 	srv, err := newServer(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skoped:", err)
 		os.Exit(1)
 	}
-	defer srv.Close()
 	fmt.Printf("skoped: listening on %s (store %s, data dir %s, worker budget %d)\n",
 		cfg.addr, cfg.storePath, cfg.dataDir, cfg.maxWorkers)
-	if err := http.ListenAndServe(cfg.addr, srv.Handler()); err != nil {
+
+	hsrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hsrv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		srv.Close()
 		fmt.Fprintln(os.Stderr, "skoped:", err)
 		os.Exit(1)
+	case <-ctx.Done():
+	}
+	// Drain: refuse new submissions, let in-flight sessions finish within
+	// the timeout, then shut the listener down and cancel the rest. A
+	// second signal aborts immediately via the restored default handler.
+	stop()
+	srv.beginDrain()
+	fmt.Printf("skoped: draining: refusing new submissions, waiting up to %s for running sessions\n",
+		cfg.drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	drained := srv.awaitSessions(dctx)
+	_ = hsrv.Shutdown(dctx)
+	srv.Close()
+	if !drained {
+		fmt.Fprintln(os.Stderr, "skoped: drain timeout: canceled remaining sessions")
+		os.Exit(1)
+	}
+	fmt.Println("skoped: drained cleanly")
+}
+
+// runWorker is the -worker mode: join the coordinator at the given URL as
+// a shard worker and process open jobs until none remain (exit 0) or the
+// process is told to stop (SIGTERM/SIGINT also exit 0 — the journals are
+// crash-safe and the leases expire, so stopping a worker is always safe).
+func runWorker(cfg daemonConfig) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	id := cfg.workerID
+	if id == "" {
+		host, _ := os.Hostname()
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	client := &shard.Client{BaseURL: strings.TrimRight(cfg.worker, "/")}
+	for {
+		jobs, err := client.List()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skoped: worker:", err)
+			return 1
+		}
+		jobID := ""
+		for _, st := range jobs {
+			if !st.Done {
+				jobID = st.JobID
+				break
+			}
+		}
+		if jobID == "" {
+			fmt.Printf("skoped: worker %s: no open jobs\n", id)
+			return 0
+		}
+		w := &shard.Worker{Client: client, JobID: jobID, ID: id, DataDir: cfg.dataDir}
+		stats, err := w.Run(ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+				fmt.Printf("skoped: worker %s: stopped\n", id)
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "skoped: worker %s: job %s: %v\n", id, jobID, err)
+			return 1
+		}
+		fmt.Printf("skoped: worker %s: job %s done (%d shards, %d variants, %d replayed)\n",
+			id, jobID, stats.Shards, stats.Variants, stats.Replayed)
 	}
 }
 
@@ -76,11 +179,14 @@ type daemonConfig struct {
 	grd  cliflags.Guard
 	crit cliflags.Criteria
 
-	addr       string
-	storePath  string
-	dataDir    string
-	machine    string
-	maxWorkers int
+	addr         string
+	storePath    string
+	dataDir      string
+	machine      string
+	maxWorkers   int
+	drainTimeout time.Duration
+	worker       string
+	workerID     string
 }
 
 func (c *daemonConfig) register(fs *flag.FlagSet) {
@@ -88,7 +194,10 @@ func (c *daemonConfig) register(fs *flag.FlagSet) {
 	c.crit.Register(fs, 0.90, 0.50, 10)
 	fs.StringVar(&c.addr, "addr", "localhost:8080", "listen address")
 	fs.StringVar(&c.storePath, "store", "skoped.cas", "content-addressed result store file shared by all sessions (empty = no store)")
-	fs.StringVar(&c.dataDir, "data-dir", ".", "directory for session journals (resume by journal_id)")
+	fs.StringVar(&c.dataDir, "data-dir", ".", "directory for session journals (resume by journal_id) and shard journals")
 	fs.StringVar(&c.machine, "machine", "bgq", "default base machine preset for sessions that name none")
 	fs.IntVar(&c.maxWorkers, "max-workers", 0, "global worker budget shared by all sessions (0 = GOMAXPROCS)")
+	fs.DurationVar(&c.drainTimeout, "drain-timeout", 30*time.Second, "on SIGTERM/SIGINT: refuse new submissions and wait this long for running sessions before shutting down")
+	fs.StringVar(&c.worker, "worker", "", "run as a shard worker against the coordinator daemon at this URL instead of serving")
+	fs.StringVar(&c.workerID, "worker-id", "", "shard worker identity (default: hostname-pid)")
 }

@@ -9,27 +9,36 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skope/internal/explore"
 	"skope/internal/guard"
 	"skope/internal/hotspot"
 	"skope/internal/hw"
+	"skope/internal/shard"
 	"skope/internal/store"
 	"skope/internal/workloads"
 )
 
 // server holds the daemon's shared state: the content-addressed store,
-// the global worker-budget semaphore, and the session table.
+// the global worker-budget semaphore, the session table, and the shard
+// coordinator registry.
 type server struct {
-	cfg   daemonConfig
-	store *store.Store  // nil when -store is empty
-	sem   chan struct{} // counting semaphore: one token per busy worker
+	cfg    daemonConfig
+	store  *store.Store   // nil when -store is empty
+	sem    chan struct{}  // counting semaphore: one token per busy worker
+	shards *shard.Service // sharded-job registry + worker protocol
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	order    []string
-	nextID   int
+	// draining flips on SIGTERM/SIGINT: new submissions (sessions and
+	// shard jobs) are refused with 503 while in-flight work finishes.
+	draining atomic.Bool
+
+	mu        sync.Mutex
+	sessions  map[string]*session
+	order     []string
+	nextID    int
+	shardJobs map[string]*shardJob
 }
 
 func newServer(cfg daemonConfig) (*server, error) {
@@ -41,9 +50,11 @@ func newServer(cfg daemonConfig) (*server, error) {
 		budget = defaultBudget()
 	}
 	srv := &server{
-		cfg:      cfg,
-		sem:      make(chan struct{}, budget),
-		sessions: make(map[string]*session),
+		cfg:       cfg,
+		sem:       make(chan struct{}, budget),
+		sessions:  make(map[string]*session),
+		shards:    shard.NewService(),
+		shardJobs: make(map[string]*shardJob),
 	}
 	if cfg.storePath != "" {
 		st, err := store.Open(cfg.storePath)
@@ -86,7 +97,35 @@ func (srv *server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", srv.handleInspect)
 	mux.HandleFunc("GET /v1/sessions/{id}/results", srv.handleResults)
 	mux.HandleFunc("POST /v1/sessions/{id}/cancel", srv.handleCancel)
+	mux.HandleFunc("POST /v1/shards", srv.handleShardSubmit)
+	mux.HandleFunc("POST /v1/shards/{job}/harvest", srv.handleShardHarvest)
+	srv.shards.Mount(mux)
 	return mux
+}
+
+// beginDrain flips the server into drain mode: healthz reports it, and
+// new session or shard-job submissions are refused with 503. Running
+// sessions, result streams, and the shard worker protocol keep serving —
+// a coordinated job's workers must be able to finish their shards.
+func (srv *server) beginDrain() { srv.draining.Store(true) }
+
+// awaitSessions blocks until every session has reached a terminal state
+// or ctx expires; it reports whether all of them finished.
+func (srv *server) awaitSessions(ctx context.Context) bool {
+	srv.mu.Lock()
+	sessions := make([]*session, 0, len(srv.sessions))
+	for _, sess := range srv.sessions {
+		sessions = append(sessions, sess)
+	}
+	srv.mu.Unlock()
+	for _, sess := range sessions {
+		select {
+		case <-sess.done:
+		case <-ctx.Done():
+			return false
+		}
+	}
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -105,8 +144,12 @@ func (srv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	srv.mu.Lock()
 	n := len(srv.sessions)
 	srv.mu.Unlock()
+	status := "ok"
+	if srv.draining.Load() {
+		status = "draining"
+	}
 	resp := map[string]any{
-		"status":        "ok",
+		"status":        status,
 		"sessions":      n,
 		"worker_budget": cap(srv.sem),
 		"busy_workers":  len(srv.sem),
@@ -146,6 +189,10 @@ func (srv *server) handleParams(w http.ResponseWriter, r *http.Request) {
 }
 
 func (srv *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if srv.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new sessions")
+		return
+	}
 	var req sessionRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()

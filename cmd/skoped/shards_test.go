@@ -1,0 +1,172 @@
+package main
+
+// Tests of the sharded-job surface and the drain behavior. Workers here
+// are in-process shard.Worker instances speaking real HTTP to the
+// daemon's handler — the same protocol `skoped -worker` speaks.
+
+import (
+	"context"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"skope/internal/journal"
+	"skope/internal/shard"
+)
+
+func TestShardJobLifecycle(t *testing.T) {
+	dataDir := t.TempDir()
+	srv, ts := testServer(t, dataDir, filepath.Join(t.TempDir(), "cas"), 2)
+
+	resp, out := postJSON(t, ts.URL+"/v1/shards", shardRequest{
+		Bench:     "sord",
+		Sweep:     []string{"mem-bandwidth=16,32"},
+		ShardSize: 1,
+		Lease:     "5s",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d: %v", resp.StatusCode, out)
+	}
+	status := out["status"].(map[string]any)
+	jobID := status["job"].(string)
+	spec := out["spec"].(map[string]any)
+	if spec["layout"] == "" || spec["layout"] == nil {
+		t.Fatal("job spec missing layout fingerprint")
+	}
+	if n := len(out["shards"].([]any)); n != 2 {
+		t.Fatalf("got %d shards, want 2", n)
+	}
+
+	// The job is listed, and harvesting before completion is refused.
+	l := getJSON(t, ts.URL+"/v1/shards")
+	if n := len(l["jobs"].([]any)); n != 1 {
+		t.Fatalf("job list has %d jobs", n)
+	}
+	hresp, _ := postJSON(t, ts.URL+"/v1/shards/"+jobID+"/harvest", struct{}{})
+	if hresp.StatusCode != http.StatusConflict {
+		t.Fatalf("harvest before done: status %d", hresp.StatusCode)
+	}
+
+	// One in-process worker over real HTTP — what `skoped -worker` runs.
+	w := &shard.Worker{
+		Client:  &shard.Client{BaseURL: ts.URL},
+		JobID:   jobID,
+		ID:      "w1",
+		DataDir: t.TempDir(),
+		Poll:    10 * time.Millisecond,
+	}
+	stats, err := w.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Variants != 2 {
+		t.Fatalf("worker stats = %+v, want 2 variants", stats)
+	}
+	detail := getJSON(t, ts.URL+"/v1/shards/"+jobID)
+	if done := detail["status"].(map[string]any)["done"]; done != true {
+		t.Fatalf("job not done: %v", detail["status"])
+	}
+
+	// Harvest: merged journal under -data-dir, results replayed into the
+	// shared store. Harvesting twice returns the same (cached) outcome.
+	hresp, hout := postJSON(t, ts.URL+"/v1/shards/"+jobID+"/harvest", struct{}{})
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("harvest: status %d: %v", hresp.StatusCode, hout)
+	}
+	if int(hout["records"].(float64)) != 2 || int(hout["from_journal"].(float64)) != 2 {
+		t.Fatalf("harvest = %v, want 2 records all from journal", hout)
+	}
+	mergedPath := filepath.Join(dataDir, jobID+".journal")
+	var n int
+	if _, err := journal.Scan(mergedPath, func(string, []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("merged journal has %d records, want 2", n)
+	}
+	if _, again := postJSON(t, ts.URL+"/v1/shards/"+jobID+"/harvest", struct{}{}); again["records"].(float64) != 2 {
+		t.Fatalf("second harvest = %v", again)
+	}
+	if srv.store.Len() == 0 {
+		t.Fatal("harvest stored nothing in the shared store")
+	}
+
+	// The store is now warm for sessions: the same sweep is served from
+	// the sharded job's results with zero recomputation.
+	id := submit(t, ts.URL, sessionRequest{Bench: "sord", Sweep: []string{"mem-bandwidth=16,32"}})
+	info := waitState(t, ts.URL, id)
+	if info["state"] != stateDone {
+		t.Fatalf("session ended %v (%v)", info["state"], info["error"])
+	}
+	_, summary := streamLines(t, ts.URL, id, "")
+	if int(summary["from_store"].(float64)) < 2 {
+		t.Errorf("session not served from harvested store: %v", summary)
+	}
+}
+
+func TestShardSubmitValidation(t *testing.T) {
+	_, ts := testServer(t, t.TempDir(), "", 1)
+	cases := []shardRequest{
+		{Sweep: []string{"mem-bandwidth=16,32"}},                                     // no workload
+		{Bench: "sord"},                                                              // no sweep
+		{Bench: "sord", Sweep: []string{"bogus-param=1"}},                            // unknown axis
+		{Bench: "nosuch", Sweep: []string{"mem-bandwidth=16,32"}},                    // unknown bench
+		{Bench: "sord", Sweep: []string{"mem-bandwidth=16,32"}, Lease: "oops"},       // bad lease
+		{Bench: "sord", Sweep: []string{"mem-bandwidth=16,32"}, Lease: "10ms"},       // lease too short
+		{Bench: "sord", Sweep: []string{"mem-bandwidth=16,32"}, Machine: "vax"},      // unknown machine
+		{Bench: "sord", Source: "x", Sweep: []string{"mem-bandwidth=16,32"}},         // both workloads
+		{Bench: "sord", Sweep: []string{"mem-bandwidth=16,32"}, VariantTimeout: "z"}, // bad timeout
+	}
+	for i, req := range cases {
+		resp, out := postJSON(t, ts.URL+"/v1/shards", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d (%v), want 400", i, resp.StatusCode, out)
+		}
+	}
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	srv, ts := testServer(t, t.TempDir(), "", 1)
+
+	// A fabricated in-flight session: drain must wait for its done signal.
+	hang := &session{id: "s-hang", state: stateRunning, done: make(chan struct{})}
+	srv.mu.Lock()
+	srv.sessions[hang.id] = hang
+	srv.mu.Unlock()
+
+	srv.beginDrain()
+	if h := getJSON(t, ts.URL+"/v1/healthz"); h["status"] != "draining" {
+		t.Errorf("healthz during drain = %v", h["status"])
+	}
+	// New submissions are refused with 503...
+	resp, _ := postJSON(t, ts.URL+"/v1/sessions", sradSession())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("session submit during drain: status %d, want 503", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/shards", shardRequest{Bench: "sord", Sweep: []string{"mem-bandwidth=16,32"}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("shard submit during drain: status %d, want 503", resp.StatusCode)
+	}
+	// ...while reads keep serving.
+	if p := getJSON(t, ts.URL+"/v1/params"); p["benchmarks"] == nil {
+		t.Error("params stopped serving during drain")
+	}
+
+	// awaitSessions times out while the session runs, succeeds once done.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if srv.awaitSessions(ctx) {
+		t.Error("awaitSessions reported drained with a session in flight")
+	}
+	close(hang.done)
+	if !srv.awaitSessions(context.Background()) {
+		t.Error("awaitSessions failed with all sessions done")
+	}
+
+	// Clean up the fabricated session so the shared Close path (which
+	// waits on done and calls cancel) stays happy.
+	srv.mu.Lock()
+	delete(srv.sessions, hang.id)
+	srv.mu.Unlock()
+}

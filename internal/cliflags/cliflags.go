@@ -126,6 +126,8 @@ type Sweep struct {
 	Retries        int
 	VariantTimeout time.Duration
 	MinConfidence  float64
+	ShardWorkers   int
+	ShardDir       string
 }
 
 // Register installs the sweep flags on fs.
@@ -139,6 +141,8 @@ func (s *Sweep) Register(fs *flag.FlagSet) {
 	fs.IntVar(&s.Retries, "retries", 0, "sweep mode: retries per variant for transient failures (exponential backoff with jitter)")
 	fs.DurationVar(&s.VariantTimeout, "variant-timeout", 0, "sweep mode: deadline per evaluation attempt, e.g. 30s (0 = none)")
 	fs.Float64Var(&s.MinConfidence, "min-confidence", 0, "sweep mode: flag variants whose analysis confidence falls below this floor instead of ranking them (0 = off)")
+	fs.IntVar(&s.ShardWorkers, "shard-workers", 0, "sweep mode: distribute the grid across N coordinated worker processes with crash-safe per-shard journals and work stealing (0 = in-process)")
+	fs.StringVar(&s.ShardDir, "shard-dir", "", "sweep mode: directory for the sharded sweep's per-shard journals (default: a temporary directory; reuse a directory to resume)")
 }
 
 // Variants expands the collected axes into the variant grid around base.

@@ -23,9 +23,15 @@ import (
 // patterns (math.Float64bits), never as decimal text, so round-tripping
 // cannot perturb a single ulp.
 
-// metaLayoutKey binds a journal to the layout fingerprint of the workload
-// that wrote it.
-const metaLayoutKey = "layout"
+// MetaLayoutKey is the journal meta key that binds a sweep journal to the
+// layout fingerprint of the workload that wrote it. Exported for tools
+// that handle sweep journals without an engine — the shard coordinator
+// merges worker journals under the same binding, so a merged journal is
+// directly resumable by UseJournal.
+const MetaLayoutKey = "layout"
+
+// metaLayoutKey is the internal alias (predates the export).
+const metaLayoutKey = MetaLayoutKey
 
 // ErrJournalDegraded marks a sweep whose analyses are all intact but
 // whose journal stopped accepting writes mid-run: results are complete,

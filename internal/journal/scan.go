@@ -1,0 +1,128 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Scan is the read-only counterpart of Open: it walks the journal at path
+// without repairing anything, reporting what a recovery would find. Open
+// silently truncates a torn tail — correct for resuming work, wrong for a
+// scrub (a verifier must not modify what it verifies) and wrong for merge
+// inputs it does not own. Scan leaves the file untouched.
+
+// ErrCorrupt marks damage Scan found before the end of the file — a bad
+// frame or checksum followed by more data. A torn tail (the one partial
+// line a crash mid-Append can leave) is NOT corruption; it is reported on
+// ScanReport.TornTail instead.
+var ErrCorrupt = errors.New("journal corrupt")
+
+// ScanReport is the outcome of one read-only journal walk.
+type ScanReport struct {
+	// Meta is the journal's header binding.
+	Meta map[string]string
+	// Records counts intact record lines (appends, not distinct keys).
+	Records int
+	// TornTail reports a partial final line — recoverable damage that
+	// Open (or Repair) would truncate away.
+	TornTail bool
+	// TornOffset is the file offset of the torn tail (the size the file
+	// would have after repair); equal to the file size when intact.
+	TornOffset int64
+}
+
+// Scan walks the journal at path read-only, calling fn for every intact
+// record line in file order (duplicate keys are delivered each time they
+// appear; the last call for a key carries its effective payload). fn may
+// be nil. A torn tail is reported on the ScanReport, not as an error;
+// corruption before the end of the file fails with an error wrapping
+// ErrCorrupt. An error from fn aborts the walk and is returned as-is.
+func Scan(path string, fn func(key string, payload []byte) error) (ScanReport, error) {
+	var rep ScanReport
+	f, err := os.Open(path)
+	if err != nil {
+		return rep, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReaderSize(f, 1<<16)
+	var good int64
+	lineNo := 0
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF && len(line) == 0 {
+			break
+		}
+		if err != nil && err != io.EOF {
+			return rep, fmt.Errorf("journal %s: %w", path, err)
+		}
+		payload, perr := parseLine(line)
+		if perr != nil || err == io.EOF {
+			if lineNo == 0 {
+				return rep, fmt.Errorf("journal %s: not a journal (bad or torn header): %w", path, ErrCorrupt)
+			}
+			if _, after := r.ReadByte(); after != io.EOF {
+				return rep, fmt.Errorf("journal %s: line %d: corrupt record before end of file (%v): %w",
+					path, lineNo+1, perr, ErrCorrupt)
+			}
+			rep.TornTail = true
+			rep.TornOffset = good
+			return rep, nil
+		}
+		lineNo++
+		if lineNo == 1 {
+			var h header
+			if uerr := json.Unmarshal(payload, &h); uerr != nil || h.Magic != magic {
+				return rep, fmt.Errorf("journal %s: not a journal (bad header): %w", path, ErrCorrupt)
+			}
+			if h.Version != version {
+				return rep, fmt.Errorf("journal %s: unsupported version %d (want %d): %w", path, h.Version, version, ErrCorrupt)
+			}
+			rep.Meta = h.Meta
+		} else {
+			var rec record
+			if uerr := json.Unmarshal(payload, &rec); uerr != nil {
+				return rep, fmt.Errorf("journal %s: line %d: bad record (%v): %w", path, lineNo, uerr, ErrCorrupt)
+			}
+			rep.Records++
+			if fn != nil {
+				if ferr := fn(rec.Key, rec.Payload); ferr != nil {
+					return rep, ferr
+				}
+			}
+		}
+		good += int64(len(line))
+	}
+	rep.TornOffset = good
+	return rep, nil
+}
+
+// Repair truncates the journal's torn tail, if it has one, and reports
+// what it did: the number of intact records kept and whether a tail was
+// removed. It refuses (like Scan) on mid-file corruption. Repairing an
+// intact journal is a no-op.
+func Repair(path string) (records int, repaired bool, err error) {
+	rep, err := Scan(path, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	if !rep.TornTail {
+		return rep.Records, false, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return rep.Records, false, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(rep.TornOffset); err != nil {
+		return rep.Records, false, fmt.Errorf("journal %s: truncating torn tail: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		return rep.Records, false, fmt.Errorf("journal %s: %w", path, err)
+	}
+	return rep.Records, true, nil
+}

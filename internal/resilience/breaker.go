@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // ErrOpen marks work refused because its failure class tripped the
@@ -18,27 +19,59 @@ var ErrOpen = errors.New("circuit open")
 // so a grid full of variants that all die the same way stops burning its
 // retry budget after the first few.
 //
-// Semantics are deliberately simple: Failure(class) increments the
-// class's counter; once it reaches Threshold the class is open and
-// Allow(class) reports false for the rest of the breaker's lifetime.
+// Semantics: Failure(class) increments the class's counter; once it
+// reaches Threshold the class is open and Allow(class) reports false.
 // Success(class) before the trip resets the counter (failures must be
-// consecutive to prove determinism). There is no half-open probe state: a
-// sweep is a finite batch, not a service — if a class opened, the
-// operator reruns with -resume after fixing the cause.
+// consecutive to prove determinism).
+//
+// Without a Cooldown an opened class stays open for the breaker's
+// lifetime — the right call for a finite batch sweep, where an open class
+// means a deterministic fault the operator fixes before rerunning. With a
+// Cooldown the breaker serves long-lived callers (the shard coordinator
+// quarantining workers): once the cooldown has elapsed after the trip,
+// Allow grants exactly one half-open probe for the class; Success on the
+// probe closes the circuit, Failure re-opens it and restarts the cooldown.
 type Breaker struct {
 	// Threshold is the number of consecutive failures per class that
 	// opens the circuit. Values < 1 mean the default of 3.
 	Threshold int
+	// Cooldown is how long an open class stays hard-open before one
+	// half-open probe is allowed. Zero (the default) disables probing:
+	// an open class stays open forever.
+	Cooldown time.Duration
 
-	mu    sync.Mutex
-	fails map[string]int
-	open  map[string]bool
+	// Clock is the breaker's time source (nil means time.Now). Callers
+	// that already run under an injected clock — the shard coordinator,
+	// tests — set it so cooldowns observe the same time as everything
+	// else.
+	Clock func() time.Time
+
+	mu      sync.Mutex
+	fails   map[string]int
+	open    map[string]bool
+	opened  map[string]time.Time // when the class (re-)tripped
+	probing map[string]bool      // a half-open probe is in flight
 }
 
 // NewBreaker returns a breaker that opens a class after threshold
-// consecutive failures (threshold < 1 selects the default of 3).
+// consecutive failures (threshold < 1 selects the default of 3) and, once
+// open, keeps it open for the breaker's lifetime.
 func NewBreaker(threshold int) *Breaker {
 	return &Breaker{Threshold: threshold}
+}
+
+// NewProbingBreaker returns a breaker with half-open recovery: an open
+// class allows one probe after cooldown; the probe's Success closes the
+// circuit, its Failure re-opens it for another cooldown.
+func NewProbingBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{Threshold: threshold, Cooldown: cooldown}
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
 }
 
 func (b *Breaker) threshold() int {
@@ -49,18 +82,35 @@ func (b *Breaker) threshold() int {
 }
 
 // Allow reports whether work of the given class should still be
-// attempted (or retried). A nil breaker allows everything.
+// attempted (or retried). A nil breaker allows everything. With a
+// Cooldown configured, the first Allow after an open class's cooldown
+// elapses returns true exactly once — the half-open probe — and further
+// calls stay false until that probe reports Success or Failure.
 func (b *Breaker) Allow(class string) bool {
 	if b == nil {
 		return true
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return !b.open[class]
+	if !b.open[class] {
+		return true
+	}
+	if b.Cooldown <= 0 || b.probing[class] {
+		return false
+	}
+	if b.clock().Sub(b.opened[class]) < b.Cooldown {
+		return false
+	}
+	if b.probing == nil {
+		b.probing = make(map[string]bool)
+	}
+	b.probing[class] = true
+	return true
 }
 
 // Failure records one failure of the class and reports whether this
-// failure tripped the circuit open.
+// failure tripped the circuit open. A failed half-open probe re-opens
+// the class and restarts its cooldown.
 func (b *Breaker) Failure(class string) (opened bool) {
 	if b == nil {
 		return false
@@ -68,6 +118,11 @@ func (b *Breaker) Failure(class string) (opened bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.open[class] {
+		if b.probing[class] {
+			// The probe failed: back to hard-open for another cooldown.
+			delete(b.probing, class)
+			b.opened[class] = b.clock()
+		}
 		return false
 	}
 	if b.fails == nil {
@@ -79,13 +134,19 @@ func (b *Breaker) Failure(class string) (opened bool) {
 			b.open = make(map[string]bool)
 		}
 		b.open[class] = true
+		if b.opened == nil {
+			b.opened = make(map[string]time.Time)
+		}
+		b.opened[class] = b.clock()
 		return true
 	}
 	return false
 }
 
 // Success records one success of the class, resetting its consecutive
-// failure counter (an already-open class stays open).
+// failure counter. A successful half-open probe closes the circuit; an
+// open class with no probe in flight stays open (the success belongs to
+// work admitted before the trip).
 func (b *Breaker) Success(class string) {
 	if b == nil {
 		return
@@ -93,6 +154,11 @@ func (b *Breaker) Success(class string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	delete(b.fails, class)
+	if b.probing[class] {
+		delete(b.probing, class)
+		delete(b.open, class)
+		delete(b.opened, class)
+	}
 }
 
 // Open returns the currently open classes, sorted.

@@ -1,0 +1,126 @@
+package resilience
+
+// Half-open probe recovery tests. These live in the internal test package
+// so they can pin the breaker's clock; the black-box breaker behavior is
+// covered in resilience_test.go.
+
+import (
+	"testing"
+	"time"
+)
+
+// tickClock returns a breaker clock the test advances by hand.
+func tickClock(b *Breaker) *time.Time {
+	now := time.Unix(1000, 0)
+	b.Clock = func() time.Time { return now }
+	return &now
+}
+
+func trip(t *testing.T, b *Breaker, class string) {
+	t.Helper()
+	for i := 0; i < b.threshold(); i++ {
+		b.Failure(class)
+	}
+	if b.Allow(class) {
+		t.Fatalf("class %q not open after %d failures", class, b.threshold())
+	}
+}
+
+func TestBreakerNoCooldownStaysOpen(t *testing.T) {
+	b := NewBreaker(2)
+	now := tickClock(b)
+	trip(t, b, "timeout")
+	*now = now.Add(time.Hour)
+	if b.Allow("timeout") {
+		t.Error("breaker without cooldown granted a probe")
+	}
+}
+
+func TestBreakerProbeAfterCooldown(t *testing.T) {
+	b := NewProbingBreaker(2, time.Minute)
+	now := tickClock(b)
+	trip(t, b, "timeout")
+
+	// Hard-open until the cooldown elapses.
+	*now = now.Add(30 * time.Second)
+	if b.Allow("timeout") {
+		t.Fatal("probe granted before cooldown elapsed")
+	}
+	*now = now.Add(31 * time.Second)
+	if !b.Allow("timeout") {
+		t.Fatal("no probe after cooldown elapsed")
+	}
+	// Exactly one probe: further requests are refused while it runs.
+	if b.Allow("timeout") {
+		t.Fatal("second probe granted while first in flight")
+	}
+
+	// The probe succeeds: circuit closed, traffic flows again.
+	b.Success("timeout")
+	if !b.Allow("timeout") {
+		t.Error("circuit still open after successful probe")
+	}
+	if got := b.Open(); len(got) != 0 {
+		t.Errorf("Open() = %v after recovery, want empty", got)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b := NewProbingBreaker(2, time.Minute)
+	now := tickClock(b)
+	trip(t, b, "panic")
+
+	*now = now.Add(2 * time.Minute)
+	if !b.Allow("panic") {
+		t.Fatal("no probe after cooldown")
+	}
+	b.Failure("panic")
+	// Re-opened: the cooldown restarts from the failed probe.
+	if b.Allow("panic") {
+		t.Fatal("circuit admits work right after a failed probe")
+	}
+	*now = now.Add(59 * time.Second)
+	if b.Allow("panic") {
+		t.Fatal("probe granted before the restarted cooldown elapsed")
+	}
+	*now = now.Add(2 * time.Second)
+	if !b.Allow("panic") {
+		t.Fatal("no second probe after the restarted cooldown")
+	}
+	b.Success("panic")
+	if !b.Allow("panic") {
+		t.Error("circuit still open after eventual recovery")
+	}
+}
+
+func TestBreakerSuccessWithoutProbeKeepsOpen(t *testing.T) {
+	b := NewProbingBreaker(2, time.Minute)
+	tickClock(b)
+	trip(t, b, "model")
+	// A straggler success from work admitted before the trip must not
+	// close the circuit — only a granted probe's success may.
+	b.Success("model")
+	if b.Allow("model") {
+		t.Error("non-probe success closed an open circuit")
+	}
+}
+
+func TestBreakerClassesProbeIndependently(t *testing.T) {
+	b := NewProbingBreaker(1, time.Minute)
+	now := tickClock(b)
+	trip(t, b, "a")
+	*now = now.Add(30 * time.Second)
+	trip(t, b, "b")
+
+	*now = now.Add(31 * time.Second) // a's cooldown elapsed, b's has not
+	if !b.Allow("a") {
+		t.Error("class a: no probe after its cooldown")
+	}
+	if b.Allow("b") {
+		t.Error("class b: probe granted before its cooldown")
+	}
+	b.Success("a")
+	if !b.Allow("a") || b.Allow("b") {
+		t.Error("class recovery leaked across classes")
+	}
+}

@@ -1,0 +1,467 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"skope/internal/explore"
+	"skope/internal/hw"
+	"skope/internal/resilience"
+)
+
+// Lease protocol errors.
+var (
+	// ErrNotOwner marks a heartbeat or completion from a worker that no
+	// longer holds the shard's lease (it expired and was stolen). The
+	// worker should abandon the shard — its journal survives for the new
+	// owner — and ask for a fresh lease.
+	ErrNotOwner = errors.New("shard lease not held")
+	// ErrConflict marks two workers reporting different payloads for the
+	// same variant fingerprint — impossible under the bit-exactness
+	// invariant, so it means a corrupted worker or a fingerprint
+	// collision, and the job refuses to merge rather than pick a side.
+	ErrConflict = errors.New("shard merge conflict")
+	// ErrUnknownShard marks a report against a shard ID the job does not
+	// have.
+	ErrUnknownShard = errors.New("unknown shard")
+)
+
+// LeaseState is the outcome of one lease request.
+type LeaseState string
+
+const (
+	// LeaseGranted carries a shard to work on.
+	LeaseGranted LeaseState = "lease"
+	// LeaseWait means every remaining shard is currently leased: poll
+	// again after the poll interval (a lease may expire or fail).
+	LeaseWait LeaseState = "wait"
+	// LeaseDone means every shard is complete; the worker can exit.
+	LeaseDone LeaseState = "done"
+	// LeaseQuarantined means this worker's breaker is open: the
+	// coordinator refuses to lease to it until the breaker's cooldown
+	// admits a probe.
+	LeaseQuarantined LeaseState = "quarantined"
+)
+
+// VariantResult is one completed variant as a worker reports it: the
+// journal record (key = machine fingerprint, payload = the sweep record's
+// exact bytes) plus the variant's grid index and projected time for the
+// streaming frontier.
+type VariantResult struct {
+	Index    int             `json:"index"`
+	Key      string          `json:"key"`
+	Payload  json.RawMessage `json:"payload"`
+	TimeBits uint64          `json:"time"`
+}
+
+// VariantFailure is one variant a worker could not evaluate (validation
+// rejection, confidence floor, exhausted retries). Failures are recorded,
+// not retried by the coordinator: the engine below already retried
+// transients, so what reaches here is deterministic for this spec.
+type VariantFailure struct {
+	Index  int    `json:"index"`
+	Worker string `json:"worker"`
+	Err    string `json:"err"`
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// JobID names the job in the HTTP surface and status output.
+	JobID string
+	// Spec is the job being coordinated. The coordinator materializes the
+	// grid once at construction and verifies the spec's LayoutFP is set.
+	Spec JobSpec
+	// Lease is how long a granted lease lives between heartbeats
+	// (default 30s). Heartbeats renew it for another full interval.
+	Lease time.Duration
+	// BreakerThreshold and BreakerCooldown shape the per-worker circuit
+	// breaker: Threshold consecutive shard failures quarantine the worker
+	// (default 3); after Cooldown (default 4×Lease) one probe lease is
+	// allowed again.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Cost scores variants for the streaming Pareto frontier (nil selects
+	// explore.RelativeCost).
+	Cost explore.CostFunc
+	// Clock is the time source (nil selects time.Now; tests pin it).
+	Clock func() time.Time
+}
+
+// workerInfo is the coordinator's per-worker bookkeeping.
+type workerInfo struct {
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Stolen    int `json:"stolen"`
+}
+
+// shardState tracks one shard through the lease state machine.
+type shardState int
+
+const (
+	shardPending shardState = iota // unleased, available
+	shardLeased                    // held by a worker under deadline
+	shardDone                      // every covered variant reported
+)
+
+type lease struct {
+	worker   string
+	deadline time.Time
+}
+
+// Coordinator runs one job's lease state machine: shards move pending →
+// leased → done, expire back to pending when their heartbeat deadline
+// passes (work-stealing), and their results merge into a deduplicated
+// record set bound to the job's layout fingerprint. Safe for concurrent
+// use — every HTTP handler call lands here.
+type Coordinator struct {
+	cfg      Config
+	variants []*hw.Machine
+	shards   []Shard
+
+	breaker  *resilience.Breaker
+	frontier *Frontier
+
+	mu      sync.Mutex
+	state   []shardState
+	leases  map[int]lease // shard index → holder
+	workers map[string]*workerInfo
+	merged  map[string][]byte // variant fingerprint → journal payload
+	// failed records variant failures by index (first report wins).
+	failed map[int]VariantFailure
+	steals int
+}
+
+// NewCoordinator builds the coordinator for one job, materializing and
+// partitioning the spec's grid.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Spec.LayoutFP == "" {
+		return nil, fmt.Errorf("shard: job %s: spec has no layout fingerprint", cfg.JobID)
+	}
+	variants, err := cfg.Spec.Variants()
+	if err != nil {
+		return nil, fmt.Errorf("shard: job %s: %w", cfg.JobID, err)
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = 30 * time.Second
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 4 * cfg.Lease
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	shards := Partition(cfg.Spec.LayoutFP, variants, cfg.Spec.ShardSize)
+	breaker := resilience.NewProbingBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	breaker.Clock = cfg.Clock
+	return &Coordinator{
+		cfg:      cfg,
+		variants: variants,
+		shards:   shards,
+		breaker:  breaker,
+		frontier: NewFrontier(cfg.Cost),
+		state:    make([]shardState, len(shards)),
+		leases:   make(map[int]lease),
+		workers:  make(map[string]*workerInfo),
+		merged:   make(map[string][]byte),
+		failed:   make(map[int]VariantFailure),
+	}, nil
+}
+
+// Spec returns the job's spec (workers fetch it to reproduce the grid).
+func (c *Coordinator) Spec() JobSpec { return c.cfg.Spec }
+
+// Shards returns the job's partition.
+func (c *Coordinator) Shards() []Shard { return c.shards }
+
+// Register announces a worker. Idempotent; registration is bookkeeping,
+// not authorization — an unregistered worker's lease request registers it.
+func (c *Coordinator) Register(worker string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.worker(worker)
+}
+
+func (c *Coordinator) worker(name string) *workerInfo {
+	w := c.workers[name]
+	if w == nil {
+		w = &workerInfo{}
+		c.workers[name] = w
+	}
+	return w
+}
+
+// expireLeases returns every expired lease's shard to the pending pool.
+// Called under c.mu from every entry point — expiry is lazy, there is no
+// background goroutine to leak.
+func (c *Coordinator) expireLeases() {
+	now := c.cfg.Clock()
+	for idx, l := range c.leases {
+		if now.After(l.deadline) {
+			delete(c.leases, idx)
+			c.state[idx] = shardPending
+			c.steals++
+			c.worker(l.worker).Stolen++
+		}
+	}
+}
+
+// Lease grants the worker a pending shard, or reports why there is none:
+// wait (all leased), done (all complete), or quarantined (this worker's
+// breaker is open). The granted lease lives for the configured interval
+// unless renewed by Heartbeat.
+func (c *Coordinator) Lease(worker string) (LeaseState, Shard, time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.worker(worker)
+	c.expireLeases()
+	pending := -1
+	leased := 0
+	for idx, st := range c.state {
+		switch st {
+		case shardPending:
+			if pending < 0 {
+				pending = idx
+			}
+		case shardLeased:
+			leased++
+		}
+	}
+	if pending < 0 {
+		// Decide wait/done before consulting the breaker: an open
+		// worker's half-open probe must not be consumed by a request
+		// that could not have been granted anyway.
+		if leased > 0 {
+			return LeaseWait, Shard{}, 0, nil
+		}
+		return LeaseDone, Shard{}, 0, nil
+	}
+	if !c.breaker.Allow(worker) {
+		return LeaseQuarantined, Shard{}, 0, nil
+	}
+	c.state[pending] = shardLeased
+	c.leases[pending] = lease{worker: worker, deadline: c.cfg.Clock().Add(c.cfg.Lease)}
+	return LeaseGranted, c.shards[pending], c.cfg.Lease, nil
+}
+
+// shardByID resolves a shard ID (under c.mu).
+func (c *Coordinator) shardByID(id string) (int, error) {
+	for idx, s := range c.shards {
+		if s.ID == id {
+			return idx, nil
+		}
+	}
+	return -1, fmt.Errorf("shard: job %s: %q: %w", c.cfg.JobID, id, ErrUnknownShard)
+}
+
+// Heartbeat renews the worker's lease on the shard for another full lease
+// interval. ErrNotOwner means the lease expired and may have been stolen:
+// the worker must abandon the shard.
+func (c *Coordinator) Heartbeat(worker, shardID string) (time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLeases()
+	idx, err := c.shardByID(shardID)
+	if err != nil {
+		return 0, err
+	}
+	l, held := c.leases[idx]
+	if !held || l.worker != worker {
+		return 0, fmt.Errorf("shard: job %s: %s heartbeat on %s: %w", c.cfg.JobID, worker, shardID, ErrNotOwner)
+	}
+	c.leases[idx] = lease{worker: worker, deadline: c.cfg.Clock().Add(c.cfg.Lease)}
+	return c.cfg.Lease, nil
+}
+
+// Complete merges one shard's results. Every record is validated against
+// the grid — the index must lie in the shard, the key must be that
+// variant's fingerprint, and a key reported twice must carry byte-equal
+// payloads (ErrConflict otherwise: bit-exactness is the merge invariant,
+// not a hope). Completion is accepted even if the lease was stolen — the
+// records are valid regardless of who held the lease when they landed —
+// and counts as the worker's breaker success.
+func (c *Coordinator) Complete(worker, shardID string, results []VariantResult, failures []VariantFailure) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLeases()
+	idx, err := c.shardByID(shardID)
+	if err != nil {
+		return err
+	}
+	sh := c.shards[idx]
+	for _, r := range results {
+		if r.Index < sh.Start || r.Index >= sh.End {
+			return fmt.Errorf("shard: job %s: %s reported index %d outside shard %s [%d,%d)",
+				c.cfg.JobID, worker, r.Index, shardID, sh.Start, sh.End)
+		}
+		if want := c.variants[r.Index].Fingerprint(); r.Key != want {
+			return fmt.Errorf("shard: job %s: %s variant %d: key %s, grid says %s (version skew?): %w",
+				c.cfg.JobID, worker, r.Index, r.Key, want, ErrConflict)
+		}
+		if prev, dup := c.merged[r.Key]; dup {
+			if !bytes.Equal(prev, r.Payload) {
+				return fmt.Errorf("shard: job %s: variant %s reported with two different payloads: %w",
+					c.cfg.JobID, r.Key, ErrConflict)
+			}
+			continue
+		}
+		c.merged[r.Key] = append([]byte(nil), r.Payload...)
+		c.frontier.Add(r.Index, c.variants[r.Index], math.Float64frombits(r.TimeBits))
+	}
+	for _, f := range failures {
+		if f.Index < sh.Start || f.Index >= sh.End {
+			return fmt.Errorf("shard: job %s: %s failed index %d outside shard %s",
+				c.cfg.JobID, worker, f.Index, shardID)
+		}
+		if _, seen := c.failed[f.Index]; !seen {
+			c.failed[f.Index] = VariantFailure{Index: f.Index, Worker: worker, Err: f.Err}
+		}
+	}
+	if l, held := c.leases[idx]; held && l.worker == worker {
+		delete(c.leases, idx)
+	}
+	c.state[idx] = shardDone
+	w := c.worker(worker)
+	w.Completed++
+	c.breaker.Success(worker)
+	return nil
+}
+
+// Fail reports that the worker could not process the shard at all (as
+// opposed to individual variant failures, which ride on Complete). The
+// shard returns to the pending pool for another worker; the failure feeds
+// this worker's breaker, which quarantines it after the configured run of
+// consecutive failures.
+func (c *Coordinator) Fail(worker, shardID string, reason string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLeases()
+	idx, err := c.shardByID(shardID)
+	if err != nil {
+		return err
+	}
+	if l, held := c.leases[idx]; held && l.worker == worker {
+		delete(c.leases, idx)
+	}
+	if c.state[idx] == shardLeased {
+		c.state[idx] = shardPending
+	}
+	w := c.worker(worker)
+	w.Failed++
+	c.breaker.Failure(worker)
+	return nil
+}
+
+// Done reports whether every shard has completed.
+func (c *Coordinator) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLeases()
+	for _, st := range c.state {
+		if st != shardDone {
+			return false
+		}
+	}
+	return true
+}
+
+// Record is one merged journal record.
+type Record struct {
+	Key     string
+	Payload []byte
+}
+
+// MergedRecords returns the deduplicated record set in deterministic
+// (sorted-key) order — the exact sequence WriteMerged persists.
+func (c *Coordinator) MergedRecords() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.merged))
+	for k := range c.merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Record, len(keys))
+	for i, k := range keys {
+		out[i] = Record{Key: k, Payload: append([]byte(nil), c.merged[k]...)}
+	}
+	return out
+}
+
+// Failures returns the recorded variant failures, sorted by index.
+func (c *Coordinator) Failures() []VariantFailure {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]VariantFailure, 0, len(c.failed))
+	for _, f := range c.failed {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Frontier returns the job's streaming Pareto frontier.
+func (c *Coordinator) Frontier() *Frontier { return c.frontier }
+
+// Status is the job's observable state, JSON-shaped for the HTTP surface.
+type Status struct {
+	JobID     string `json:"job"`
+	Layout    string `json:"layout"`
+	Variants  int    `json:"variants"`
+	Shards    int    `json:"shards"`
+	Pending   int    `json:"pending"`
+	Leased    int    `json:"leased"`
+	Completed int    `json:"completed"`
+	// Merged counts deduplicated variant records; Failed counts variants
+	// no worker could evaluate; Steals counts expired leases returned to
+	// the pool.
+	Merged int  `json:"merged"`
+	Failed int  `json:"failed"`
+	Steals int  `json:"steals"`
+	Done   bool `json:"done"`
+	// Workers maps worker IDs to their tallies; Quarantined lists workers
+	// whose breaker is currently open.
+	Workers     map[string]workerInfo `json:"workers,omitempty"`
+	Quarantined []string              `json:"quarantined,omitempty"`
+	// FrontierSize is the current streaming Pareto frontier size.
+	FrontierSize int `json:"frontier_size"`
+}
+
+// Status snapshots the job.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLeases()
+	st := Status{
+		JobID:    c.cfg.JobID,
+		Layout:   c.cfg.Spec.LayoutFP,
+		Variants: len(c.variants),
+		Shards:   len(c.shards),
+		Merged:   len(c.merged),
+		Failed:   len(c.failed),
+		Steals:   c.steals,
+		Workers:  make(map[string]workerInfo, len(c.workers)),
+	}
+	for _, s := range c.state {
+		switch s {
+		case shardPending:
+			st.Pending++
+		case shardLeased:
+			st.Leased++
+		case shardDone:
+			st.Completed++
+		}
+	}
+	st.Done = st.Completed == len(c.shards)
+	for name, w := range c.workers {
+		st.Workers[name] = *w
+	}
+	st.Quarantined = c.breaker.Open()
+	st.FrontierSize = c.frontier.Len()
+	return st
+}

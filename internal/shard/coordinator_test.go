@@ -1,0 +1,385 @@
+package shard_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"skope/internal/explore"
+	"skope/internal/hw"
+	"skope/internal/shard"
+)
+
+// stepClock is a manually advanced time source.
+type stepClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newStepClock() *stepClock {
+	return &stepClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *stepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *stepClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// testSpec is a 6-variant, 3-shard job over a synthetic layout binding.
+// Coordinator logic never prepares the workload, so the fingerprint can be
+// symbolic here; worker tests use real ones.
+func testSpec() shard.JobSpec {
+	return shard.JobSpec{
+		Bench: "sord",
+		Scale: 1,
+		Base:  hw.BGQ().Wire(),
+		Axes: []explore.Axis{
+			{Param: "mem-bandwidth", Values: []float64{16, 32, 64}},
+			{Param: "net-latency-us", Values: []float64{1, 2}},
+		},
+		LayoutFP:  "layout-under-test",
+		ShardSize: 2,
+	}
+}
+
+func testCoordinator(t *testing.T, clock *stepClock) (*shard.Coordinator, []*hw.Machine) {
+	t.Helper()
+	spec := testSpec()
+	c, err := shard.NewCoordinator(shard.Config{
+		JobID:            "j-test",
+		Spec:             spec,
+		Lease:            time.Minute,
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Minute,
+		Clock:            clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants, err := spec.Variants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, variants
+}
+
+// shardResults fabricates valid results for every variant of sh.
+func shardResults(variants []*hw.Machine, sh shard.Shard) []shard.VariantResult {
+	var out []shard.VariantResult
+	for i := sh.Start; i < sh.End; i++ {
+		out = append(out, shard.VariantResult{
+			Index:    i,
+			Key:      variants[i].Fingerprint(),
+			Payload:  []byte(fmt.Sprintf(`{"variant":%d}`, i)),
+			TimeBits: math.Float64bits(float64(10 - i)),
+		})
+	}
+	return out
+}
+
+func mustLease(t *testing.T, c *shard.Coordinator, worker string) shard.Shard {
+	t.Helper()
+	state, sh, _, err := c.Lease(worker)
+	if err != nil {
+		t.Fatalf("lease %s: %v", worker, err)
+	}
+	if state != shard.LeaseGranted {
+		t.Fatalf("lease %s: state %q, want granted", worker, state)
+	}
+	return sh
+}
+
+func leaseState(t *testing.T, c *shard.Coordinator, worker string) shard.LeaseState {
+	t.Helper()
+	state, _, _, err := c.Lease(worker)
+	if err != nil {
+		t.Fatalf("lease %s: %v", worker, err)
+	}
+	return state
+}
+
+func TestCoordinatorRequiresLayout(t *testing.T) {
+	spec := testSpec()
+	spec.LayoutFP = ""
+	if _, err := shard.NewCoordinator(shard.Config{JobID: "j", Spec: spec}); err == nil {
+		t.Fatal("NewCoordinator accepted a spec with no layout fingerprint")
+	}
+}
+
+func TestCoordinatorLeaseLifecycle(t *testing.T) {
+	clock := newStepClock()
+	c, variants := testCoordinator(t, clock)
+
+	s0 := mustLease(t, c, "a")
+	s1 := mustLease(t, c, "b")
+	s2 := mustLease(t, c, "c")
+	if s0.Index == s1.Index || s1.Index == s2.Index || s0.Index == s2.Index {
+		t.Fatalf("duplicate shard grants: %d %d %d", s0.Index, s1.Index, s2.Index)
+	}
+	// Everything is leased: the next request waits.
+	if st := leaseState(t, c, "d"); st != shard.LeaseWait {
+		t.Fatalf("state %q, want wait", st)
+	}
+
+	for w, sh := range map[string]shard.Shard{"a": s0, "b": s1, "c": s2} {
+		if err := c.Complete(w, sh.ID, shardResults(variants, sh), nil); err != nil {
+			t.Fatalf("complete %s: %v", w, err)
+		}
+	}
+	if !c.Done() {
+		t.Fatal("job not done after all completions")
+	}
+	if st := leaseState(t, c, "d"); st != shard.LeaseDone {
+		t.Fatalf("state %q, want done", st)
+	}
+
+	recs := c.MergedRecords()
+	if len(recs) != len(variants) {
+		t.Fatalf("merged %d records, want %d", len(recs), len(variants))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Key >= recs[i].Key {
+			t.Fatal("merged records not in sorted key order")
+		}
+	}
+	if got := c.Frontier().Len(); got == 0 {
+		t.Fatal("frontier empty after completions")
+	}
+
+	st := c.Status()
+	if !st.Done || st.Completed != 3 || st.Merged != len(variants) || st.Pending != 0 || st.Leased != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestCoordinatorLeaseExpiryStealsShard(t *testing.T) {
+	clock := newStepClock()
+	c, variants := testCoordinator(t, clock)
+
+	s0 := mustLease(t, c, "dead")
+	mustLease(t, c, "other1")
+	mustLease(t, c, "other2")
+
+	// Within the lease the shard is not re-granted.
+	if st := leaseState(t, c, "thief"); st != shard.LeaseWait {
+		t.Fatalf("state %q before expiry, want wait", st)
+	}
+	clock.Advance(2 * time.Minute)
+	stolen := mustLease(t, c, "thief")
+	if stolen.ID != s0.ID {
+		t.Fatalf("thief got %s, want the expired %s", stolen.ID, s0.ID)
+	}
+	if got := c.Status().Steals; got < 1 {
+		t.Fatalf("steals = %d, want >= 1", got)
+	}
+	// The dead worker's heartbeat is now refused.
+	if _, err := c.Heartbeat("dead", s0.ID); !errors.Is(err, shard.ErrNotOwner) {
+		t.Fatalf("heartbeat after steal: %v, want ErrNotOwner", err)
+	}
+	// But a late completion is still accepted — the records are valid.
+	if err := c.Complete("dead", s0.ID, shardResults(variants, s0), nil); err != nil {
+		t.Fatalf("late complete: %v", err)
+	}
+}
+
+func TestCoordinatorHeartbeatRenews(t *testing.T) {
+	clock := newStepClock()
+	c, _ := testCoordinator(t, clock)
+
+	sh := mustLease(t, c, "a")
+	clock.Advance(45 * time.Second) // lease is 60s; renew at 45s
+	if _, err := c.Heartbeat("a", sh.ID); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	clock.Advance(45 * time.Second) // 90s from grant, 45s from renewal
+	if _, err := c.Heartbeat("a", sh.ID); err != nil {
+		t.Fatalf("renewed lease expired early: %v", err)
+	}
+	// A stranger cannot heartbeat someone else's lease.
+	if _, err := c.Heartbeat("b", sh.ID); !errors.Is(err, shard.ErrNotOwner) {
+		t.Fatalf("foreign heartbeat: %v, want ErrNotOwner", err)
+	}
+	// An unknown shard is its own error.
+	if _, err := c.Heartbeat("a", "s9999-deadbeef"); !errors.Is(err, shard.ErrUnknownShard) {
+		t.Fatalf("unknown shard heartbeat: %v, want ErrUnknownShard", err)
+	}
+}
+
+func TestCoordinatorCompleteValidation(t *testing.T) {
+	clock := newStepClock()
+	c, variants := testCoordinator(t, clock)
+	sh := mustLease(t, c, "a")
+
+	// Index outside the shard.
+	bad := []shard.VariantResult{{Index: sh.End, Key: variants[sh.End].Fingerprint(), Payload: []byte(`{}`)}}
+	if err := c.Complete("a", sh.ID, bad, nil); err == nil {
+		t.Fatal("accepted an index outside the shard")
+	}
+	// Key that is not the variant's fingerprint (version skew).
+	skewed := []shard.VariantResult{{Index: sh.Start, Key: "not-a-fingerprint", Payload: []byte(`{}`)}}
+	if err := c.Complete("a", sh.ID, skewed, nil); !errors.Is(err, shard.ErrConflict) {
+		t.Fatalf("skewed key: %v, want ErrConflict", err)
+	}
+	// Failure index outside the shard.
+	if err := c.Complete("a", sh.ID, nil, []shard.VariantFailure{{Index: sh.End, Err: "x"}}); err == nil {
+		t.Fatal("accepted a failure index outside the shard")
+	}
+
+	// A valid completion with one failure.
+	results := shardResults(variants, sh)[:1]
+	fails := []shard.VariantFailure{{Index: sh.Start + 1, Err: "confidence floor"}}
+	if err := c.Complete("a", sh.ID, results, fails); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	recorded := c.Failures()
+	if len(recorded) != 1 || recorded[0].Index != sh.Start+1 || recorded[0].Worker != "a" {
+		t.Fatalf("failures = %+v", recorded)
+	}
+}
+
+func TestCoordinatorDuplicateAndConflictingPayloads(t *testing.T) {
+	clock := newStepClock()
+	c, variants := testCoordinator(t, clock)
+
+	sh := mustLease(t, c, "a")
+	results := shardResults(variants, sh)
+	if err := c.Complete("a", sh.ID, results, nil); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+
+	// The same records again (overlapping work after a steal): dedupe.
+	if err := c.Complete("b", sh.ID, results, nil); err != nil {
+		t.Fatalf("duplicate complete: %v", err)
+	}
+	if got := c.Status().Merged; got != sh.Size() {
+		t.Fatalf("merged = %d after dedupe, want %d", got, sh.Size())
+	}
+
+	// The same key with different bytes: refuse, never arbitrate.
+	conflict := shardResults(variants, sh)
+	conflict[0].Payload = []byte(`{"variant":"tampered"}`)
+	if err := c.Complete("b", sh.ID, conflict, nil); !errors.Is(err, shard.ErrConflict) {
+		t.Fatalf("conflicting payload: %v, want ErrConflict", err)
+	}
+}
+
+func TestCoordinatorBreakerQuarantineAndProbe(t *testing.T) {
+	clock := newStepClock()
+	c, variants := testCoordinator(t, clock)
+
+	// Two consecutive shard failures (threshold 2) quarantine the worker.
+	for i := 0; i < 2; i++ {
+		sh := mustLease(t, c, "flaky")
+		if err := c.Fail("flaky", sh.ID, "boom"); err != nil {
+			t.Fatalf("fail: %v", err)
+		}
+	}
+	if st := leaseState(t, c, "flaky"); st != shard.LeaseQuarantined {
+		t.Fatalf("state %q after threshold failures, want quarantined", st)
+	}
+	if q := c.Status().Quarantined; len(q) != 1 || q[0] != "flaky" {
+		t.Fatalf("Quarantined = %v", q)
+	}
+	// Other workers are unaffected: the job completes around the pariah.
+	for {
+		state, sh, _, err := c.Lease("steady")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if state == shard.LeaseDone {
+			break
+		}
+		if state != shard.LeaseGranted {
+			t.Fatalf("steady worker got state %q", state)
+		}
+		if err := c.Complete("steady", sh.ID, shardResults(variants, sh), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Done() {
+		t.Fatal("job not done")
+	}
+
+	// After the cooldown the breaker admits a probe again — and a wasted
+	// "done" response must not have consumed it.
+	clock.Advance(11 * time.Minute)
+	if st := leaseState(t, c, "flaky"); st != shard.LeaseDone {
+		t.Fatalf("probe lease state %q, want done", st)
+	}
+}
+
+func TestCoordinatorProbeRecovery(t *testing.T) {
+	clock := newStepClock()
+	c, variants := testCoordinator(t, clock)
+
+	for i := 0; i < 2; i++ {
+		sh := mustLease(t, c, "flaky")
+		_ = c.Fail("flaky", sh.ID, "boom")
+	}
+	if st := leaseState(t, c, "flaky"); st != shard.LeaseQuarantined {
+		t.Fatalf("state %q, want quarantined", st)
+	}
+	clock.Advance(11 * time.Minute)
+	// Cooldown elapsed: exactly one probe lease is granted...
+	sh := mustLease(t, c, "flaky")
+	// ...and until it resolves, no second grant for this worker.
+	if st := leaseState(t, c, "flaky"); st != shard.LeaseQuarantined {
+		t.Fatalf("second probe state %q, want quarantined", st)
+	}
+	// The probe succeeding closes the breaker: leases flow again.
+	if err := c.Complete("flaky", sh.ID, shardResults(variants, sh), nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := leaseState(t, c, "flaky"); st != shard.LeaseGranted {
+		t.Fatalf("post-recovery state %q, want granted", st)
+	}
+	if q := c.Status().Quarantined; len(q) != 0 {
+		t.Fatalf("Quarantined = %v after recovery", q)
+	}
+}
+
+func TestCoordinatorFailReturnsShardToPool(t *testing.T) {
+	clock := newStepClock()
+	c, _ := testCoordinator(t, clock)
+
+	sh := mustLease(t, c, "a")
+	if err := c.Fail("a", sh.ID, "cannot open journal"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if st.Pending != 3 || st.Leased != 0 {
+		t.Fatalf("status after fail = %+v, want all pending", st)
+	}
+	// Another worker picks the same shard back up.
+	got := mustLease(t, c, "b")
+	if got.ID != sh.ID {
+		t.Fatalf("b got %s, want the returned %s", got.ID, sh.ID)
+	}
+}
+
+func TestCoordinatorMergedRecordsAreCopies(t *testing.T) {
+	clock := newStepClock()
+	c, variants := testCoordinator(t, clock)
+	sh := mustLease(t, c, "a")
+	if err := c.Complete("a", sh.ID, shardResults(variants, sh), nil); err != nil {
+		t.Fatal(err)
+	}
+	recs := c.MergedRecords()
+	want := append([]byte(nil), recs[0].Payload...)
+	recs[0].Payload[0] = 'X'
+	again := c.MergedRecords()
+	if !bytes.Equal(again[0].Payload, want) {
+		t.Fatal("MergedRecords exposed internal payload storage")
+	}
+}

@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+
+	"skope/internal/explore"
+	"skope/internal/hw"
+)
+
+// Frontier is a streaming Pareto frontier over the (projected time, cost)
+// plane: the coordinator feeds it each completed variant as workers report
+// in, and at any moment Points returns the non-dominated set so far —
+// the same frontier explore.Pareto would compute over the variants seen,
+// without holding every analysis in memory. Safe for concurrent use.
+type Frontier struct {
+	cost explore.CostFunc
+
+	mu  sync.Mutex
+	pts []explore.Point // non-dominated so far, ascending cost
+}
+
+// NewFrontier returns an empty frontier under the given cost function
+// (nil selects explore.RelativeCost).
+func NewFrontier(cost explore.CostFunc) *Frontier {
+	if cost == nil {
+		cost = explore.RelativeCost
+	}
+	return &Frontier{cost: cost}
+}
+
+// Add offers one completed variant. It keeps the point only if no current
+// point is at least as good on both axes, and evicts any points the new
+// one dominates — the standard frontier invariant, maintained online.
+func (f *Frontier) Add(index int, m *hw.Machine, time float64) {
+	p := explore.Point{Index: index, Machine: m, Time: time, Cost: f.cost(m)}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// pts is sorted by strictly ascending cost and strictly descending
+	// time (two points tied on either axis would dominate one another).
+	// A point at or below p's cost that is also at or below its time
+	// dominates p.
+	i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].Cost >= p.Cost })
+	if i > 0 && f.pts[i-1].Time <= p.Time {
+		return // dominated (or tied) by a strictly cheaper point
+	}
+	if i < len(f.pts) && f.pts[i].Cost == p.Cost && f.pts[i].Time <= p.Time {
+		return // dominated (or tied) by an equal-cost point
+	}
+	// p survives: drop every point it dominates — costlier-or-equal ones
+	// that are not strictly faster. Descending time makes them a prefix.
+	j := i
+	for j < len(f.pts) && f.pts[j].Time >= p.Time {
+		j++
+	}
+	f.pts = append(f.pts[:i], append([]explore.Point{p}, f.pts[j:]...)...)
+}
+
+// Points returns a copy of the current frontier, sorted by ascending cost
+// (hence descending time).
+func (f *Frontier) Points() []explore.Point {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]explore.Point, len(f.pts))
+	copy(out, f.pts)
+	return out
+}
+
+// Len returns the current frontier size.
+func (f *Frontier) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pts)
+}

@@ -1,0 +1,170 @@
+package shard_test
+
+import (
+	"sync"
+	"testing"
+
+	"skope/internal/explore"
+	"skope/internal/hw"
+	"skope/internal/shard"
+)
+
+// costIsBandwidth scores a machine by its memory bandwidth, letting tests
+// construct (cost, time) points directly: cost rides on MemBandwidthGBs.
+func costIsBandwidth(m *hw.Machine) float64 { return m.MemBandwidthGBs }
+
+func frontierMachine(cost float64) *hw.Machine {
+	m := hw.BGQ()
+	m.MemBandwidthGBs = cost
+	return m
+}
+
+// addPoint offers (cost, time) to the frontier.
+func addPoint(f *shard.Frontier, index int, cost, time float64) {
+	f.Add(index, frontierMachine(cost), time)
+}
+
+// pairs extracts (cost, time) tuples for comparison.
+func pairs(pts []explore.Point) [][2]float64 {
+	out := make([][2]float64, len(pts))
+	for i, p := range pts {
+		out[i] = [2]float64{p.Cost, p.Time}
+	}
+	return out
+}
+
+func assertFrontier(t *testing.T, f *shard.Frontier, want [][2]float64) {
+	t.Helper()
+	got := pairs(f.Points())
+	if len(got) != len(want) {
+		t.Fatalf("frontier = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frontier = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFrontierDominance(t *testing.T) {
+	f := shard.NewFrontier(costIsBandwidth)
+	addPoint(f, 0, 10, 5.0)
+	addPoint(f, 1, 20, 3.0) // costlier but faster: survives
+	addPoint(f, 2, 15, 6.0) // costlier and slower than (10,5): dominated
+	addPoint(f, 3, 30, 4.0) // slower than (20,3) at higher cost: dominated
+	assertFrontier(t, f, [][2]float64{{10, 5}, {20, 3}})
+
+	// A strictly better point evicts what it dominates.
+	addPoint(f, 4, 5, 2.5)
+	assertFrontier(t, f, [][2]float64{{5, 2.5}})
+}
+
+func TestFrontierEqualAxes(t *testing.T) {
+	f := shard.NewFrontier(costIsBandwidth)
+	addPoint(f, 0, 10, 5.0)
+	addPoint(f, 1, 10, 5.0) // exact duplicate: rejected
+	assertFrontier(t, f, [][2]float64{{10, 5}})
+
+	addPoint(f, 2, 10, 6.0) // equal cost, slower: rejected
+	assertFrontier(t, f, [][2]float64{{10, 5}})
+
+	addPoint(f, 3, 10, 4.0) // equal cost, faster: replaces
+	assertFrontier(t, f, [][2]float64{{10, 4}})
+
+	addPoint(f, 4, 12, 4.0) // equal time, costlier: rejected
+	assertFrontier(t, f, [][2]float64{{10, 4}})
+
+	addPoint(f, 5, 8, 4.0) // equal time, cheaper: replaces
+	assertFrontier(t, f, [][2]float64{{8, 4}})
+}
+
+func TestFrontierMidEviction(t *testing.T) {
+	f := shard.NewFrontier(costIsBandwidth)
+	addPoint(f, 0, 10, 8)
+	addPoint(f, 1, 20, 6)
+	addPoint(f, 2, 30, 4)
+	addPoint(f, 3, 40, 2)
+	// (15, 3) dominates (20,6) and (30,4) but not (10,8) or (40,2).
+	addPoint(f, 4, 15, 3)
+	assertFrontier(t, f, [][2]float64{{10, 8}, {15, 3}, {40, 2}})
+}
+
+// bruteFrontier computes the non-dominated set directly.
+func bruteFrontier(points [][2]float64) map[[2]float64]bool {
+	out := make(map[[2]float64]bool)
+	for _, p := range points {
+		dominated := false
+		for _, q := range points {
+			if q == p {
+				continue
+			}
+			if q[0] <= p[0] && q[1] <= p[1] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+func TestFrontierMatchesBruteForce(t *testing.T) {
+	// A deterministic scatter with ties on both axes.
+	var points [][2]float64
+	for i := 0; i < 60; i++ {
+		cost := float64(1 + (i*7)%13)
+		time := float64(1 + (i*11)%17)
+		points = append(points, [2]float64{cost, time})
+	}
+	f := shard.NewFrontier(costIsBandwidth)
+	for i, p := range points {
+		addPoint(f, i, p[0], p[1])
+	}
+	want := bruteFrontier(points)
+	got := pairs(f.Points())
+	if len(got) != len(want) {
+		t.Fatalf("frontier has %d points, brute force %d: %v", len(got), len(want), got)
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Errorf("frontier point %v not in brute-force set", p)
+		}
+	}
+	// And the order invariant: ascending cost, descending time.
+	for i := 1; i < len(got); i++ {
+		if got[i][0] <= got[i-1][0] || got[i][1] >= got[i-1][1] {
+			t.Errorf("order violated at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+}
+
+func TestFrontierConcurrent(t *testing.T) {
+	f := shard.NewFrontier(costIsBandwidth)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cost := float64(1 + (g*50+i*3)%23)
+				time := float64(1 + (g*31+i*5)%19)
+				addPoint(f, g*50+i, cost, time)
+			}
+		}(g)
+	}
+	wg.Wait()
+	pts := pairs(f.Points())
+	if len(pts) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// No surviving point may dominate another.
+	for i, p := range pts {
+		for j, q := range pts {
+			if i != j && q[0] <= p[0] && q[1] <= p[1] {
+				t.Fatalf("point %v dominated by %v", p, q)
+			}
+		}
+	}
+}

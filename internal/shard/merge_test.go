@@ -1,0 +1,267 @@
+package shard_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"skope/internal/explore"
+	"skope/internal/journal"
+	"skope/internal/shard"
+)
+
+// writeSweepJournal builds a sweep journal at dir/name bound to layoutFP,
+// holding the given key→payload records in map-iteration-independent
+// (slice) order.
+func writeSweepJournal(t *testing.T, dir, name, layoutFP string, records [][2]string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SetMeta(map[string]string{explore.MetaLayoutKey: layoutFP}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if err := j.Append(r[0], []byte(r[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// tearTail appends a torn (unterminated, checksum-less) line to a journal
+// file, simulating a SIGKILL mid-append.
+func tearTail(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`00000000 {"key":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scanAll(t *testing.T, path string) (journal.ScanReport, map[string]string) {
+	t.Helper()
+	got := make(map[string]string)
+	rep, err := journal.Scan(path, func(key string, payload []byte) error {
+		got[key] = string(payload)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, got
+}
+
+func TestMergeJournalsDeduplicates(t *testing.T) {
+	dir := t.TempDir()
+	const fp = "layout-m"
+	// Overlapping shards: v2 appears in both with identical bytes — the
+	// footprint of a stolen shard finished twice.
+	a := writeSweepJournal(t, dir, "a.journal", fp, [][2]string{
+		{"v1", `{"t":1}`}, {"v2", `{"t":2}`},
+	})
+	b := writeSweepJournal(t, dir, "b.journal", fp, [][2]string{
+		{"v2", `{"t":2}`}, {"v3", `{"t":3}`},
+	})
+	dst := filepath.Join(dir, "merged.journal")
+	stats, err := shard.MergeJournals(dst, fp, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inputs != 2 || stats.Records != 4 || stats.Unique != 3 || stats.TornInputs != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	rep, got := scanAll(t, dst)
+	if rep.Meta[explore.MetaLayoutKey] != fp {
+		t.Fatalf("merged journal bound to %q, want %q", rep.Meta[explore.MetaLayoutKey], fp)
+	}
+	want := map[string]string{"v1": `{"t":1}`, "v2": `{"t":2}`, "v3": `{"t":3}`}
+	if len(got) != len(want) {
+		t.Fatalf("merged records = %v", got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("record %s = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestMergeJournalsConflictingPayloads(t *testing.T) {
+	dir := t.TempDir()
+	const fp = "layout-m"
+	a := writeSweepJournal(t, dir, "a.journal", fp, [][2]string{{"v1", `{"t":1}`}})
+	b := writeSweepJournal(t, dir, "b.journal", fp, [][2]string{{"v1", `{"t":999}`}})
+	_, err := shard.MergeJournals(filepath.Join(dir, "m.journal"), fp, a, b)
+	if !errors.Is(err, shard.ErrConflict) {
+		t.Fatalf("conflicting payloads: %v, want ErrConflict", err)
+	}
+}
+
+func TestMergeJournalsRejectsForeignLayout(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSweepJournal(t, dir, "a.journal", "layout-m", [][2]string{{"v1", `{"t":1}`}})
+	alien := writeSweepJournal(t, dir, "alien.journal", "layout-other", [][2]string{{"v9", `{"t":9}`}})
+	_, err := shard.MergeJournals(filepath.Join(dir, "m.journal"), "layout-m", a, alien)
+	if !errors.Is(err, journal.ErrMetaMismatch) {
+		t.Fatalf("foreign layout: %v, want ErrMetaMismatch", err)
+	}
+}
+
+func TestMergeJournalsToleratesTornInput(t *testing.T) {
+	dir := t.TempDir()
+	const fp = "layout-m"
+	a := writeSweepJournal(t, dir, "a.journal", fp, [][2]string{{"v1", `{"t":1}`}})
+	b := writeSweepJournal(t, dir, "b.journal", fp, [][2]string{{"v2", `{"t":2}`}})
+	tearTail(t, b)
+	before, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := filepath.Join(dir, "m.journal")
+	stats, merr := shard.MergeJournals(dst, fp, a, b)
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	if stats.TornInputs != 1 || stats.Unique != 2 {
+		t.Fatalf("stats = %+v, want 1 torn input, 2 unique", stats)
+	}
+	// The torn source was read, not repaired: merge must never mutate its
+	// inputs (the shard's owner may still be appending).
+	after, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("merge modified a torn input journal")
+	}
+	_, got := scanAll(t, dst)
+	if len(got) != 2 || got["v1"] == "" || got["v2"] == "" {
+		t.Fatalf("merged records = %v", got)
+	}
+}
+
+func TestMergeJournalsOrderIndependent(t *testing.T) {
+	dir := t.TempDir()
+	const fp = "layout-m"
+	// Three journals with interleaved keys and one duplicate.
+	a := writeSweepJournal(t, dir, "a.journal", fp, [][2]string{
+		{"v5", `{"t":5}`}, {"v1", `{"t":1}`},
+	})
+	b := writeSweepJournal(t, dir, "b.journal", fp, [][2]string{
+		{"v3", `{"t":3}`}, {"v1", `{"t":1}`},
+	})
+	c := writeSweepJournal(t, dir, "c.journal", fp, [][2]string{
+		{"v2", `{"t":2}`},
+	})
+
+	orders := [][]string{
+		{a, b, c}, {c, b, a}, {b, a, c}, {c, a, b},
+	}
+	var first []byte
+	for i, srcs := range orders {
+		dst := filepath.Join(dir, fmt.Sprintf("m%d.journal", i))
+		if _, err := shard.MergeJournals(dst, fp, srcs...); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = raw
+			continue
+		}
+		if !bytes.Equal(raw, first) {
+			t.Fatalf("merge order %d produced different bytes than order 0", i)
+		}
+	}
+}
+
+func TestMergeJournalsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	const fp = "layout-m"
+	a := writeSweepJournal(t, dir, "a.journal", fp, [][2]string{{"v1", `{"t":1}`}})
+	dst := filepath.Join(dir, "m.journal")
+	// A stale temp file from a crashed previous merge must not wedge it.
+	if err := os.WriteFile(dst+".tmp", []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.MergeJournals(dst, fp, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dst + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after merge")
+	}
+	_, got := scanAll(t, dst)
+	if len(got) != 1 {
+		t.Fatalf("merged records = %v", got)
+	}
+}
+
+func TestCoordinatorWriteMergedMatchesMergeJournals(t *testing.T) {
+	// The coordinator's in-memory merge and the on-disk journal merge must
+	// agree byte-for-byte: both are presentations of the same record set.
+	clock := newStepClock()
+	c, variants := testCoordinator(t, clock)
+	dir := t.TempDir()
+
+	var journals []string
+	for {
+		state, sh, _, err := c.Lease("w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if state == shard.LeaseDone {
+			break
+		}
+		results := shardResults(variants, sh)
+		recs := make([][2]string, len(results))
+		for i, r := range results {
+			recs[i] = [2]string{r.Key, string(r.Payload)}
+		}
+		journals = append(journals,
+			writeSweepJournal(t, dir, sh.ID+".journal", "layout-under-test", recs))
+		if err := c.Complete("w", sh.ID, results, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fromCoordinator := filepath.Join(dir, "coord.journal")
+	n, err := c.WriteMerged(fromCoordinator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(variants) {
+		t.Fatalf("WriteMerged wrote %d records, want %d", n, len(variants))
+	}
+	fromJournals := filepath.Join(dir, "disk.journal")
+	if _, err := shard.MergeJournals(fromJournals, "layout-under-test", journals...); err != nil {
+		t.Fatal(err)
+	}
+	cb, err := os.ReadFile(fromCoordinator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := os.ReadFile(fromJournals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb, jb) {
+		t.Fatal("coordinator merge and journal merge produced different bytes")
+	}
+}

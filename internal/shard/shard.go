@@ -1,0 +1,104 @@
+// Package shard is the fault-tolerant distribution layer over the explore
+// engine: a coordinator/worker protocol that partitions a parameter grid
+// into shards, leases them to workers under heartbeat-renewed deadlines,
+// steals back the shards of stragglers and dead workers, and merges the
+// workers' sweep journals — bit-exact and fingerprint-bound, so merge is
+// dedupe — into one journal the engine can replay.
+//
+// The design leans on invariants the rest of the codebase already
+// guarantees:
+//
+//   - a variant's identity is its machine fingerprint, and a journal
+//     record is keyed by it (explore's resume layer), so two workers that
+//     evaluate the same variant write byte-identical records and
+//     overlapping work merges by deduplication, never by arbitration;
+//   - the grid materializes in deterministic odometer order (explore.Grid),
+//     so a shard is just an index range plus a digest over the variant
+//     fingerprints it covers — any process can regenerate the partition
+//     from the job spec and verify it got the same one;
+//   - sweep journals are bound to the workload's layout fingerprint, so a
+//     merged journal inherits the binding and a version-skewed worker is
+//     caught at journal open, not at merge.
+//
+// Killing any subset of workers therefore loses nothing: their per-shard
+// journals survive on disk, the coordinator re-leases the shards, and the
+// next owner replays the journal instead of recomputing. The headline
+// property — kill any subset mid-sweep, resume, and the merged result set
+// is bit-identical to a single-process exhaustive sweep — is asserted by
+// this package's chaos test.
+package shard
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"skope/internal/hw"
+)
+
+// Shard is one contiguous slice of a sweep grid — the unit of lease,
+// steal, and journal ownership.
+type Shard struct {
+	// ID names the shard within its job ("s0003-1a2b3c4d"): the index for
+	// humans, a fingerprint prefix against collisions across jobs.
+	ID string `json:"id"`
+	// Index is the shard's position in the partition.
+	Index int `json:"index"`
+	// Start and End bound the shard's variants, [Start, End), as indices
+	// into the grid's deterministic variant order.
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Fingerprint digests the layout fingerprint plus every covered
+	// variant's machine fingerprint. Two processes that disagree on the
+	// grid (version skew, a drifted machine preset) disagree here and are
+	// rejected before they can mix results.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Size returns the number of variants the shard covers.
+func (s Shard) Size() int { return s.End - s.Start }
+
+// Partition slices the variants into shards of at most size variants each
+// (size < 1 selects 16), digesting each shard under the layout
+// fingerprint. The partition is deterministic: same layout, same variants,
+// same size → identical shards, so coordinator and workers can each
+// compute it independently and cross-check by fingerprint.
+func Partition(layoutFP string, variants []*hw.Machine, size int) []Shard {
+	if size < 1 {
+		size = 16
+	}
+	shards := make([]Shard, 0, (len(variants)+size-1)/size)
+	for start := 0; start < len(variants); start += size {
+		end := start + size
+		if end > len(variants) {
+			end = len(variants)
+		}
+		fp := shardFingerprint(layoutFP, variants[start:end])
+		shards = append(shards, Shard{
+			ID:          fmt.Sprintf("s%04d-%s", len(shards), fp[:8]),
+			Index:       len(shards),
+			Start:       start,
+			End:         end,
+			Fingerprint: fp,
+		})
+	}
+	return shards
+}
+
+// shardFingerprint digests the layout fingerprint and the covered machine
+// fingerprints, length-framing each part so concatenation cannot alias.
+func shardFingerprint(layoutFP string, variants []*hw.Machine) string {
+	h := sha256.New()
+	frame := func(s string) {
+		var lenbuf [8]byte
+		for i := 0; i < 8; i++ {
+			lenbuf[i] = byte(len(s) >> (8 * i))
+		}
+		h.Write(lenbuf[:])
+		h.Write([]byte(s))
+	}
+	frame(layoutFP)
+	for _, m := range variants {
+		frame(m.Fingerprint())
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}

@@ -1,0 +1,101 @@
+package shard_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"skope/internal/hw"
+	"skope/internal/shard"
+)
+
+// testVariants builds n valid, distinct BG/Q variants (distinct memory
+// bandwidths → distinct fingerprints).
+func testVariants(t testing.TB, n int) []*hw.Machine {
+	t.Helper()
+	out := make([]*hw.Machine, n)
+	for i := range out {
+		m := hw.BGQ()
+		m.Name = fmt.Sprintf("BG/Q[v%d]", i)
+		m.MemBandwidthGBs = 16 + float64(i)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("variant %d invalid: %v", i, err)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func TestPartitionShapes(t *testing.T) {
+	variants := testVariants(t, 10)
+	shards := shard.Partition("layout-a", variants, 4)
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	wantBounds := [][2]int{{0, 4}, {4, 8}, {8, 10}}
+	total := 0
+	for i, s := range shards {
+		if s.Index != i {
+			t.Errorf("shard %d: Index = %d", i, s.Index)
+		}
+		if s.Start != wantBounds[i][0] || s.End != wantBounds[i][1] {
+			t.Errorf("shard %d: [%d,%d), want [%d,%d)", i, s.Start, s.End, wantBounds[i][0], wantBounds[i][1])
+		}
+		if s.Size() != s.End-s.Start {
+			t.Errorf("shard %d: Size() = %d", i, s.Size())
+		}
+		wantPrefix := fmt.Sprintf("s%04d-", i)
+		if !strings.HasPrefix(s.ID, wantPrefix) {
+			t.Errorf("shard %d: ID %q lacks prefix %q", i, s.ID, wantPrefix)
+		}
+		if !strings.HasSuffix(s.ID, s.Fingerprint[:8]) {
+			t.Errorf("shard %d: ID %q does not carry fingerprint prefix %q", i, s.ID, s.Fingerprint[:8])
+		}
+		total += s.Size()
+	}
+	if total != len(variants) {
+		t.Errorf("shards cover %d variants, want %d", total, len(variants))
+	}
+}
+
+func TestPartitionDefaultSize(t *testing.T) {
+	variants := testVariants(t, 20)
+	shards := shard.Partition("layout-a", variants, 0)
+	if len(shards) != 2 || shards[0].Size() != 16 || shards[1].Size() != 4 {
+		t.Fatalf("size<1 should select 16: got %d shards, sizes %v", len(shards), shards)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	variants := testVariants(t, 9)
+	a := shard.Partition("layout-a", variants, 3)
+	b := shard.Partition("layout-a", testVariants(t, 9), 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same inputs produced different partitions:\n%v\n%v", a, b)
+	}
+}
+
+func TestPartitionFingerprintSensitivity(t *testing.T) {
+	variants := testVariants(t, 6)
+	base := shard.Partition("layout-a", variants, 3)
+
+	// A different layout fingerprint changes every shard fingerprint.
+	other := shard.Partition("layout-b", variants, 3)
+	for i := range base {
+		if base[i].Fingerprint == other[i].Fingerprint {
+			t.Errorf("shard %d: fingerprint unchanged under a different layout", i)
+		}
+	}
+
+	// Perturbing one variant changes exactly the shard that covers it.
+	perturbed := testVariants(t, 6)
+	perturbed[4].MemBandwidthGBs += 0.5
+	after := shard.Partition("layout-a", perturbed, 3)
+	if base[0].Fingerprint != after[0].Fingerprint {
+		t.Errorf("shard 0 fingerprint changed by a variant it does not cover")
+	}
+	if base[1].Fingerprint == after[1].Fingerprint {
+		t.Errorf("shard 1 fingerprint did not change with its variant")
+	}
+}

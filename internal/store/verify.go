@@ -1,0 +1,142 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"skope/internal/hotspot"
+	"skope/internal/journal"
+)
+
+// Verify is the store's scrub: a read-only walk of every record in the
+// file that goes one level deeper than the journal's crc32c framing. The
+// framing proves the bytes on disk are the bytes that were appended; the
+// scrub proves those bytes still mean something — every eval record must
+// canonically decode (hotspot.DecodeAnalysis) and re-encode to the exact
+// payload stored, every prep record must parse, and every key must live
+// in a known namespace. Verify never modifies the file; Repair truncates
+// a torn tail after verifying the rest.
+
+// Problem is one record that failed verification.
+type Problem struct {
+	// Key is the record's content address.
+	Key string `json:"key"`
+	// Err describes what failed: decode error, non-canonical encoding,
+	// or an unknown key namespace.
+	Err string `json:"err"`
+}
+
+// VerifyReport is the outcome of one store scrub.
+type VerifyReport struct {
+	// Path is the scrubbed file.
+	Path string `json:"path"`
+	// Records counts intact record lines (appends, not distinct keys).
+	Records int `json:"records"`
+	// Evals and Preps count records per namespace (duplicates included).
+	Evals int `json:"evals"`
+	Preps int `json:"preps"`
+	// TornTail reports a partial final line — recoverable damage that
+	// Repair would truncate away.
+	TornTail bool `json:"torn_tail"`
+	// TornOffset is the size the file would have after repair; equal to
+	// the file size when intact.
+	TornOffset int64 `json:"torn_offset"`
+	// Problems lists records whose payloads failed verification. Framing
+	// corruption never lands here — it fails the scrub outright — so a
+	// problem means version skew or a foreign writer, not bit rot.
+	Problems []Problem `json:"problems,omitempty"`
+}
+
+// Clean reports whether the scrub found nothing wrong.
+func (r VerifyReport) Clean() bool {
+	return !r.TornTail && len(r.Problems) == 0
+}
+
+// Verify scrubs the store at path without opening it for writing: the
+// journal framing (crc32c per record) is re-checked line by line, the
+// store header is validated, and every record's payload is decoded and —
+// for eval records — canonically re-encoded and compared byte-for-byte
+// against what is stored. Payload-level failures are collected on the
+// report; framing corruption before the end of the file fails with an
+// error wrapping journal.ErrCorrupt. A torn tail is reported, not an
+// error — it is what Repair (or the next Open) removes.
+func Verify(path string) (VerifyReport, error) {
+	rep := VerifyReport{Path: path}
+	scan, err := journal.Scan(path, func(key string, payload []byte) error {
+		rep.Records++
+		if p, ok := verifyRecord(key, payload); !ok {
+			rep.Problems = append(rep.Problems, p)
+		} else if strings.HasPrefix(key, evalPrefix) {
+			rep.Evals++
+		} else {
+			rep.Preps++
+		}
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	if scan.Meta[metaStoreKey] != metaStoreVal {
+		return rep, fmt.Errorf("store: %s is not a result store (header %v)", path, scan.Meta)
+	}
+	if scan.Meta[metaVersion] != versionVal {
+		return rep, fmt.Errorf("store: %s: unsupported store version %q (want %q)",
+			path, scan.Meta[metaVersion], versionVal)
+	}
+	rep.TornTail = scan.TornTail
+	rep.TornOffset = scan.TornOffset
+	return rep, nil
+}
+
+// verifyRecord checks one record's payload against its namespace.
+func verifyRecord(key string, payload []byte) (Problem, bool) {
+	switch {
+	case strings.HasPrefix(key, evalPrefix):
+		if strings.Count(key, "/") != 3 {
+			return Problem{Key: key, Err: "malformed eval key (want e/<layout>/<machine>/<mode>)"}, false
+		}
+		a, err := hotspot.DecodeAnalysis(payload)
+		if err != nil {
+			return Problem{Key: key, Err: err.Error()}, false
+		}
+		again, err := hotspot.EncodeAnalysis(a)
+		if err != nil {
+			return Problem{Key: key, Err: fmt.Sprintf("re-encode: %v", err)}, false
+		}
+		if !bytes.Equal(again, payload) {
+			return Problem{Key: key, Err: "payload is not canonical (re-encode differs)"}, false
+		}
+	case strings.HasPrefix(key, prepPrefix):
+		var rec prepRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return Problem{Key: key, Err: err.Error()}, false
+		}
+		if rec.Layout == "" {
+			return Problem{Key: key, Err: "prep record missing layout fingerprint"}, false
+		}
+	default:
+		return Problem{Key: key, Err: "unknown key namespace"}, false
+	}
+	return Problem{}, true
+}
+
+// Repair scrubs the store and, if the scrub found a torn tail, truncates
+// it. The returned report describes the file as found (TornTail true if a
+// tail was removed); the boolean reports whether a repair happened. Like
+// Verify, it refuses on mid-file corruption or a non-store file — Repair
+// only ever removes the one partial line a crash mid-append can leave.
+func Repair(path string) (VerifyReport, bool, error) {
+	rep, err := Verify(path)
+	if err != nil {
+		return rep, false, err
+	}
+	if !rep.TornTail {
+		return rep, false, nil
+	}
+	if _, _, err := journal.Repair(path); err != nil {
+		return rep, false, err
+	}
+	return rep, true, nil
+}
