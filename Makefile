@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-store bench-shard bench-smoke chaos fuzz-short check
+.PHONY: all build vet fmt-check test race bench bench-store bench-shard bench-adaptive bench-smoke chaos fuzz-short check
 
 all: check
 
@@ -39,6 +39,12 @@ bench-store:
 bench-shard:
 	$(GO) test -run '^$$' -bench 'BenchmarkShardedSweep' -benchtime 3x ./internal/shard/
 
+# Exhaustive vs surrogate-guided evals-to-optimum on the 600-variant
+# parity grid; the adaptive side asserts it found the exact exhaustive
+# optimum. Pinned numbers live in BENCH_adaptive.json.
+bench-adaptive:
+	$(GO) test -run '^$$' -bench 'BenchmarkAdaptiveVsExhaustive' -benchtime 3x ./internal/explore/
+
 # One-iteration smoke over the store benchmarks: proves the cold and warm
 # paths still run (and that warm is actually warm — the benchmark fails if
 # preparation is not skipped) without paying for a full measurement.
@@ -52,11 +58,13 @@ bench-smoke:
 chaos:
 	$(GO) test -race -count=1 ./internal/shard/
 
-# Short fuzz smoke over the three parser frontiers (10s per target).
+# Short fuzz smoke over the three parser frontiers and the adaptive
+# planner's axis-spec surface (10s per target).
 FUZZTIME ?= 10s
 fuzz-short:
 	$(GO) test ./internal/expr -run FuzzExprParse -fuzz FuzzExprParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/skeleton -run FuzzSkeletonParse -fuzz FuzzSkeletonParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/minilang -run FuzzMinilangParse -fuzz FuzzMinilangParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/explore -run '^$$' -fuzz FuzzAdaptivePlannerAxes -fuzztime $(FUZZTIME)
 
 check: build vet fmt-check test

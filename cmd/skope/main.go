@@ -50,6 +50,21 @@
 //	skope -bench sord -sweep mem-bandwidth=16,32,64 -sweep freq-ghz=1.6,2.0 \
 //	      -shard-workers 4 -shard-dir sweep.shards
 //
+// -adaptive switches the sweep from exhaustive to surrogate-guided
+// search: a deterministic seed sample bootstraps an online least-squares
+// surrogate over the grid axes, and each round spends evaluations only on
+// the unevaluated variants the surrogate ranks most promising, stopping
+// once the incumbent optimum survives two rounds unimproved. On the
+// workload suite this finds the exhaustive optimum with ≤5% of the
+// evaluations (the parity tests enforce it). Every evaluation still runs
+// the exact engine — the surrogate only chooses what to evaluate — and
+// journal, store, retries and confidence floors compose unchanged:
+//
+//	skope -bench sord -sweep freq-ghz=1,1.5,2,2.5 -sweep mem-bandwidth=16,32,64 \
+//	      -sweep hit-l1=0.90,0.95,0.99 -adaptive -adaptive-budget 50 -adaptive-seed 7
+//
+// Exhaustive mode stays the default and the golden reference.
+//
 // -lenient switches the frontend and model construction into
 // error-recovering mode: syntax errors drop the offending statement,
 // missing branch probabilities and trip counts fall back to documented
@@ -214,9 +229,15 @@ func run(ctx context.Context, out io.Writer, cfg config) (degraded bool, err err
 		if cfg.sw.Store != "" {
 			return false, fmt.Errorf("-shard-workers and -store cannot be combined; merge the sharded journal into a store with skopec instead")
 		}
+		if cfg.sw.Adaptive {
+			return false, fmt.Errorf("-adaptive and -shard-workers cannot be combined; distributed adaptive rounds run through the skoped coordinator (shard.RoundPlanner)")
+		}
+	}
+	if cfg.sw.Adaptive && len(cfg.sw.Axes) == 0 {
+		return false, fmt.Errorf("-adaptive needs -sweep axes to search over")
 	}
 
-	if len(cfg.sw.Axes) > 0 && cfg.sw.Store != "" {
+	if len(cfg.sw.Axes) > 0 && cfg.sw.Store != "" && !cfg.sw.Adaptive {
 		// Store-backed sweeps branch before preparation on purpose: a
 		// fully warm store serves the whole sweep — preparation included —
 		// with zero recomputation.
@@ -238,6 +259,9 @@ func run(ctx context.Context, out io.Writer, cfg config) (degraded bool, err err
 	if len(cfg.sw.Axes) > 0 {
 		if cfg.sw.ShardWorkers > 0 {
 			return sweepSharded(ctx, out, cfg, run, m)
+		}
+		if cfg.sw.Adaptive {
+			return sweepAdaptive(ctx, out, cfg, run, m)
 		}
 		return sweep(ctx, out, cfg, run, m)
 	}
@@ -497,6 +521,109 @@ func sweep(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, ba
 		fmt.Fprintf(out, ", %d retries", last.Retried)
 	}
 	fmt.Fprintln(out)
+	if run.Degraded() {
+		degraded = true
+		fmt.Fprintf(out, "sweep %s\n", report.Confidence(run.Confidence, run.Diagnostics))
+	}
+	return degraded, nil
+}
+
+// sweepAdaptive runs the surrogate-guided search: seed sample, online
+// least-squares fit, ranked acquisition rounds, patience stop. Journal
+// and store attach through the same pipeline options as an exhaustive
+// sweep (every evaluation is an exact engine evaluation); the ranked
+// table at the end covers only the evaluated slice of the grid, with the
+// eval-count savings reported against the exhaustive count.
+func sweepAdaptive(ctx context.Context, out io.Writer, cfg config, run *pipeline.Run, base *hw.Machine) (degraded bool, err error) {
+	axes, err := cfg.sw.Axes.Axes()
+	if err != nil {
+		return false, err
+	}
+	grid := explore.Grid{Base: base, Axes: axes}
+	variants, err := grid.Variants()
+	if err != nil {
+		return false, err
+	}
+
+	lim, _ := cfg.grd.Resolve()
+	opts := sweepOptions(cfg, lim)
+	if cfg.sw.Store != "" {
+		st, serr := store.Open(cfg.sw.Store)
+		if serr != nil {
+			return false, serr
+		}
+		defer st.Close()
+		opts = append(opts, pipeline.WithStore(st))
+	}
+	if cfg.sw.Journal != "" {
+		j, jerr := journal.Open(cfg.sw.Journal)
+		if jerr != nil {
+			return false, jerr
+		}
+		defer j.Close()
+		if n, _ := j.Recovered(); n > 0 && !cfg.sw.Resume {
+			return false, fmt.Errorf("journal %s already exists; pass -resume to replay it or remove the file", cfg.sw.Journal)
+		}
+		opts = append(opts, pipeline.WithJournal(j))
+	} else if cfg.sw.Resume {
+		return false, fmt.Errorf("-resume needs -journal to resume from")
+	}
+
+	aopt := explore.AdaptiveOptions{
+		Seed:     cfg.sw.AdaptiveSeed,
+		MaxEvals: cfg.sw.AdaptiveBudget,
+		OnRound: func(tr explore.RoundTrace) {
+			fmt.Fprintf(out, "round %2d: %3d evals (%d/%d total)  incumbent %.4g s  surrogate R²=%.3f",
+				tr.Round, tr.Evals, tr.TotalEvals, tr.GridSize, tr.IncumbentTime, tr.R2)
+			if tr.Converged {
+				fmt.Fprint(out, "  converged")
+			}
+			fmt.Fprintln(out)
+		},
+	}
+	start := time.Now()
+	evals, ares, err := pipeline.SweepAdaptive(ctx, run, variants, axes, aopt, opts...)
+	if err != nil {
+		tolerable := false
+		var sweepErr *explore.SweepError
+		if errors.As(err, &sweepErr) {
+			tolerable = true
+			for _, v := range sweepErr.Variants {
+				fmt.Fprintln(os.Stderr, "skope: warning:", v)
+			}
+		}
+		if errors.Is(err, explore.ErrJournalDegraded) || errors.Is(err, store.ErrDegraded) {
+			tolerable = true
+			fmt.Fprintln(os.Stderr, "skope: warning:", err)
+		}
+		if !tolerable || evals == nil {
+			return false, err
+		}
+		degraded = true
+	}
+	wall := time.Since(start)
+	fmt.Fprintln(out)
+
+	baseline, err := hotspot.Analyze(ctx, run.BET, hw.NewModel(base), run.Libs)
+	if err != nil {
+		return degraded, err
+	}
+	analyses := make([]*hotspot.Analysis, len(variants))
+	for i, ev := range evals {
+		if ev != nil {
+			analyses[i] = ev.Analysis
+		}
+	}
+	renderSweep(out, cfg, variants, analyses, baseline, run.Workload.Name, base.Name)
+
+	mode := "budget exhausted"
+	if ares.Converged {
+		mode = "converged"
+	}
+	fmt.Fprintf(out, "adaptive search: %d of %d evaluations (%.1f%%) in %d rounds (%s), %s wall\n",
+		ares.Evals, ares.GridSize, 100*float64(ares.Evals)/float64(ares.GridSize),
+		len(ares.Rounds), mode, wall.Round(time.Microsecond))
+	fmt.Fprintln(out, "note: exhaustive mode (no -adaptive) remains the golden reference; the adaptive optimum is exact but only the full grid proves it global")
 	if run.Degraded() {
 		degraded = true
 		fmt.Fprintf(out, "sweep %s\n", report.Confidence(run.Confidence, run.Diagnostics))

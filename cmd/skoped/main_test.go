@@ -200,6 +200,101 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 }
 
+// TestAdaptiveSession drives the "adaptive" session mode end to end:
+// the surrogate-guided search runs instead of the exhaustive sweep, the
+// NDJSON stream carries the round trace, and the summary reports the
+// evaluation savings against the grid size.
+func TestAdaptiveSession(t *testing.T) {
+	_, ts := testServer(t, t.TempDir(), "", 2)
+	id := submit(t, ts.URL, sessionRequest{
+		Bench: "sord",
+		Sweep: []string{"freq-ghz=1.2,1.6,2.0,2.4", "mem-latency=80,110,150", "hit-l1=0.9,0.95,0.99"},
+		Mode:  "adaptive", AdaptiveSeed: 13,
+	})
+	info := waitState(t, ts.URL, id)
+	if info["state"] != stateDone {
+		t.Fatalf("adaptive session ended %v (%v)", info["state"], info["error"])
+	}
+	if info["mode"] != "adaptive" {
+		t.Errorf("session mode = %v", info["mode"])
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var results, rounds []map[string]any
+	var summary map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch line["type"] {
+		case "result":
+			results = append(results, line)
+		case "round":
+			rounds = append(rounds, line)
+		case "summary":
+			summary = line
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if summary == nil {
+		t.Fatal("stream ended without a summary trailer")
+	}
+
+	if summary["mode"] != "adaptive" {
+		t.Errorf("summary mode = %v", summary["mode"])
+	}
+	evals := int(summary["evals"].(float64))
+	gridSize := int(summary["grid_size"].(float64))
+	if gridSize != 36 {
+		t.Errorf("grid_size = %d, want 36", gridSize)
+	}
+	if evals <= 0 || evals >= gridSize {
+		t.Errorf("evals = %d of %d: adaptive session did not save evaluations", evals, gridSize)
+	}
+	if len(results) != evals {
+		t.Errorf("stream carried %d results for %d evaluations", len(results), evals)
+	}
+	if len(rounds) == 0 {
+		t.Fatal("no round lines on the adaptive stream")
+	}
+	if len(rounds) != int(summary["rounds"].(float64)) {
+		t.Errorf("%d round lines, summary says %v", len(rounds), summary["rounds"])
+	}
+	for i, r := range rounds {
+		if int(r["round"].(float64)) != i+1 {
+			t.Errorf("round line %d has round %v", i, r["round"])
+		}
+		if int(r["grid_size"].(float64)) != gridSize {
+			t.Errorf("round %d grid_size = %v", i, r["grid_size"])
+		}
+	}
+	last := rounds[len(rounds)-1]
+	if int(last["total_evals"].(float64)) != evals {
+		t.Errorf("final round total_evals %v != summary evals %d", last["total_evals"], evals)
+	}
+	// The ranked top result is the incumbent the trace converged on.
+	if results[0]["machine_fingerprint"] != last["incumbent_fp"] {
+		t.Errorf("top result %v != final incumbent %v", results[0]["machine_fingerprint"], last["incumbent_fp"])
+	}
+
+	// Unknown modes are rejected up front.
+	resp2, out := postJSON(t, ts.URL+"/v1/sessions", sessionRequest{
+		Bench: "sord", Sweep: []string{"freq-ghz=1.6,2.4"}, Mode: "exhaustive-ish",
+	})
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad mode accepted: %d (%v)", resp2.StatusCode, out)
+	}
+}
+
 func TestSessionValidation(t *testing.T) {
 	_, ts := testServer(t, t.TempDir(), "", 1)
 	bad := []sessionRequest{

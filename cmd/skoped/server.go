@@ -271,6 +271,7 @@ type wireSession struct {
 	Workload string `json:"workload"`
 	Machine  string `json:"machine"`
 	Variants int    `json:"variants"`
+	Mode     string `json:"mode,omitempty"` // "adaptive" for surrogate-guided sessions
 	Workers  int    `json:"workers"`
 	Journal  string `json:"journal_id,omitempty"`
 	Created  string `json:"created"`
@@ -298,6 +299,7 @@ func (srv *server) sessionInfo(sess *session) *wireSession {
 		Workload:    sess.workload.Name,
 		Machine:     sess.base.Name,
 		Variants:    len(sess.variants),
+		Mode:        sess.req.Mode,
 		Workers:     sess.workers,
 		Journal:     sess.req.JournalID,
 		Created:     sess.created.UTC().Format(time.RFC3339),
@@ -350,6 +352,15 @@ type wireSpot struct {
 	MemoryBound bool    `json:"memory_bound,omitempty"`
 }
 
+// wireRound is one adaptive acquisition round on the stream: the
+// explore.RoundTrace fields inlined under a "round" type tag. Rounds are
+// emitted live while an adaptive session runs and backfilled before the
+// results for clients that connect late.
+type wireRound struct {
+	Type string `json:"type"` // "round"
+	explore.RoundTrace
+}
+
 type wirePareto struct {
 	Variant string  `json:"variant"`
 	Cost    float64 `json:"cost"`
@@ -374,6 +385,16 @@ type wireSummary struct {
 	Best              string       `json:"best,omitempty"`
 	Pareto            []wirePareto `json:"pareto"`
 	ReplayOrder       []string     `json:"replay_order,omitempty"`
+
+	// Adaptive-mode trailer fields: the evaluation spend against the full
+	// grid, the round count, and whether the search converged on patience
+	// (false: budget or grid exhausted). The per-round detail is on the
+	// "round" stream lines.
+	Mode      string `json:"mode,omitempty"`
+	Evals     int    `json:"evals,omitempty"`
+	GridSize  int    `json:"grid_size,omitempty"`
+	Rounds    int    `json:"rounds,omitempty"`
+	Converged bool   `json:"converged,omitempty"`
 }
 
 // handleResults streams the session's outcome as chunked JSON lines. While
@@ -396,6 +417,17 @@ func (srv *server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// roundsSent tracks how many adaptive round lines this stream has
+	// emitted; new rounds are flushed live on each tick and the remainder
+	// backfilled after the session completes, so every stream carries the
+	// full trace regardless of when the client connected.
+	roundsSent := 0
+	emitRounds := func(rounds []explore.RoundTrace) {
+		for ; roundsSent < len(rounds); roundsSent++ {
+			_ = enc.Encode(wireRound{Type: "round", RoundTrace: rounds[roundsSent]})
+		}
+	}
+
 	ticker := time.NewTicker(200 * time.Millisecond)
 	defer ticker.Stop()
 wait:
@@ -409,7 +441,9 @@ wait:
 			sess.mu.Lock()
 			p := sess.progress
 			state := sess.state
+			rounds := sess.rounds
 			sess.mu.Unlock()
+			emitRounds(rounds)
 			_ = enc.Encode(wireProgress{
 				Type: "progress", State: state,
 				Done: p.Done, Total: len(sess.variants) + 1,
@@ -421,6 +455,7 @@ wait:
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	emitRounds(sess.rounds)
 	if sess.state != stateDone {
 		_ = enc.Encode(wireSummary{
 			Type: "summary", State: sess.state, Workload: sess.workload.Name,
@@ -477,6 +512,13 @@ wait:
 		Baseline:          sess.base.Name,
 		BaselineTimeS:     baseline,
 		ReplayOrder:       sess.replayOrder,
+	}
+	if sess.adaptive != nil {
+		sum.Mode = modeAdaptive
+		sum.Evals = sess.adaptive.Evals
+		sum.GridSize = sess.adaptive.GridSize
+		sum.Rounds = len(sess.adaptive.Rounds)
+		sum.Converged = sess.adaptive.Converged
 	}
 	analyses := sess.analyses()
 	if best := explore.Best(analyses); best >= 0 {

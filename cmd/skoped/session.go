@@ -35,6 +35,17 @@ type sessionRequest struct {
 	// Sweep lists the grid axes, e.g. "mem-bandwidth=16,32,64".
 	Sweep []string `json:"sweep"`
 
+	// Mode selects the sweep strategy: "" or "exact" evaluates the full
+	// grid (the golden reference); "adaptive" runs the surrogate-guided
+	// search, evaluating only the variants the acquisition loop chooses
+	// and streaming a round trace alongside the results.
+	Mode string `json:"mode,omitempty"`
+	// AdaptiveBudget caps the adaptive search's evaluations (0 = converge
+	// on patience alone); AdaptiveSeed keys its deterministic bootstrap
+	// sample.
+	AdaptiveBudget int    `json:"adaptive_budget,omitempty"`
+	AdaptiveSeed   uint64 `json:"adaptive_seed,omitempty"`
+
 	// Workers is the session's worker budget — tokens it holds from the
 	// daemon's global semaphore while running (default 1).
 	Workers int `json:"workers,omitempty"`
@@ -70,6 +81,12 @@ const (
 	stateCanceled = "canceled"
 )
 
+// Session sweep modes.
+const (
+	modeExact    = "exact"
+	modeAdaptive = "adaptive"
+)
+
 // session is one submitted sweep and its lifecycle. All mutable fields are
 // behind mu; done closes when the terminal state is reached.
 type session struct {
@@ -80,6 +97,7 @@ type session struct {
 	workload *workloads.Workload
 	base     *hw.Machine
 	variants []*hw.Machine
+	axes     []explore.Axis
 	workers  int
 	opts     []pipeline.Option
 	jpath    string
@@ -96,6 +114,11 @@ type session struct {
 	baseEval    *pipeline.Eval
 	summary     *pipeline.SweepSummary
 	replayOrder []string // journal keys in original completion order (resumed sessions)
+	// Adaptive-mode state: the round trace grows as rounds complete (the
+	// result stream tails it live) and the final search outcome lands in
+	// adaptive when the session finishes.
+	rounds   []explore.RoundTrace
+	adaptive *explore.AdaptiveResult
 }
 
 func (s *session) setState(state string) {
@@ -154,9 +177,18 @@ func (srv *server) newSession(id string, req sessionRequest) (*session, error) {
 			return nil, badRequest("sweep: " + err.Error())
 		}
 	}
+	axes, err := sw.Axes.Axes()
+	if err != nil {
+		return nil, badRequest("sweep: " + err.Error())
+	}
 	variants, err := sw.Variants(base)
 	if err != nil {
 		return nil, badRequest("sweep: " + err.Error())
+	}
+	switch req.Mode {
+	case "", modeExact, modeAdaptive:
+	default:
+		return nil, badRequest(`mode must be "exact" or "adaptive"`)
 	}
 
 	limSrc := srv.cfg.grd.Limits
@@ -202,6 +234,7 @@ func (srv *server) newSession(id string, req sessionRequest) (*session, error) {
 		workload: w,
 		base:     base,
 		variants: variants,
+		axes:     axes,
 		workers:  workers,
 		state:    stateQueued,
 		done:     make(chan struct{}),
@@ -275,6 +308,11 @@ func (srv *server) run(ctx context.Context, sess *session) {
 		opts = append(opts, pipeline.WithJournal(j))
 	}
 
+	if sess.req.Mode == modeAdaptive {
+		srv.runAdaptive(ctx, sess, opts)
+		return
+	}
+
 	all := append(append([]*hw.Machine{}, sess.variants...), sess.base)
 	evals, sum, err := pipeline.SweepCached(ctx, sess.workload, all, srv.store, opts...)
 	if err != nil && !tolerable(err) || evals == nil {
@@ -306,6 +344,92 @@ func (srv *server) run(ctx context.Context, sess *session) {
 		sess.state = stateFailed
 		sess.errMsg = "baseline " + sess.base.Name + " failed to evaluate"
 		return
+	}
+	sess.state = stateDone
+}
+
+// runAdaptive executes an "adaptive"-mode session: prepare once, run the
+// surrogate-guided search through pipeline.SweepAdaptive (the shared
+// store and the session journal ride along on the options, so the
+// evaluations compose with the daemon's caching exactly like an exact
+// sweep's), evaluate the baseline, and record the round trace + outcome.
+// Called with the worker budget already held; the caller owns the
+// terminal state on the paths that return early.
+func (srv *server) runAdaptive(ctx context.Context, sess *session, opts []pipeline.Option) {
+	if srv.store != nil {
+		opts = append(opts, pipeline.WithStore(srv.store))
+	}
+	run, err := pipeline.Prepare(ctx, sess.workload, opts...)
+	if err != nil {
+		if ctx.Err() != nil {
+			sess.setState(stateCanceled)
+			return
+		}
+		sess.fail(err)
+		return
+	}
+	aopt := explore.AdaptiveOptions{
+		Seed:     sess.req.AdaptiveSeed,
+		MaxEvals: sess.req.AdaptiveBudget,
+		OnRound: func(tr explore.RoundTrace) {
+			sess.mu.Lock()
+			sess.rounds = append(sess.rounds, tr)
+			sess.mu.Unlock()
+		},
+	}
+	evals, ares, err := pipeline.SweepAdaptive(ctx, run, sess.variants, sess.axes, aopt, opts...)
+	if err != nil && !tolerable(err) || evals == nil {
+		if ctx.Err() != nil {
+			sess.setState(stateCanceled)
+			return
+		}
+		sess.fail(err)
+		return
+	}
+	baseEval, berr := pipeline.Evaluate(ctx, run, sess.base, opts...)
+	if berr != nil {
+		if ctx.Err() != nil {
+			sess.setState(stateCanceled)
+			return
+		}
+		sess.fail(berr)
+		return
+	}
+
+	sum := &pipeline.SweepSummary{
+		Workload:    run.Workload.Name,
+		Total:       len(sess.variants),
+		Confidence:  run.Confidence,
+		Diagnostics: run.Diagnostics,
+	}
+	for _, ev := range evals {
+		if ev == nil {
+			continue
+		}
+		switch ev.Provenance {
+		case pipeline.FromJournal:
+			sum.FromJournal++
+		case pipeline.FromStore:
+			sum.FromStore++
+		default:
+			sum.Computed++
+		}
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.baseEval = baseEval
+	sess.evals = evals
+	sess.summary = sum
+	sess.adaptive = ares
+	sess.degraded = err != nil || run.Confidence < 1 || len(run.Diagnostics) > 0
+	if err != nil {
+		sess.errMsg = err.Error()
+	}
+	sess.progress = explore.Progress{
+		Done: ares.Evals, Total: ares.GridSize,
+		Replayed: sum.FromJournal, Stored: sum.FromStore,
+		Retried: sess.progress.Retried, Elapsed: time.Since(sess.created),
 	}
 	sess.state = stateDone
 }

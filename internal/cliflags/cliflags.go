@@ -128,6 +128,9 @@ type Sweep struct {
 	MinConfidence  float64
 	ShardWorkers   int
 	ShardDir       string
+	Adaptive       bool
+	AdaptiveBudget int
+	AdaptiveSeed   uint64
 }
 
 // Register installs the sweep flags on fs.
@@ -143,6 +146,9 @@ func (s *Sweep) Register(fs *flag.FlagSet) {
 	fs.Float64Var(&s.MinConfidence, "min-confidence", 0, "sweep mode: flag variants whose analysis confidence falls below this floor instead of ranking them (0 = off)")
 	fs.IntVar(&s.ShardWorkers, "shard-workers", 0, "sweep mode: distribute the grid across N coordinated worker processes with crash-safe per-shard journals and work stealing (0 = in-process)")
 	fs.StringVar(&s.ShardDir, "shard-dir", "", "sweep mode: directory for the sharded sweep's per-shard journals (default: a temporary directory; reuse a directory to resume)")
+	fs.BoolVar(&s.Adaptive, "adaptive", false, "sweep mode: surrogate-guided search — evaluate a seed sample, fit an online least-squares surrogate, and spend evaluations only on the top-ranked candidates per round instead of the full grid (exhaustive mode stays the golden reference)")
+	fs.IntVar(&s.AdaptiveBudget, "adaptive-budget", 0, "adaptive mode: hard cap on evaluations spent, seed sample included (0 = converge on patience alone)")
+	fs.Uint64Var(&s.AdaptiveSeed, "adaptive-seed", 0, "adaptive mode: seed for the deterministic fingerprint-keyed bootstrap sample; a fixed seed reproduces the round trace exactly")
 }
 
 // Variants expands the collected axes into the variant grid around base.

@@ -2,6 +2,7 @@ package explore_test
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"skope/internal/explore"
@@ -64,5 +65,81 @@ func BenchmarkExploreSweep(b *testing.B) {
 				}
 			}
 		}
+	})
+}
+
+// parityBest caches the exhaustive optimum of the parity grid, computed
+// once outside any timed region so the adaptive sub-benchmark can assert
+// correctness without paying for the reference sweep.
+var (
+	parityBestOnce sync.Once
+	parityBestIdx  int
+)
+
+func parityBest(b *testing.B, variants []*hw.Machine) int {
+	b.Helper()
+	parityBestOnce.Do(func() {
+		run := prepared(b, "sord")
+		eng, err := explore.New(run.BET, run.Libs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		analyses, err := eng.Sweep(context.Background(), variants)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parityBestIdx = explore.Best(analyses)
+	})
+	return parityBestIdx
+}
+
+// BenchmarkAdaptiveVsExhaustive measures evals-to-optimum on the
+// 600-variant parity grid: the exhaustive sweep pays for every variant,
+// the surrogate-guided search for a few rounds. Both sub-benchmarks
+// report an evals/op metric (the pinned comparison lives in
+// BENCH_adaptive.json); the adaptive one also asserts it found the exact
+// exhaustive optimum, so running it with -benchtime 1x doubles as a
+// parity smoke.
+func BenchmarkAdaptiveVsExhaustive(b *testing.B) {
+	run := prepared(b, "sord")
+	variants := parityVariants(b)
+	axes := parityAxes()
+
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng, err := explore.New(run.BET, run.Libs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			analyses, err := eng.Sweep(context.Background(), variants)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if explore.Best(analyses) < 0 {
+				b.Fatal("no best variant")
+			}
+		}
+		b.ReportMetric(float64(len(variants)), "evals/op")
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		want := parityBest(b, variants)
+		b.ResetTimer()
+		evals := 0
+		for i := 0; i < b.N; i++ {
+			eng, err := explore.New(run.BET, run.Libs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := eng.Adaptive(context.Background(), variants, axes,
+				explore.AdaptiveOptions{Seed: 42, MaxEvals: len(variants) * 5 / 100})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.BestIndex != want {
+				b.Fatalf("adaptive optimum %d, exhaustive says %d", res.BestIndex, want)
+			}
+			evals = res.Evals
+		}
+		b.ReportMetric(float64(evals), "evals/op")
 	})
 }

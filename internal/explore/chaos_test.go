@@ -11,7 +11,9 @@ package explore_test
 // instead of burning it).
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -366,6 +368,147 @@ func TestChaosKillAndResume(t *testing.T) {
 	if stats := eng3.CacheStats(); stats.Hits+stats.Misses != 0 {
 		t.Errorf("replay touched the memo cache: %+v", stats)
 	}
+}
+
+// TestChaosAdaptiveKillAndResume: the adaptive analogue of the flagship
+// durability test. A journaled surrogate-guided search is killed mid-round,
+// then restarted with the same seed against the same journal. Because the
+// seed subsample and the ranking are deterministic functions of the
+// observations, the resumed search must retrace the identical round
+// sequence — replaying every journaled evaluation with zero recomputation —
+// and converge to the same incumbent with an identical round trace.
+func TestChaosAdaptiveKillAndResume(t *testing.T) {
+	run := prepared(t, "srad")
+	axes := []explore.Axis{
+		{Param: "freq-ghz", Values: []float64{1.2, 1.6, 2.0, 2.4}},
+		{Param: "mem-latency", Values: []float64{80, 110, 150}},
+		{Param: "hit-l1", Values: []float64{0.9, 0.95, 0.99}},
+	}
+	grid := explore.Grid{Base: hw.BGQ(), Axes: axes}
+	variants, err := grid.Variants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := explore.AdaptiveOptions{Seed: 11}
+
+	// Reference: a never-interrupted, journal-free adaptive run.
+	engRef, err := explore.New(run.BET, run.Libs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engRef.Adaptive(context.Background(), variants, axes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: journaled search, killed mid-round after 5 evaluations.
+	path := filepath.Join(t.TempDir(), "adaptive.journal")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	evals := 0
+	disarm := guard.Arm("explore.evaluate", func(string) {
+		mu.Lock()
+		evals++
+		if evals == 5 {
+			cancel() // the "kill"
+		}
+		mu.Unlock()
+	})
+	eng1, err := explore.New(run.BET, run.Libs, explore.Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := eng1.UseJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := eng1.Adaptive(ctx, variants, axes, opt)
+	if res1 != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed search returned (%v, %v), want (nil, context.Canceled)", res1, err)
+	}
+	j1.Close()
+	disarm()
+
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journaled := map[string]bool{}
+	for fp := range j.Replay() {
+		journaled[fp] = true
+	}
+	j.Close()
+	if len(journaled) == 0 || len(journaled) >= want.Evals {
+		t.Fatalf("journal holds %d evaluations (reference run spends %d); kill did not land mid-search", len(journaled), want.Evals)
+	}
+
+	// Phase 2: fresh engine, same seed, resumed journal. Journaled
+	// evaluations must replay — never recompute.
+	var evaluated []string
+	disarm2 := guard.Arm("explore.evaluate", func(detail string) {
+		mu.Lock()
+		evaluated = append(evaluated, detail)
+		mu.Unlock()
+	})
+	t.Cleanup(disarm2)
+	eng2, err := explore.New(run.BET, run.Libs, explore.Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := eng2.UseJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got, err := eng2.Adaptive(context.Background(), variants, axes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range evaluated {
+		for i, v := range variants {
+			if v.Name == name && journaled[v.Fingerprint()] {
+				t.Errorf("journaled variant %d (%s) was recomputed after resume", i, name)
+			}
+		}
+	}
+	replayedCount := 0
+	for _, r := range got.Results {
+		if r.Machine != nil && r.Replayed {
+			replayedCount++
+		}
+	}
+	if replayedCount != len(journaled) {
+		t.Errorf("resumed search replayed %d evaluations, journal held %d", replayedCount, len(journaled))
+	}
+	if len(evaluated) != want.Evals-len(journaled) {
+		t.Errorf("%d fresh evaluations after resume, want %d", len(evaluated), want.Evals-len(journaled))
+	}
+
+	// Same incumbent, same spend, identical round-by-round trace.
+	if got.BestIndex != want.BestIndex || got.Best.Fingerprint() != want.Best.Fingerprint() {
+		t.Errorf("resumed incumbent %d (%s) != reference %d (%s)",
+			got.BestIndex, got.Best.Fingerprint(), want.BestIndex, want.Best.Fingerprint())
+	}
+	if got.BestAnalysis.TotalTime != want.BestAnalysis.TotalTime {
+		t.Errorf("resumed incumbent time %v != reference %v", got.BestAnalysis.TotalTime, want.BestAnalysis.TotalTime)
+	}
+	if got.Evals != want.Evals || got.Converged != want.Converged {
+		t.Errorf("resumed spend (%d, converged=%v) != reference (%d, %v)", got.Evals, got.Converged, want.Evals, want.Converged)
+	}
+	gotTrace, err := json.Marshal(got.Rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTrace, err := json.Marshal(want.Rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotTrace, wantTrace) {
+		t.Errorf("resumed round trace differs from reference:\n%s\n%s", gotTrace, wantTrace)
+	}
+	assertBitIdentical(t, []*hotspot.Analysis{got.BestAnalysis}, []*hotspot.Analysis{want.BestAnalysis})
 }
 
 // TestChaosResumeSurvivesTornTail: a crash mid-Append leaves a torn final

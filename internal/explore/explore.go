@@ -108,6 +108,12 @@ type Progress struct {
 	Cache CacheStats
 	// Elapsed is the wall time since the sweep started.
 	Elapsed time.Duration
+	// Adaptive carries the just-completed round's trace when the snapshot
+	// is a round boundary of a surrogate-guided search (Engine.Adaptive);
+	// nil on exhaustive sweeps and on per-variant snapshots. On adaptive
+	// round snapshots Done/Total count evaluations spent against the full
+	// grid, not the current batch.
+	Adaptive *RoundTrace
 }
 
 // Result is one evaluated variant, streamed as soon as it completes.

@@ -91,6 +91,21 @@ func decodeTimes(in []recTimes) []hotspot.BlockTimes {
 	return out
 }
 
+// RecordConfidence extracts the confidence score from one sweep-journal
+// record payload (the same wire form journalAppend writes and the shard
+// protocol's VariantResult carries). ok is false for records written
+// before confidence tracking existed or for payloads that are not sweep
+// records — callers weighting surrogate samples then fall back to full
+// weight. Exported for the shard round planner, which trains the
+// surrogate from merged worker results without an engine.
+func RecordConfidence(payload []byte) (float64, bool) {
+	var rec sweepRecord
+	if json.Unmarshal(payload, &rec) != nil || rec.Conf == nil {
+		return 0, false
+	}
+	return math.Float64frombits(*rec.Conf), true
+}
+
 // UseJournal opens (creating or recovering) the sweep journal at path and
 // attaches it to the engine: a fresh journal is bound to this engine's
 // layout fingerprint; a recovered one must match it (journal.ErrMetaMismatch

@@ -1,0 +1,185 @@
+package explore_test
+
+import (
+	"math"
+	"testing"
+
+	"skope/internal/explore"
+)
+
+// TestSurrogateRecoversQuadratic: the model family is linear + quadratic
+// self-terms, so a function drawn from that family must be recovered to
+// near machine precision (R² ≈ 1, tiny prediction error) from a handful
+// of samples.
+func TestSurrogateRecoversQuadratic(t *testing.T) {
+	f := func(x, y float64) float64 { return 3 + 2*x - 0.5*y + 0.25*x*x }
+	s := explore.NewSurrogate(2)
+	for _, p := range [][2]float64{
+		{0, 0}, {1, 0}, {2, 0}, {3, 1}, {0, 1}, {1, 2}, {2, 3}, {4, 2}, {3, 4}, {5, 5},
+	} {
+		if err := s.Observe([]float64{p[0], p[1]}, f(p[0], p[1]), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Fit()
+	if r2 := s.R2(); r2 < 0.999999 {
+		t.Fatalf("R² = %v, want ≈1 for an in-family function", r2)
+	}
+	for _, p := range [][2]float64{{1.5, 1.5}, {6, 1}, {0, 7}} {
+		got, want := s.Predict([]float64{p[0], p[1]}), f(p[0], p[1])
+		if math.Abs(got-want) > 1e-4*math.Abs(want)+1e-6 {
+			t.Errorf("Predict(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestSurrogateRanksMonotone: on an out-of-family but monotone objective
+// (reciprocal, like time vs frequency) the fit must still order the
+// candidates correctly — ranking, not regression accuracy, is the
+// surrogate's actual job.
+func TestSurrogateRanksMonotone(t *testing.T) {
+	s := explore.NewSurrogate(1)
+	for _, x := range []float64{1, 1.25, 1.5, 2, 2.5, 3} {
+		if err := s.Observe([]float64{x}, 10/x, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Fit()
+	prev := math.Inf(1)
+	for _, x := range []float64{1.1, 1.6, 2.2, 2.8} {
+		p := s.Predict([]float64{x})
+		if p >= prev {
+			t.Fatalf("Predict not decreasing in x: f(%v) = %v, previous %v", x, p, prev)
+		}
+		prev = p
+	}
+}
+
+// TestSurrogateDegenerate covers the inputs the acquisition loop can
+// legitimately produce: no samples, one sample, a constant feature column
+// (single-valued axis), zero axes (one-point grid), and identical
+// objectives. None may panic, produce NaN, or divide by zero.
+func TestSurrogateDegenerate(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		s := explore.NewSurrogate(3)
+		s.Fit()
+		if p := s.Predict([]float64{1, 2, 3}); p != 0 {
+			t.Errorf("empty surrogate predicts %v, want 0", p)
+		}
+		if s.YStd() != 0 {
+			t.Errorf("empty YStd = %v", s.YStd())
+		}
+	})
+	t.Run("single-sample", func(t *testing.T) {
+		s := explore.NewSurrogate(2)
+		if err := s.Observe([]float64{4, 5}, 7.5, 1); err != nil {
+			t.Fatal(err)
+		}
+		s.Fit()
+		if p := s.Predict([]float64{9, 9}); p != 7.5 {
+			t.Errorf("single-sample surrogate predicts %v, want the sample's 7.5", p)
+		}
+		if r2 := s.R2(); r2 != 1 {
+			t.Errorf("single-sample R² = %v, want 1", r2)
+		}
+	})
+	t.Run("constant-column", func(t *testing.T) {
+		s := explore.NewSurrogate(2)
+		for i, y := range []float64{3, 5, 4, 6} {
+			// Axis 0 never moves; axis 1 does.
+			if err := s.Observe([]float64{2, float64(i)}, y, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Fit()
+		p := s.Predict([]float64{2, 1.5})
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("constant column produced %v", p)
+		}
+	})
+	t.Run("zero-dims", func(t *testing.T) {
+		s := explore.NewSurrogate(0)
+		if err := s.Observe(nil, 2, 1); err != nil {
+			t.Fatal(err)
+		}
+		s.Fit()
+		if p := s.Predict(nil); p != 2 {
+			t.Errorf("zero-dim surrogate predicts %v, want 2", p)
+		}
+	})
+	t.Run("identical-objectives", func(t *testing.T) {
+		s := explore.NewSurrogate(1)
+		for i := 0; i < 5; i++ {
+			if err := s.Observe([]float64{float64(i)}, 42, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Fit()
+		if s.YStd() != 0 {
+			t.Errorf("constant objective YStd = %v", s.YStd())
+		}
+		p := s.Predict([]float64{2.5})
+		if math.IsNaN(p) || math.Abs(p-42) > 1e-6 {
+			t.Errorf("constant objective predicts %v, want ≈42", p)
+		}
+	})
+}
+
+// TestSurrogateRejectsNonFinite: non-finite objectives must be refused
+// (they would poison every later fit); bad weights are clamped, not
+// refused, because even a zero-confidence sample carries ranking signal.
+func TestSurrogateRejectsNonFinite(t *testing.T) {
+	s := explore.NewSurrogate(1)
+	if err := s.Observe([]float64{1}, math.NaN(), 1); err == nil {
+		t.Error("NaN objective accepted")
+	}
+	if err := s.Observe([]float64{1}, math.Inf(1), 1); err == nil {
+		t.Error("+Inf objective accepted")
+	}
+	if err := s.Observe([]float64{1, 2}, 1, 1); err == nil {
+		t.Error("wrong-arity sample accepted")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("rejected samples were retained: Len = %d", s.Len())
+	}
+	for i, w := range []float64{0, -3, math.NaN()} {
+		if err := s.Observe([]float64{float64(i)}, float64(i), w); err != nil {
+			t.Errorf("weight %v rejected: %v", w, err)
+		}
+	}
+	s.Fit()
+	if p := s.Predict([]float64{1}); math.IsNaN(p) {
+		t.Error("clamped weights produced NaN prediction")
+	}
+}
+
+// TestSurrogateDeterministic: identical observation sequences produce
+// bit-identical predictions — the property the byte-identical round-trace
+// guarantee of a fixed -adaptive-seed rests on.
+func TestSurrogateDeterministic(t *testing.T) {
+	build := func() *explore.Surrogate {
+		s := explore.NewSurrogate(3)
+		for i := 0; i < 40; i++ {
+			x := []float64{float64(i % 5), float64((i / 5) % 4), float64(i % 3)}
+			y := 1/(1+x[0]) + 0.3*x[1]*x[1] - 0.1*x[2]
+			w := 0.5 + float64(i%2)/2
+			if err := s.Observe(x, y, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Fit()
+		return s
+	}
+	a, b := build(), build()
+	if a.R2() != b.R2() {
+		t.Fatalf("R² differs across identical fits: %v != %v",
+			math.Float64bits(a.R2()), math.Float64bits(b.R2()))
+	}
+	for i := 0; i < 60; i++ {
+		x := []float64{float64(i) / 7, float64(i) / 11, float64(i) / 13}
+		pa, pb := a.Predict(x), b.Predict(x)
+		if math.Float64bits(pa) != math.Float64bits(pb) {
+			t.Fatalf("Predict(%v) differs across identical fits: %v != %v", x, pa, pb)
+		}
+	}
+}

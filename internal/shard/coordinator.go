@@ -132,6 +132,7 @@ type Coordinator struct {
 	leases  map[int]lease // shard index → holder
 	workers map[string]*workerInfo
 	merged  map[string][]byte // variant fingerprint → journal payload
+	times   map[int]uint64    // variant index → projected-time bits
 	// failed records variant failures by index (first report wins).
 	failed map[int]VariantFailure
 	steals int
@@ -169,6 +170,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		leases:   make(map[int]lease),
 		workers:  make(map[string]*workerInfo),
 		merged:   make(map[string][]byte),
+		times:    make(map[int]uint64),
 		failed:   make(map[int]VariantFailure),
 	}, nil
 }
@@ -311,6 +313,7 @@ func (c *Coordinator) Complete(worker, shardID string, results []VariantResult, 
 			continue
 		}
 		c.merged[r.Key] = append([]byte(nil), r.Payload...)
+		c.times[r.Index] = r.TimeBits
 		c.frontier.Add(r.Index, c.variants[r.Index], math.Float64frombits(r.TimeBits))
 	}
 	for _, f := range failures {
@@ -390,6 +393,28 @@ func (c *Coordinator) MergedRecords() []Record {
 	for i, k := range keys {
 		out[i] = Record{Key: k, Payload: append([]byte(nil), c.merged[k]...)}
 	}
+	return out
+}
+
+// VariantResults returns every merged variant as the workers reported it
+// — index, journal key, payload, projected-time bits — sorted by index.
+// This is the feedback half of the adaptive round protocol: a RoundPlanner
+// driver completes one round's mini-job, then feeds this slice (plus
+// Failures) back into the planner to train the surrogate.
+func (c *Coordinator) VariantResults() []VariantResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]VariantResult, 0, len(c.times))
+	for idx, bits := range c.times {
+		key := c.variants[idx].Fingerprint()
+		out = append(out, VariantResult{
+			Index:    idx,
+			Key:      key,
+			Payload:  append([]byte(nil), c.merged[key]...),
+			TimeBits: bits,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
 	return out
 }
 

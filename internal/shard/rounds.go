@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"skope/internal/explore"
+)
+
+// RoundPlanner adapts explore.AdaptivePlanner to the sharded-sweep
+// protocol: instead of one coordinator distributing the full grid, the
+// driver asks the planner for one acquisition round at a time, runs that
+// round as an ordinary mini-job (a JobSpec whose Indices name the batch),
+// and feeds the merged results back. Workers stay completely oblivious —
+// they see a small grid-subset job with the usual shards, leases, and
+// fingerprints — while the planner's surrogate decides what the next
+// round's job contains.
+//
+// The per-variant objective travels as VariantResult.TimeBits and the
+// confidence weight rides inside the journal payload
+// (explore.RecordConfidence), so rounds need no protocol additions.
+//
+// Typical loop:
+//
+//	rp, _ := shard.NewRoundPlanner(spec, aopt)
+//	for {
+//		round, ok := rp.NextRound()
+//		if !ok {
+//			break
+//		}
+//		results, failures := runJob(round) // coordinator + workers
+//		rp.Observe(round, results, failures)
+//		trace := rp.EndRound()
+//		...
+//	}
+//
+// Not safe for concurrent use; one round's job may of course be executed
+// by many workers concurrently.
+type RoundPlanner struct {
+	spec    JobSpec
+	planner *explore.AdaptivePlanner
+}
+
+// NewRoundPlanner builds a planner over spec's full grid. spec must not
+// itself carry Indices — the planner is the one who sets them, per round.
+func NewRoundPlanner(spec JobSpec, opt explore.AdaptiveOptions) (*RoundPlanner, error) {
+	if spec.Indices != nil {
+		return nil, fmt.Errorf("shard: round planner needs the full-grid spec, not an index subset")
+	}
+	variants, err := spec.Variants()
+	if err != nil {
+		return nil, err
+	}
+	planner, err := explore.NewAdaptivePlanner(variants, spec.Axes, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &RoundPlanner{spec: spec, planner: planner}, nil
+}
+
+// NextRound returns the next acquisition batch as a self-contained
+// mini-job: a copy of the base spec with Indices set to the chosen grid
+// positions. ok is false once the search has converged or exhausted its
+// budget; the returned spec shares nothing mutable with the planner.
+func (rp *RoundPlanner) NextRound() (JobSpec, bool) {
+	batch := rp.planner.NextRound()
+	if len(batch) == 0 {
+		return JobSpec{}, false
+	}
+	round := rp.spec
+	round.Indices = append([]int(nil), batch...)
+	return round, true
+}
+
+// Observe feeds one completed round back into the surrogate. round must
+// be a spec NextRound returned (its Indices translate subset positions
+// back to grid positions); results and failures are the coordinator's
+// merged outcome for that job, indexed in subset space. Results whose
+// payload carries no confidence record train at full weight.
+func (rp *RoundPlanner) Observe(round JobSpec, results []VariantResult, failures []VariantFailure) error {
+	for _, r := range results {
+		g, err := roundIndex(round, r.Index)
+		if err != nil {
+			return err
+		}
+		w := 1.0
+		if conf, ok := explore.RecordConfidence(r.Payload); ok {
+			w = conf
+		}
+		rp.planner.Observe(g, math.Float64frombits(r.TimeBits), w)
+	}
+	for _, f := range failures {
+		g, err := roundIndex(round, f.Index)
+		if err != nil {
+			return err
+		}
+		rp.planner.ObserveFailure(g)
+	}
+	return nil
+}
+
+func roundIndex(round JobSpec, sub int) (int, error) {
+	if sub < 0 || sub >= len(round.Indices) {
+		return 0, fmt.Errorf("shard: round result index %d outside batch of %d", sub, len(round.Indices))
+	}
+	return round.Indices[sub], nil
+}
+
+// EndRound closes the current round: refits the surrogate, updates the
+// convergence state, and returns the round's trace.
+func (rp *RoundPlanner) EndRound() explore.RoundTrace { return rp.planner.EndRound() }
+
+// Incumbent returns the best grid index and objective observed so far.
+func (rp *RoundPlanner) Incumbent() (int, float64, bool) { return rp.planner.Incumbent() }
+
+// Evals returns the evaluations issued so far, across all rounds.
+func (rp *RoundPlanner) Evals() int { return rp.planner.Evals() }
+
+// Converged reports whether the search stopped on patience rather than
+// budget exhaustion.
+func (rp *RoundPlanner) Converged() bool { return rp.planner.Converged() }
+
+// Traces returns the completed rounds' traces.
+func (rp *RoundPlanner) Traces() []explore.RoundTrace { return rp.planner.Traces() }

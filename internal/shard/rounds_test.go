@@ -1,0 +1,181 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"skope/internal/explore"
+	"skope/internal/hw"
+	"skope/internal/pipeline"
+	"skope/internal/shard"
+	"skope/internal/workloads"
+)
+
+// roundSpec builds the adaptive round-protocol test job: a 36-variant sord
+// grid, small shards so every round fans out over several leases.
+func roundSpec(t testing.TB) (shard.JobSpec, *pipeline.Run) {
+	t.Helper()
+	run := preparedSord(t)
+	layout, err := run.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shard.JobSpec{
+		Bench: "sord",
+		Scale: float64(workloads.ScaleTest),
+		Base:  hw.BGQ().Wire(),
+		Axes: []explore.Axis{
+			{Param: "freq-ghz", Values: []float64{1.2, 1.6, 2.0, 2.4}},
+			{Param: "mem-latency", Values: []float64{80, 110, 150}},
+			{Param: "hit-l1", Values: []float64{0.9, 0.95, 0.99}},
+		},
+		LayoutFP:  layout.Fingerprint(),
+		ShardSize: 4,
+	}, run
+}
+
+// TestJobSpecIndicesSubset: a spec carrying Indices materializes exactly
+// that grid subset, in order, and rejects out-of-range or duplicated
+// entries — the property the whole round protocol leans on.
+func TestJobSpecIndicesSubset(t *testing.T) {
+	spec, _ := roundSpec(t)
+	full, err := spec.Variants()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sub := spec
+	sub.Indices = []int{7, 0, 35, 12}
+	variants, err := sub.Variants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(variants) != 4 {
+		t.Fatalf("subset has %d variants, want 4", len(variants))
+	}
+	for i, g := range sub.Indices {
+		if variants[i].Fingerprint() != full[g].Fingerprint() {
+			t.Errorf("subset position %d != grid position %d", i, g)
+		}
+	}
+	// The subset partitions and coordinates like any other job.
+	shards, err := sub.Shards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 || shards[0].End != 4 {
+		t.Fatalf("subset shards = %+v", shards)
+	}
+
+	for _, bad := range [][]int{{-1}, {36}, {3, 3}} {
+		b := spec
+		b.Indices = bad
+		if _, err := b.Variants(); err == nil {
+			t.Errorf("Indices %v accepted", bad)
+		}
+	}
+}
+
+// TestRoundPlannerDrivesCoordinatedRounds is the distributed-adaptive
+// integration test: the RoundPlanner hands out each acquisition round as
+// an ordinary mini-job, real workers complete it over HTTP through the
+// unchanged lease/steal/merge protocol, and the merged results train the
+// surrogate. The search must converge on the same optimum an exhaustive
+// in-process sweep finds, while evaluating only a fraction of the grid.
+func TestRoundPlannerDrivesCoordinatedRounds(t *testing.T) {
+	spec, run := roundSpec(t)
+
+	// Exhaustive reference.
+	variants, err := spec.Variants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals, err := pipeline.Sweep(context.Background(), run, variants, spec.Options()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestIdx, bestTime := -1, 0.0
+	for i, ev := range evals {
+		if ev == nil || ev.Analysis == nil {
+			continue
+		}
+		if bestIdx < 0 || ev.Analysis.TotalTime < bestTime {
+			bestIdx, bestTime = i, ev.Analysis.TotalTime
+		}
+	}
+
+	rp, err := shard.NewRoundPlanner(spec, explore.AdaptiveOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluated := 0
+	for round := 1; ; round++ {
+		if round > len(variants) {
+			t.Fatal("round planner did not terminate")
+		}
+		job, ok := rp.NextRound()
+		if !ok {
+			break
+		}
+		evaluated += len(job.Indices)
+
+		coord, client, jobID := serveJob(t, job,
+			shard.Config{JobID: fmt.Sprintf("j-round-%d", round), Lease: 30 * time.Second})
+		w := &shard.Worker{
+			Client: client, JobID: jobID, ID: "w-adaptive", DataDir: t.TempDir(),
+			Poll: 10 * time.Millisecond,
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		if _, err := w.Run(ctx); err != nil {
+			cancel()
+			t.Fatalf("round %d worker: %v", round, err)
+		}
+		cancel()
+		if !coord.Done() {
+			t.Fatalf("round %d job not done", round)
+		}
+		results := coord.VariantResults()
+		if len(results) != len(job.Indices) {
+			t.Fatalf("round %d merged %d of %d variants", round, len(results), len(job.Indices))
+		}
+		if err := rp.Observe(job, results, coord.Failures()); err != nil {
+			t.Fatal(err)
+		}
+		tr := rp.EndRound()
+		if tr.Round != round || tr.Evals != len(job.Indices) {
+			t.Fatalf("round trace %+v does not match round %d (%d evals)", tr, round, len(job.Indices))
+		}
+	}
+
+	idx, y, ok := rp.Incumbent()
+	if !ok {
+		t.Fatal("no incumbent after coordinated rounds")
+	}
+	if idx != bestIdx {
+		t.Errorf("distributed adaptive incumbent %d, exhaustive optimum %d", idx, bestIdx)
+	}
+	if y != bestTime {
+		t.Errorf("incumbent objective %v not float-exact against exhaustive %v", y, bestTime)
+	}
+	if rp.Evals() != evaluated {
+		t.Errorf("planner spend %d != %d variants shipped through rounds", rp.Evals(), evaluated)
+	}
+	if evaluated >= len(variants) {
+		t.Errorf("adaptive rounds evaluated the whole grid (%d of %d)", evaluated, len(variants))
+	}
+	if !rp.Converged() {
+		t.Error("search did not converge on patience")
+	}
+	if len(rp.Traces()) == 0 {
+		t.Error("no round traces recorded")
+	}
+
+	// The planner refuses a spec that is already a subset.
+	bad := spec
+	bad.Indices = []int{1, 2}
+	if _, err := shard.NewRoundPlanner(bad, explore.AdaptiveOptions{}); err == nil {
+		t.Error("round planner accepted an index-subset spec")
+	}
+}
