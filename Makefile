@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-store bench-shard bench-adaptive bench-smoke chaos fuzz-short check
+.PHONY: all build vet fmt-check test race bench bench-store bench-shard bench-adaptive bench-smoke chaos chaos-disk fuzz-short check
 
 all: check
 
@@ -57,6 +57,17 @@ bench-smoke:
 # result asserted bit-identical to a single-process sweep).
 chaos:
 	$(GO) test -race -count=1 ./internal/shard/
+
+# The durability layers under disk fire: the scriptable-fault suites of
+# iofault, journal, and store, the pipeline chaos-disk scenarios (failing
+# fsync, ENOSPC mid-sweep, torn final record, EIO on reopen — all five
+# workloads, bit-identical-or-explicitly-degraded), and the daemon
+# robustness tests (overload shedding, session GC, stalled streams, the
+# self-healing scrubber), all under the race detector.
+chaos-disk:
+	$(GO) test -race -count=1 ./internal/iofault/ ./internal/journal/ ./internal/store/
+	$(GO) test -race -count=1 -run 'TestChaosDisk' ./internal/pipeline/
+	$(GO) test -race -count=1 -run 'TestOverloadShedding|TestSessionGC|TestStalledStreamReader|TestScrubberQuarantinesAndHeals' ./cmd/skoped/
 
 # Short fuzz smoke over the three parser frontiers and the adaptive
 # planner's axis-spec surface (10s per target).

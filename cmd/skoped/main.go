@@ -34,6 +34,16 @@
 // results into a journal under -data-dir and replays them into the shared
 // store, bit-identical to a single-process sweep.
 //
+// The daemon sheds load instead of falling over: -max-sessions bounds the
+// sessions queued or running at once (excess submissions get 503 with a
+// Retry-After hint, same contract as draining), -session-ttl
+// garbage-collects finished sessions so the table stays bounded, and
+// NDJSON result streams carry a per-write deadline (-stream-write-timeout)
+// so a stalled reader is disconnected rather than pinning the stream. A
+// background scrubber (-scrub-interval) re-verifies every store record,
+// quarantines corrupt ones — visible in /v1/healthz — and lets the next
+// matching evaluation transparently recompute and replace them.
+//
 // On SIGTERM or SIGINT the daemon drains: new session and job submissions
 // are refused with 503 while running sessions get up to -drain-timeout to
 // finish (result streams and the shard worker protocol keep serving);
@@ -43,7 +53,9 @@
 // Usage:
 //
 //	skoped -addr :8080 -store skoped.cas -data-dir /var/lib/skoped \
-//	       [-max-workers 16] [-limits ...] [-lenient] \
+//	       [-max-workers 16] [-max-sessions 64] [-session-ttl 1h] \
+//	       [-scrub-interval 10m] [-stream-write-timeout 30s] \
+//	       [-limits ...] [-lenient] \
 //	       [-coverage 0.9] [-leanness 0.5] [-spots 10] [-drain-timeout 30s]
 //	skoped -worker http://daemon:8080 [-worker-id w1] [-data-dir /var/lib/skoped]
 //
@@ -94,7 +106,18 @@ func main() {
 	fmt.Printf("skoped: listening on %s (store %s, data dir %s, worker budget %d)\n",
 		cfg.addr, cfg.storePath, cfg.dataDir, cfg.maxWorkers)
 
-	hsrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+	// Header/read/idle timeouts bound what a slow or hostile client can
+	// pin (slowloris, abandoned keep-alives). WriteTimeout deliberately
+	// stays zero: NDJSON result streams are long-lived by design and get
+	// per-write deadlines in handleResults (-stream-write-timeout) instead
+	// of a whole-response budget.
+	hsrv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -176,8 +199,9 @@ func runWorker(cfg daemonConfig) int {
 // and cmd/skopec — and act as per-session defaults that a session request
 // can override.
 type daemonConfig struct {
-	grd  cliflags.Guard
-	crit cliflags.Criteria
+	grd   cliflags.Guard
+	crit  cliflags.Criteria
+	serve cliflags.Serve
 
 	addr         string
 	storePath    string
@@ -192,6 +216,7 @@ type daemonConfig struct {
 func (c *daemonConfig) register(fs *flag.FlagSet) {
 	c.grd.Register(fs)
 	c.crit.Register(fs, 0.90, 0.50, 10)
+	c.serve.Register(fs)
 	fs.StringVar(&c.addr, "addr", "localhost:8080", "listen address")
 	fs.StringVar(&c.storePath, "store", "skoped.cas", "content-addressed result store file shared by all sessions (empty = no store)")
 	fs.StringVar(&c.dataDir, "data-dir", ".", "directory for session journals (resume by journal_id) and shard journals")

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,10 +35,17 @@ type server struct {
 	// shard jobs) are refused with 503 while in-flight work finishes.
 	draining atomic.Bool
 
+	// stop ends the maintenance loops (session GC, store scrub); loops
+	// tracks them so Close can wait.
+	stop     chan struct{}
+	stopOnce sync.Once
+	loops    sync.WaitGroup
+
 	mu        sync.Mutex
 	sessions  map[string]*session
 	order     []string
 	nextID    int
+	active    int // sessions queued or running — the -max-sessions gauge
 	shardJobs map[string]*shardJob
 }
 
@@ -55,6 +63,7 @@ func newServer(cfg daemonConfig) (*server, error) {
 		sessions:  make(map[string]*session),
 		shards:    shard.NewService(),
 		shardJobs: make(map[string]*shardJob),
+		stop:      make(chan struct{}),
 	}
 	if cfg.storePath != "" {
 		st, err := store.Open(cfg.storePath)
@@ -63,11 +72,22 @@ func newServer(cfg daemonConfig) (*server, error) {
 		}
 		srv.store = st
 	}
+	if cfg.serve.SessionTTL > 0 {
+		srv.loops.Add(1)
+		go srv.gcLoop()
+	}
+	if srv.store != nil && cfg.serve.ScrubInterval > 0 {
+		srv.loops.Add(1)
+		go srv.scrubLoop()
+	}
 	return srv, nil
 }
 
-// Close cancels every running session and closes the store.
+// Close stops the maintenance loops, cancels every running session, and
+// closes the store.
 func (srv *server) Close() {
+	srv.stopOnce.Do(func() { close(srv.stop) })
+	srv.loops.Wait()
 	srv.mu.Lock()
 	for _, sess := range srv.sessions {
 		if sess.cancel != nil {
@@ -128,6 +148,93 @@ func (srv *server) awaitSessions(ctx context.Context) bool {
 	return true
 }
 
+// gcLoop periodically drops sessions that reached a terminal state more
+// than -session-ttl ago, keeping the session table bounded on a daemon
+// that serves submissions indefinitely.
+func (srv *server) gcLoop() {
+	defer srv.loops.Done()
+	interval := srv.cfg.serve.SessionTTL / 4
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-srv.stop:
+			return
+		case <-t.C:
+			srv.gcSessions(time.Now())
+		}
+	}
+}
+
+// gcSessions removes sessions whose terminal state is older than the TTL
+// and reports how many it dropped. Queued and running sessions (finished
+// is zero) are never touched.
+func (srv *server) gcSessions(now time.Time) (removed int) {
+	ttl := srv.cfg.serve.SessionTTL
+	if ttl <= 0 {
+		return 0
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	kept := srv.order[:0]
+	for _, id := range srv.order {
+		sess := srv.sessions[id]
+		sess.mu.Lock()
+		fin := sess.finished
+		sess.mu.Unlock()
+		if !fin.IsZero() && now.Sub(fin) >= ttl {
+			delete(srv.sessions, id)
+			removed++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	srv.order = kept
+	return removed
+}
+
+// scrubLoop periodically re-verifies every store record, quarantining
+// corrupt ones so the next matching evaluation recomputes and replaces
+// them. One pass runs at startup — a store damaged while the daemon was
+// down should not wait a full interval to be noticed.
+func (srv *server) scrubLoop() {
+	defer srv.loops.Done()
+	srv.store.Scrub()
+	t := time.NewTicker(srv.cfg.serve.ScrubInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-srv.stop:
+			return
+		case <-t.C:
+			srv.store.Scrub()
+		}
+	}
+}
+
+// writeUnavailable refuses work with 503 and a Retry-After hint — the
+// load-shedding contract: the daemon is healthy, the client should back
+// off and retry rather than fail over.
+func writeUnavailable(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusServiceUnavailable, msg)
+}
+
+// capacityRetryAfter is the Retry-After hint for -max-sessions refusals:
+// long enough to thin a thundering herd, short enough that capacity freed
+// by a finishing session is found quickly.
+const capacityRetryAfter = 5 * time.Second
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -143,25 +250,41 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 func (srv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	srv.mu.Lock()
 	n := len(srv.sessions)
+	active := srv.active
 	srv.mu.Unlock()
 	status := "ok"
 	if srv.draining.Load() {
 		status = "draining"
 	}
 	resp := map[string]any{
-		"status":        status,
-		"sessions":      n,
-		"worker_budget": cap(srv.sem),
-		"busy_workers":  len(srv.sem),
+		"status":          status,
+		"sessions":        n,
+		"active_sessions": active,
+		"worker_budget":   cap(srv.sem),
+		"busy_workers":    len(srv.sem),
+	}
+	if max := srv.cfg.serve.MaxSessions; max > 0 {
+		resp["max_sessions"] = max
 	}
 	if srv.store != nil {
 		stats := srv.store.Stats()
-		resp["store"] = map[string]any{
-			"path":    srv.store.Path(),
-			"records": srv.store.Len(),
-			"hits":    stats.Hits,
-			"misses":  stats.Misses,
+		storeMap := map[string]any{
+			"path":        srv.store.Path(),
+			"records":     srv.store.Len(),
+			"hits":        stats.Hits,
+			"misses":      stats.Misses,
+			"quarantined": len(srv.store.Quarantined()),
 		}
+		if runs, last := srv.store.ScrubStats(); runs > 0 {
+			storeMap["scrub"] = map[string]any{
+				"runs":     runs,
+				"checked":  last.Checked,
+				"bad":      last.Bad,
+				"healed":   last.Healed,
+				"problems": last.Problems,
+			}
+		}
+		resp["store"] = storeMap
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -190,7 +313,7 @@ func (srv *server) handleParams(w http.ResponseWriter, r *http.Request) {
 
 func (srv *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if srv.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new sessions")
+		writeUnavailable(w, srv.cfg.drainTimeout, "draining: not accepting new sessions")
 		return
 	}
 	var req sessionRequest
@@ -217,7 +340,19 @@ func (srv *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	sess.cancel = cancel
+	// Admission control: the capacity check and the table insert share one
+	// critical section, so concurrent submissions cannot both slip under
+	// the cap. Validation ran first — a malformed request gets its 400
+	// even at capacity.
 	srv.mu.Lock()
+	if max := srv.cfg.serve.MaxSessions; max > 0 && srv.active >= max {
+		srv.mu.Unlock()
+		cancel()
+		writeUnavailable(w, capacityRetryAfter,
+			fmt.Sprintf("at capacity: %d sessions queued or running (-max-sessions)", max))
+		return
+	}
+	srv.active++
 	srv.sessions[id] = sess
 	srv.order = append(srv.order, id)
 	srv.mu.Unlock()
@@ -411,6 +546,17 @@ func (srv *server) handleResults(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Session-ID", sess.id)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	deadline := srv.cfg.serve.StreamWriteTimeout
+	// send emits one NDJSON line under the per-write deadline. A false
+	// return means the client stalled past -stream-write-timeout or went
+	// away — the stream must stop, not keep ticking into a dead socket.
+	send := func(v any) bool {
+		if deadline > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(deadline))
+		}
+		return enc.Encode(v) == nil
+	}
 	flush := func() {
 		if flusher != nil {
 			flusher.Flush()
@@ -422,10 +568,13 @@ func (srv *server) handleResults(w http.ResponseWriter, r *http.Request) {
 	// backfilled after the session completes, so every stream carries the
 	// full trace regardless of when the client connected.
 	roundsSent := 0
-	emitRounds := func(rounds []explore.RoundTrace) {
+	emitRounds := func(rounds []explore.RoundTrace) bool {
 		for ; roundsSent < len(rounds); roundsSent++ {
-			_ = enc.Encode(wireRound{Type: "round", RoundTrace: rounds[roundsSent]})
+			if !send(wireRound{Type: "round", RoundTrace: rounds[roundsSent]}) {
+				return false
+			}
 		}
+		return true
 	}
 
 	ticker := time.NewTicker(200 * time.Millisecond)
@@ -443,21 +592,27 @@ wait:
 			state := sess.state
 			rounds := sess.rounds
 			sess.mu.Unlock()
-			emitRounds(rounds)
-			_ = enc.Encode(wireProgress{
+			if !emitRounds(rounds) {
+				return
+			}
+			if !send(wireProgress{
 				Type: "progress", State: state,
 				Done: p.Done, Total: len(sess.variants) + 1,
 				Replayed: p.Replayed, Stored: p.Stored,
-			})
+			}) {
+				return
+			}
 			flush()
 		}
 	}
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	emitRounds(sess.rounds)
+	if !emitRounds(sess.rounds) {
+		return
+	}
 	if sess.state != stateDone {
-		_ = enc.Encode(wireSummary{
+		_ = send(wireSummary{
 			Type: "summary", State: sess.state, Workload: sess.workload.Name,
 			Error: sess.errMsg,
 		})
@@ -493,7 +648,9 @@ wait:
 				line.Analysis = data
 			}
 		}
-		_ = enc.Encode(line)
+		if !send(line) {
+			return
+		}
 		flush()
 	}
 
@@ -529,7 +686,7 @@ wait:
 			Variant: p.Machine.Name, Cost: p.Cost, TimeS: p.Time,
 		})
 	}
-	_ = enc.Encode(sum)
+	_ = send(sum)
 }
 
 // defaultBudget mirrors pipeline.WithWorkers(0): GOMAXPROCS.

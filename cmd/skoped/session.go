@@ -107,6 +107,7 @@ type session struct {
 
 	mu          sync.Mutex
 	state       string
+	finished    time.Time // when the terminal state was reached (GC clock)
 	errMsg      string
 	degraded    bool
 	progress    explore.Progress
@@ -266,7 +267,17 @@ func (srv *server) newSession(id string, req sessionRequest) (*session, error) {
 // through the shared store (and the session journal when named), record
 // the outcome. It owns the session's terminal state.
 func (srv *server) run(ctx context.Context, sess *session) {
-	defer close(sess.done)
+	defer func() {
+		// Terminal bookkeeping: stamp the finish time (the -session-ttl GC
+		// clock), release the admission-control slot, then wake waiters.
+		sess.mu.Lock()
+		sess.finished = time.Now()
+		sess.mu.Unlock()
+		srv.mu.Lock()
+		srv.active--
+		srv.mu.Unlock()
+		close(sess.done)
+	}()
 
 	// Hold `workers` tokens of the daemon's global budget for the whole
 	// sweep. Tokens are acquired one at a time so several queued sessions

@@ -172,7 +172,7 @@ func (srv *server) newShardJob(ctx context.Context, id string, req shardRequest)
 
 func (srv *server) handleShardSubmit(w http.ResponseWriter, r *http.Request) {
 	if srv.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		writeUnavailable(w, srv.cfg.drainTimeout, "draining: not accepting new jobs")
 		return
 	}
 	var req shardRequest

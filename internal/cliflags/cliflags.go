@@ -151,6 +151,27 @@ func (s *Sweep) Register(fs *flag.FlagSet) {
 	fs.Uint64Var(&s.AdaptiveSeed, "adaptive-seed", 0, "adaptive mode: seed for the deterministic fingerprint-keyed bootstrap sample; a fixed seed reproduces the round trace exactly")
 }
 
+// Serve is the skoped daemon's robustness surface: admission control,
+// session-table hygiene, store scrubbing, and slow-consumer protection.
+// Zero values preserve the pre-admission-control behavior (unbounded
+// sessions kept forever) except the scrub interval, which defaults on —
+// a periodic read-only verification pass is cheap and the quarantine it
+// feeds is what makes a corrupt record heal instead of fail.
+type Serve struct {
+	MaxSessions        int
+	SessionTTL         time.Duration
+	ScrubInterval      time.Duration
+	StreamWriteTimeout time.Duration
+}
+
+// Register installs the serve flags on fs.
+func (s *Serve) Register(fs *flag.FlagSet) {
+	fs.IntVar(&s.MaxSessions, "max-sessions", 0, "admission control: maximum sessions queued or running at once; excess submissions get 503 + Retry-After (0 = unlimited)")
+	fs.DurationVar(&s.SessionTTL, "session-ttl", 0, "garbage-collect finished sessions this long after they reach a terminal state, bounding the session table (0 = keep forever)")
+	fs.DurationVar(&s.ScrubInterval, "scrub-interval", 10*time.Minute, "background store scrub period: verify every record, quarantine corrupt ones so the next matching evaluation recomputes them (0 = disabled)")
+	fs.DurationVar(&s.StreamWriteTimeout, "stream-write-timeout", 30*time.Second, "per-write deadline on NDJSON result streams: a client that stalls longer than this is disconnected instead of pinning the stream (0 = none)")
+}
+
 // Variants expands the collected axes into the variant grid around base.
 func (s *Sweep) Variants(base *hw.Machine) ([]*hw.Machine, error) {
 	axes, err := s.Axes.Axes()

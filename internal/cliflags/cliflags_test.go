@@ -18,15 +18,18 @@ func TestRegisteredNames(t *testing.T) {
 	var g Guard
 	var c Criteria
 	var s Sweep
+	var sv Serve
 	m.Register(fs)
 	g.Register(fs)
 	c.Register(fs, 0.90, 0.50, 10)
 	s.Register(fs)
+	sv.Register(fs)
 	for _, name := range []string{
 		"machine", "machine-file", "limits", "lenient",
 		"coverage", "leanness", "spots",
 		"sweep", "workers", "top", "journal", "resume", "store",
 		"retries", "variant-timeout", "min-confidence",
+		"max-sessions", "session-ttl", "scrub-interval", "stream-write-timeout",
 	} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)
@@ -104,6 +107,39 @@ func TestSweepVariants(t *testing.T) {
 	}
 	if len(variants) != 4 {
 		t.Errorf("got %d variants, want 4", len(variants))
+	}
+}
+
+// TestServeDefaults freezes the serve surface's defaults: admission
+// control and session GC off (pre-existing behavior), scrubbing and the
+// stream write deadline on.
+func TestServeDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var sv Serve
+	sv.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if sv.MaxSessions != 0 || sv.SessionTTL != 0 {
+		t.Errorf("admission defaults changed: %+v", sv)
+	}
+	if sv.ScrubInterval != 10*time.Minute || sv.StreamWriteTimeout != 30*time.Second {
+		t.Errorf("scrub/stream defaults changed: %+v", sv)
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	sv = Serve{}
+	sv.Register(fs)
+	err := fs.Parse([]string{
+		"-max-sessions", "8", "-session-ttl", "1h",
+		"-scrub-interval", "0", "-stream-write-timeout", "5s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.MaxSessions != 8 || sv.SessionTTL != time.Hour ||
+		sv.ScrubInterval != 0 || sv.StreamWriteTimeout != 5*time.Second {
+		t.Errorf("parsed serve = %+v", sv)
 	}
 }
 

@@ -31,6 +31,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"skope/internal/iofault"
 )
 
 const (
@@ -46,6 +48,16 @@ var ErrMetaMismatch = errors.New("journal meta mismatch")
 // ErrNoMeta marks an Append on a journal whose header has not been
 // written yet (SetMeta must run first).
 var ErrNoMeta = errors.New("journal meta not set")
+
+// ErrWriteFailed marks a journal whose append path failed once — a write
+// or fsync error. The journal goes read-only: the failed frame is rolled
+// back (best effort), everything recovered or appended before the failure
+// stays replayable, and every later Append or SetMeta refuses with this
+// error. Appending past a failed write would bury a torn frame mid-file,
+// turning recoverable damage into fatal corruption; and after a failed
+// fsync the kernel may have dropped the very pages it acknowledged, so
+// the only safe stance is to stop trusting the file with new records.
+var ErrWriteFailed = errors.New("journal write failed; appends disabled")
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -63,13 +75,15 @@ type record struct {
 // Journal is an open journal file. It is safe for concurrent use.
 type Journal struct {
 	mu        sync.Mutex
-	f         *os.File
+	f         iofault.File
 	path      string
 	meta      map[string]string
 	records   map[string][]byte
 	order     []string // distinct keys in first-append order
 	recovered int
 	truncated bool
+	size      int64 // offset just past the last line known intact on disk
+	failed    error // sticky after a write/fsync failure: appends disabled
 }
 
 // Open opens (creating if absent) the journal at path and recovers its
@@ -78,7 +92,17 @@ type Journal struct {
 // file back to the last intact record; corruption anywhere before the
 // tail is an error, since an fsync-per-record log cannot produce it.
 func Open(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(iofault.Disk, path)
+}
+
+// OpenFS is Open through an explicit file abstraction — the seam the
+// disk-fault chaos suite injects through. Production callers use Open
+// (equivalently, OpenFS with iofault.Disk); nil falls back to the disk.
+func OpenFS(fsys iofault.FS, path string) (*Journal, error) {
+	if fsys == nil {
+		fsys = iofault.Disk
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
@@ -157,6 +181,7 @@ func (j *Journal) recover() error {
 	if _, err := j.f.Seek(good, io.SeekStart); err != nil {
 		return fmt.Errorf("journal %s: %w", j.path, err)
 	}
+	j.size = good
 	return nil
 }
 
@@ -178,19 +203,47 @@ func parseLine(line []byte) ([]byte, error) {
 	return payload, nil
 }
 
-// writeLine frames, writes and fsyncs one payload.
+// writeLine frames, writes and fsyncs one payload. A write or fsync
+// failure permanently disables the append path (ErrWriteFailed): the
+// frame is rolled back to the last known-good offset so the damage is
+// not buried under later appends, and replay of everything already
+// durable stays available. Called with j.mu held.
 func (j *Journal) writeLine(payload []byte) error {
+	if j.failed != nil {
+		return fmt.Errorf("journal %s: %w", j.path, j.failed)
+	}
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "%08x ", crc32.Checksum(payload, crcTable))
 	buf.Write(payload)
 	buf.WriteByte('\n')
-	if _, err := j.f.Write(buf.Bytes()); err != nil {
-		return fmt.Errorf("journal %s: %w", j.path, err)
+	_, werr := j.f.Write(buf.Bytes())
+	if werr == nil {
+		if serr := j.f.Sync(); serr != nil {
+			werr = fmt.Errorf("fsync: %w", serr)
+		}
 	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("journal %s: fsync: %w", j.path, err)
+	if werr != nil {
+		// Best-effort rollback: cut the file back to the last line known
+		// intact. If the truncate itself fails, the torn frame stays on
+		// disk — still recoverable, because a torn *tail* is exactly what
+		// Open and Scan are built to discard.
+		if terr := j.f.Truncate(j.size); terr == nil {
+			_, _ = j.f.Seek(j.size, io.SeekStart)
+			_ = j.f.Sync()
+		}
+		j.failed = fmt.Errorf("%w: %w", ErrWriteFailed, werr)
+		return fmt.Errorf("journal %s: %w", j.path, j.failed)
 	}
+	j.size += int64(buf.Len())
 	return nil
+}
+
+// Err returns the sticky failure that put the journal into read-only
+// mode, or nil while the append path is healthy.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failed
 }
 
 // Meta returns the journal's meta binding (nil until SetMeta has run or a

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"skope/internal/iofault"
 )
 
 // Scan is the read-only counterpart of Open: it walks the journal at path
@@ -42,8 +44,17 @@ type ScanReport struct {
 // corruption before the end of the file fails with an error wrapping
 // ErrCorrupt. An error from fn aborts the walk and is returned as-is.
 func Scan(path string, fn func(key string, payload []byte) error) (ScanReport, error) {
+	return ScanFS(iofault.Disk, path, fn)
+}
+
+// ScanFS is Scan through an explicit file abstraction (nil = the disk),
+// mirroring OpenFS for read-only walks.
+func ScanFS(fsys iofault.FS, path string, fn func(key string, payload []byte) error) (ScanReport, error) {
 	var rep ScanReport
-	f, err := os.Open(path)
+	if fsys == nil {
+		fsys = iofault.Disk
+	}
+	f, err := fsys.Open(path)
 	if err != nil {
 		return rep, fmt.Errorf("journal: %w", err)
 	}
@@ -106,14 +117,23 @@ func Scan(path string, fn func(key string, payload []byte) error) (ScanReport, e
 // removed. It refuses (like Scan) on mid-file corruption. Repairing an
 // intact journal is a no-op.
 func Repair(path string) (records int, repaired bool, err error) {
-	rep, err := Scan(path, nil)
+	return RepairFS(iofault.Disk, path)
+}
+
+// RepairFS is Repair through an explicit file abstraction (nil = the
+// disk).
+func RepairFS(fsys iofault.FS, path string) (records int, repaired bool, err error) {
+	if fsys == nil {
+		fsys = iofault.Disk
+	}
+	rep, err := ScanFS(fsys, path, nil)
 	if err != nil {
 		return 0, false, err
 	}
 	if !rep.TornTail {
 		return rep.Records, false, nil
 	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return rep.Records, false, fmt.Errorf("journal: %w", err)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"skope/internal/explore"
 	"skope/internal/hw"
+	"skope/internal/iofault"
 	"skope/internal/journal"
 	"skope/internal/pipeline"
 	"skope/internal/resilience"
@@ -48,6 +49,17 @@ type Worker struct {
 	// shards whose journals already cover every variant. Used by the
 	// chaos test to prove resumed work is replayed, never recomputed.
 	ReplayOnly bool
+
+	// FS is the file abstraction the per-shard journals open through
+	// (nil = the disk). The disk-fault chaos suite injects here.
+	FS iofault.FS
+}
+
+func (w *Worker) fsys() iofault.FS {
+	if w.FS != nil {
+		return w.FS
+	}
+	return iofault.Disk
 }
 
 // WorkerStats tallies one Run.
@@ -202,7 +214,7 @@ func (w *Worker) journalPath(sh Shard) string {
 // that point remain valid for it.
 func (w *Worker) processShard(ctx context.Context, run *pipeline.Run, variants []*hw.Machine, spec JobSpec, sh Shard, leaseFor time.Duration, stats *WorkerStats) error {
 	slice := variants[sh.Start:sh.End]
-	jnl, err := journal.Open(w.journalPath(sh))
+	jnl, err := journal.OpenFS(w.fsys(), w.journalPath(sh))
 	if err != nil {
 		return w.failShard(ctx, sh, fmt.Errorf("journal: %w", err))
 	}
@@ -261,7 +273,7 @@ func (w *Worker) processShard(ctx context.Context, run *pipeline.Run, variants [
 		return w.failShard(ctx, sh, sweepErr)
 	}
 
-	results, replayed := collectResults(w.journalPath(sh), sh, slice, evals)
+	results, replayed := collectResults(w.fsys(), w.journalPath(sh), sh, slice, evals)
 	var failures []VariantFailure
 	var se *explore.SweepError
 	if errors.As(sweepErr, &se) {
@@ -317,13 +329,13 @@ func tolerableSweepErr(err error) bool {
 // its grid index and projected time. The journal — not the in-memory
 // evals — is the source of record payloads, so what the coordinator
 // merges is exactly what a resumed worker would replay.
-func collectResults(path string, sh Shard, slice []*hw.Machine, evals []*pipeline.Eval) (results []VariantResult, replayed int) {
+func collectResults(fsys iofault.FS, path string, sh Shard, slice []*hw.Machine, evals []*pipeline.Eval) (results []VariantResult, replayed int) {
 	indexOf := make(map[string]int, len(slice))
 	for i, m := range slice {
 		indexOf[m.Fingerprint()] = sh.Start + i
 	}
 	payloads := make(map[string][]byte)
-	_, _ = journal.Scan(path, func(key string, payload []byte) error {
+	_, _ = journal.ScanFS(fsys, path, func(key string, payload []byte) error {
 		if _, ours := indexOf[key]; ours {
 			payloads[key] = append([]byte(nil), payload...)
 		}

@@ -42,6 +42,7 @@ import (
 
 	"skope/internal/guard"
 	"skope/internal/hotspot"
+	"skope/internal/iofault"
 	"skope/internal/journal"
 	"skope/internal/workloads"
 )
@@ -87,6 +88,13 @@ type Store struct {
 
 	mu    sync.Mutex
 	stats Stats
+	// quarantine holds keys a scrub (or a failed decode) found corrupt.
+	// Quarantined keys read as misses — the next matching evaluation
+	// recomputes and its Put replaces the record, lifting the quarantine.
+	// Lazily allocated so a zero-value-adjacent Store still works.
+	quarantine map[string]bool
+	scrubRuns  int
+	lastScrub  ScrubReport
 }
 
 // Open opens (creating if absent) the store at path, recovering every
@@ -94,7 +102,13 @@ type Store struct {
 // recovery never serves a partial result. Opening a file that is not a
 // skope result store fails rather than overwriting it.
 func Open(path string) (*Store, error) {
-	j, err := journal.Open(path)
+	return OpenFS(iofault.Disk, path)
+}
+
+// OpenFS is Open through an explicit file abstraction (nil = the disk) —
+// the seam the disk-fault chaos suite injects through.
+func OpenFS(fsys iofault.FS, path string) (*Store, error) {
+	j, err := journal.OpenFS(fsys, path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -103,6 +117,14 @@ func Open(path string) (*Store, error) {
 		return nil, fmt.Errorf("store: %s is not a result store: %w", path, err)
 	}
 	return &Store{jnl: j}, nil
+}
+
+// quarantineKey marks a key corrupt. Callers hold s.mu.
+func (s *Store) quarantineKey(key string) {
+	if s.quarantine == nil {
+		s.quarantine = make(map[string]bool)
+	}
+	s.quarantine[key] = true
 }
 
 // evalKey composes the content address of one evaluation.
@@ -114,9 +136,19 @@ func evalKey(layoutFP, machineFP, mode string) string {
 // triple, decoded to the exact bits the original evaluation produced. The
 // boolean reports whether the store had the record; a record that exists
 // but cannot be decoded returns an error (the store's framing makes silent
-// corruption unreachable, so this indicates a version skew).
+// corruption unreachable, so this indicates a version skew) and is
+// quarantined so the next lookup recomputes instead of failing again. A
+// quarantined key reads as a miss.
 func (s *Store) GetEval(layoutFP, machineFP, mode string) (*hotspot.Analysis, bool, error) {
-	payload, ok := s.jnl.Get(evalKey(layoutFP, machineFP, mode))
+	key := evalKey(layoutFP, machineFP, mode)
+	s.mu.Lock()
+	if s.quarantine[key] {
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	s.mu.Unlock()
+	payload, ok := s.jnl.Get(key)
 	s.mu.Lock()
 	if ok {
 		s.stats.Hits++
@@ -129,6 +161,9 @@ func (s *Store) GetEval(layoutFP, machineFP, mode string) (*hotspot.Analysis, bo
 	}
 	a, err := hotspot.DecodeAnalysis(payload)
 	if err != nil {
+		s.mu.Lock()
+		s.quarantineKey(key)
+		s.mu.Unlock()
 		return nil, true, fmt.Errorf("store: eval %s/%s/%s: %w", layoutFP, machineFP, mode, err)
 	}
 	return a, true, nil
@@ -137,17 +172,21 @@ func (s *Store) GetEval(layoutFP, machineFP, mode string) (*hotspot.Analysis, bo
 // PutEval durably records one evaluation result under its content address.
 // The record is fsynced before PutEval returns; re-putting an existing key
 // overwrites it (the encoding is deterministic, so the bytes are identical
-// for identical results).
+// for identical results) and lifts any quarantine on it — the replacement
+// is a freshly computed, known-good record. A persistence failure wraps
+// ErrDegraded: the computed result is unaffected, it just was not cached.
 func (s *Store) PutEval(layoutFP, machineFP, mode string, a *hotspot.Analysis) error {
 	data, err := hotspot.EncodeAnalysis(a)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := s.jnl.Append(evalKey(layoutFP, machineFP, mode), data); err != nil {
-		return fmt.Errorf("store: %w", err)
+	key := evalKey(layoutFP, machineFP, mode)
+	if err := s.jnl.Append(key, data); err != nil {
+		return fmt.Errorf("store: %w: %w", ErrDegraded, err)
 	}
 	s.mu.Lock()
 	s.stats.Puts++
+	delete(s.quarantine, key)
 	s.mu.Unlock()
 	return nil
 }
@@ -169,9 +208,19 @@ type prepRecord struct {
 	Diags  []guard.Diagnostic `json:"diags,omitempty"`
 }
 
-// GetPrep looks up the preparation outcome for a PrepDigest.
+// GetPrep looks up the preparation outcome for a PrepDigest. Like
+// GetEval, a quarantined key reads as a miss and an undecodable record is
+// quarantined as it is reported.
 func (s *Store) GetPrep(digest string) (Prep, bool, error) {
-	payload, ok := s.jnl.Get(prepPrefix + digest)
+	key := prepPrefix + digest
+	s.mu.Lock()
+	if s.quarantine[key] {
+		s.stats.PrepMisses++
+		s.mu.Unlock()
+		return Prep{}, false, nil
+	}
+	s.mu.Unlock()
+	payload, ok := s.jnl.Get(key)
 	s.mu.Lock()
 	if ok {
 		s.stats.PrepHits++
@@ -184,6 +233,9 @@ func (s *Store) GetPrep(digest string) (Prep, bool, error) {
 	}
 	var rec prepRecord
 	if err := json.Unmarshal(payload, &rec); err != nil {
+		s.mu.Lock()
+		s.quarantineKey(key)
+		s.mu.Unlock()
 		return Prep{}, true, fmt.Errorf("store: prep %s: %w", digest, err)
 	}
 	return Prep{
@@ -193,7 +245,8 @@ func (s *Store) GetPrep(digest string) (Prep, bool, error) {
 	}, true, nil
 }
 
-// PutPrep durably records one preparation outcome.
+// PutPrep durably records one preparation outcome. Persistence failures
+// wrap ErrDegraded; a successful overwrite lifts any quarantine.
 func (s *Store) PutPrep(digest string, p Prep) error {
 	payload, err := json.Marshal(prepRecord{
 		Layout: p.LayoutFingerprint,
@@ -203,11 +256,13 @@ func (s *Store) PutPrep(digest string, p Prep) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := s.jnl.Append(prepPrefix+digest, payload); err != nil {
-		return fmt.Errorf("store: %w", err)
+	key := prepPrefix + digest
+	if err := s.jnl.Append(key, payload); err != nil {
+		return fmt.Errorf("store: %w: %w", ErrDegraded, err)
 	}
 	s.mu.Lock()
 	s.stats.Puts++
+	delete(s.quarantine, key)
 	s.mu.Unlock()
 	return nil
 }
