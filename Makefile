@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-store bench-shard bench-adaptive bench-smoke chaos chaos-disk fuzz-short check
+.PHONY: all build vet fmt-check test race bench bench-store bench-shard bench-adaptive bench-smoke chaos chaos-disk chaos-net fuzz-short check
 
 all: check
 
@@ -68,6 +68,18 @@ chaos-disk:
 	$(GO) test -race -count=1 ./internal/iofault/ ./internal/journal/ ./internal/store/
 	$(GO) test -race -count=1 -run 'TestChaosDisk' ./internal/pipeline/
 	$(GO) test -race -count=1 -run 'TestOverloadShedding|TestSessionGC|TestStalledStreamReader|TestScrubberQuarantinesAndHeals' ./cmd/skoped/
+
+# The distributed protocol under network fire: the netfault seam's own
+# suite, the shard chaos-net scenarios (partition-then-fence, the RPC
+# fault grid with dropped/duplicated/truncated/500'd calls, coordinator
+# killed and restarted mid-job from its log), the coordinator crash-safety
+# unit tests, and the daemon restart-recovery test — all under the race
+# detector. Every scenario asserts the merged result is bit-identical to
+# a single-process sweep with zero re-evaluation of durable work.
+chaos-net:
+	$(GO) test -race -count=1 ./internal/netfault/
+	$(GO) test -race -count=1 -run 'TestChaosNet|TestCoordinatorLog|TestCoordinatorRecovery|TestRecoverEmptyLog' ./internal/shard/
+	$(GO) test -race -count=1 -run 'TestShardJobRecoveryAcrossRestart' ./cmd/skoped/
 
 # Short fuzz smoke over the three parser frontiers and the adaptive
 # planner's axis-spec surface (10s per target).

@@ -30,9 +30,24 @@
 // grid into leased shards — and `skoped -worker http://daemon:8080` joins
 // as a worker: it leases shards, journals every variant crash-safely, and
 // heartbeats; a worker that dies loses its lease and its shards are
-// stolen by the survivors. POST /v1/shards/{job}/harvest merges the
-// results into a journal under -data-dir and replays them into the shared
-// store, bit-identical to a single-process sweep.
+// stolen by the survivors under a higher fencing epoch, so the dead
+// worker's late reports are rejected instead of merged. POST
+// /v1/shards/{job}/harvest merges the results into a journal under
+// -data-dir and replays them into the shared store, bit-identical to a
+// single-process sweep.
+//
+// Sharded jobs survive the daemon itself. Each job writes a coordinator
+// log (<data-dir>/<job>.coordlog): the spec, every lease grant, and every
+// completed shard are fsync'd before the worker hears the acknowledgment.
+// At startup the daemon recovers every coordinator log found under
+// -data-dir — completed shards come back with zero re-evaluation, live
+// leases are honored under their original epochs, and stale workers stay
+// fenced — so reconnecting workers just resume. Harvest retires the log.
+// Worker RPCs carry a per-attempt deadline (-rpc-timeout) and are retried
+// with exponential backoff; the protocol is idempotent under retries, so
+// a dropped acknowledgment never double-merges a shard. /v1/healthz
+// reports the shard counters (jobs, stale_fenced, recovered_jobs,
+// recovered_records, log_degraded) alongside the session gauges.
 //
 // The daemon sheds load instead of falling over: -max-sessions bounds the
 // sessions queued or running at once (excess submissions get 503 with a
@@ -57,7 +72,8 @@
 //	       [-scrub-interval 10m] [-stream-write-timeout 30s] \
 //	       [-limits ...] [-lenient] \
 //	       [-coverage 0.9] [-leanness 0.5] [-spots 10] [-drain-timeout 30s]
-//	skoped -worker http://daemon:8080 [-worker-id w1] [-data-dir /var/lib/skoped]
+//	skoped -worker http://daemon:8080 [-worker-id w1] [-data-dir /var/lib/skoped] \
+//	       [-rpc-timeout 30s]
 //
 // Endpoints:
 //
@@ -161,9 +177,9 @@ func runWorker(cfg daemonConfig) int {
 		host, _ := os.Hostname()
 		id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	client := &shard.Client{BaseURL: strings.TrimRight(cfg.worker, "/")}
+	client := &shard.Client{BaseURL: strings.TrimRight(cfg.worker, "/"), Timeout: cfg.net.RPCTimeout}
 	for {
-		jobs, err := client.List()
+		jobs, err := client.List(ctx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "skoped: worker:", err)
 			return 1
@@ -179,7 +195,7 @@ func runWorker(cfg daemonConfig) int {
 			fmt.Printf("skoped: worker %s: no open jobs\n", id)
 			return 0
 		}
-		w := &shard.Worker{Client: client, JobID: jobID, ID: id, DataDir: cfg.dataDir}
+		w := &shard.Worker{Client: client, JobID: jobID, ID: id, DataDir: cfg.dataDir, RPCTimeout: cfg.net.RPCTimeout}
 		stats, err := w.Run(ctx)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || ctx.Err() != nil {
@@ -189,8 +205,8 @@ func runWorker(cfg daemonConfig) int {
 			fmt.Fprintf(os.Stderr, "skoped: worker %s: job %s: %v\n", id, jobID, err)
 			return 1
 		}
-		fmt.Printf("skoped: worker %s: job %s done (%d shards, %d variants, %d replayed)\n",
-			id, jobID, stats.Shards, stats.Variants, stats.Replayed)
+		fmt.Printf("skoped: worker %s: job %s done (%d shards, %d variants, %d replayed, %d rpc retries)\n",
+			id, jobID, stats.Shards, stats.Variants, stats.Replayed, stats.RPCRetries)
 	}
 }
 
@@ -202,6 +218,7 @@ type daemonConfig struct {
 	grd   cliflags.Guard
 	crit  cliflags.Criteria
 	serve cliflags.Serve
+	net   cliflags.Net
 
 	addr         string
 	storePath    string
@@ -217,6 +234,7 @@ func (c *daemonConfig) register(fs *flag.FlagSet) {
 	c.grd.Register(fs)
 	c.crit.Register(fs, 0.90, 0.50, 10)
 	c.serve.Register(fs)
+	c.net.Register(fs)
 	fs.StringVar(&c.addr, "addr", "localhost:8080", "listen address")
 	fs.StringVar(&c.storePath, "store", "skoped.cas", "content-addressed result store file shared by all sessions (empty = no store)")
 	fs.StringVar(&c.dataDir, "data-dir", ".", "directory for session journals (resume by journal_id) and shard journals")

@@ -41,6 +41,10 @@ type server struct {
 	stopOnce sync.Once
 	loops    sync.WaitGroup
 
+	// recoveredJobs counts shard jobs rebuilt from coordinator logs at
+	// startup (written once in newServer, read-only after).
+	recoveredJobs int
+
 	mu        sync.Mutex
 	sessions  map[string]*session
 	order     []string
@@ -72,6 +76,7 @@ func newServer(cfg daemonConfig) (*server, error) {
 		}
 		srv.store = st
 	}
+	srv.recoverShardJobs()
 	if cfg.serve.SessionTTL > 0 {
 		srv.loops.Add(1)
 		go srv.gcLoop()
@@ -98,9 +103,22 @@ func (srv *server) Close() {
 	for _, sess := range srv.sessions {
 		sessions = append(sessions, sess)
 	}
+	jobs := make([]*shardJob, 0, len(srv.shardJobs))
+	for _, job := range srv.shardJobs {
+		jobs = append(jobs, job)
+	}
 	srv.mu.Unlock()
 	for _, sess := range sessions {
 		<-sess.done
+	}
+	// Coordinator logs fsync on every append, so closing here loses
+	// nothing — it just releases the file handles for unharvested jobs.
+	for _, job := range jobs {
+		job.mu.Lock()
+		if job.log != nil {
+			job.log.Close()
+		}
+		job.mu.Unlock()
 	}
 	if srv.store != nil {
 		srv.store.Close()
@@ -251,6 +269,10 @@ func (srv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	srv.mu.Lock()
 	n := len(srv.sessions)
 	active := srv.active
+	coords := make([]*shard.Coordinator, 0, len(srv.shardJobs))
+	for _, job := range srv.shardJobs {
+		coords = append(coords, job.coord)
+	}
 	srv.mu.Unlock()
 	status := "ok"
 	if srv.draining.Load() {
@@ -265,6 +287,27 @@ func (srv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if max := srv.cfg.serve.MaxSessions; max > 0 {
 		resp["max_sessions"] = max
+	}
+	if len(coords) > 0 || srv.recoveredJobs > 0 {
+		var done, staleFenced, recRecords int
+		degraded := false
+		for _, c := range coords {
+			st := c.Status()
+			if st.Done {
+				done++
+			}
+			staleFenced += st.StaleFenced
+			recRecords += st.RecoveredRecords
+			degraded = degraded || st.LogDegraded
+		}
+		resp["shards"] = map[string]any{
+			"jobs":              len(coords),
+			"done":              done,
+			"stale_fenced":      staleFenced,
+			"recovered_jobs":    srv.recoveredJobs,
+			"recovered_records": recRecords,
+			"log_degraded":      degraded,
+		}
 	}
 	if srv.store != nil {
 		stats := srv.store.Stats()

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -57,12 +58,16 @@ type shardRequest struct {
 
 // shardJob pairs a coordinator with the prepared run its layout
 // fingerprint came from, so harvest replays the merged journal without
-// re-preparing the workload.
+// re-preparing the workload. A job recovered from its coordinator log
+// after a daemon restart has no run yet (nil) — harvest re-prepares the
+// workload lazily from the spec and verifies the layout fingerprint
+// still matches before replaying.
 type shardJob struct {
 	id    string
 	spec  shard.JobSpec
 	run   *pipeline.Run
 	coord *shard.Coordinator
+	log   *shard.Log // crash-safety log; closed and removed on harvest
 
 	mu      sync.Mutex
 	harvest *harvestResult // non-nil once harvested (idempotent)
@@ -163,11 +168,63 @@ func (srv *server) newShardJob(ctx context.Context, id string, req shardRequest)
 	}
 	spec.LayoutFP = layout.Fingerprint()
 
-	coord, err := shard.NewCoordinator(shard.Config{JobID: id, Spec: spec, Lease: lease})
+	// The coordinator log makes the job survive a daemon crash: every
+	// lease epoch and completed shard is persisted before the worker
+	// learns of it, and startup recovery rebuilds the job so reconnecting
+	// workers resume with zero re-evaluation.
+	log, err := shard.OpenLog(srv.coordLogPath(id))
 	if err != nil {
 		return nil, err
 	}
-	return &shardJob{id: id, spec: spec, run: run, coord: coord}, nil
+	coord, err := shard.NewCoordinator(shard.Config{JobID: id, Spec: spec, Lease: lease, Log: log})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return &shardJob{id: id, spec: spec, run: run, coord: coord, log: log}, nil
+}
+
+// coordLogPath is where job id's coordinator log lives under -data-dir.
+func (srv *server) coordLogPath(id string) string {
+	return filepath.Join(srv.cfg.dataDir, id+".coordlog")
+}
+
+// recoverShardJobs rebuilds jobs from coordinator logs a previous daemon
+// left under -data-dir (a harvested job removes its log, so whatever is
+// here was in flight when the daemon died). Recovered jobs are
+// immediately joinable: completed shards serve their merged records with
+// zero re-evaluation, live leases are honored under their original
+// epochs, and pre-crash stale workers stay fenced. The workload is not
+// re-prepared here — harvest does that lazily — so recovery is cheap
+// even for many jobs. A log that cannot be recovered is skipped with a
+// warning, never deleted: the bytes may still be wanted post-mortem.
+func (srv *server) recoverShardJobs() {
+	paths, err := filepath.Glob(filepath.Join(srv.cfg.dataDir, "*.coordlog"))
+	if err != nil || len(paths) == 0 {
+		return
+	}
+	for _, p := range paths {
+		log, err := shard.OpenLog(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skoped: skipping coordinator log %s: %v\n", p, err)
+			continue
+		}
+		coord, err := shard.RecoverCoordinator(log, shard.Config{})
+		if err != nil {
+			log.Close()
+			fmt.Fprintf(os.Stderr, "skoped: skipping coordinator log %s: %v\n", p, err)
+			continue
+		}
+		st := coord.Status()
+		job := &shardJob{id: st.JobID, spec: coord.Spec(), coord: coord, log: log}
+		srv.mu.Lock()
+		srv.shardJobs[job.id] = job
+		srv.mu.Unlock()
+		srv.shards.Add(coord)
+		srv.recoveredJobs++
+		fmt.Printf("skoped: recovered shard job %s (%d/%d shards done, %d records, %d leased)\n",
+			job.id, st.Completed, st.Shards, st.Merged, st.Leased)
+	}
 }
 
 func (srv *server) handleShardSubmit(w http.ResponseWriter, r *http.Request) {
@@ -235,8 +292,30 @@ func (srv *server) handleShardHarvest(w http.ResponseWriter, r *http.Request) {
 // harvestJob writes the merged journal under -data-dir and replays it
 // through the pipeline into the shared store: every journaled record
 // becomes a store entry under the daemon's default criteria, bit-identical
-// to what the workers computed.
+// to what the workers computed. A recovered job (no prepared run) gets
+// its workload re-prepared here, verified against the pinned layout
+// fingerprint. On success the coordinator log is retired — the merged
+// journal is now the durable artifact.
 func (srv *server) harvestJob(ctx context.Context, job *shardJob) (*harvestResult, error) {
+	if job.run == nil {
+		w, err := job.spec.Workload()
+		if err != nil {
+			return nil, err
+		}
+		run, err := pipeline.Prepare(ctx, w, job.spec.Options()...)
+		if err != nil {
+			return nil, fmt.Errorf("re-prepare recovered job: %w", err)
+		}
+		layout, err := run.Layout()
+		if err != nil {
+			return nil, err
+		}
+		if fp := layout.Fingerprint(); fp != job.spec.LayoutFP {
+			return nil, fmt.Errorf("recovered job %s: layout fingerprint %s, job pinned %s (version skew)",
+				job.id, fp, job.spec.LayoutFP)
+		}
+		job.run = run
+	}
 	mergedPath := filepath.Join(srv.cfg.dataDir, job.id+".journal")
 	n, err := job.coord.WriteMerged(mergedPath)
 	if err != nil {
@@ -274,6 +353,13 @@ func (srv *server) harvestJob(ctx context.Context, job *shardJob) (*harvestResul
 		if srv.store != nil {
 			res.Stored++
 		}
+	}
+	// The merged journal and store now carry everything the coordinator
+	// log protected; retire it so restarts stop recovering a finished job.
+	if job.log != nil {
+		job.log.Close()
+		_ = os.Remove(job.log.Path())
+		job.log = nil
 	}
 	return res, nil
 }

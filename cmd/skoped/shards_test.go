@@ -7,10 +7,12 @@ package main
 import (
 	"context"
 	"net/http"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"skope/internal/guard"
 	"skope/internal/journal"
 	"skope/internal/shard"
 )
@@ -102,6 +104,121 @@ func TestShardJobLifecycle(t *testing.T) {
 	_, summary := streamLines(t, ts.URL, id, "")
 	if int(summary["from_store"].(float64)) < 2 {
 		t.Errorf("session not served from harvested store: %v", summary)
+	}
+}
+
+// TestShardJobRecoveryAcrossRestart kills the daemon mid-job and builds a
+// fresh one on the same -data-dir: the coordinator log rebuilds the job,
+// healthz reports the recovery, the same worker reconnects and finishes
+// without re-evaluating anything it journaled, and harvest — which must
+// re-prepare the workload lazily, since the recovered job has none —
+// produces the full merged journal and retires the coordinator log.
+func TestShardJobRecoveryAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a sharded sweep across a daemon restart")
+	}
+	dataDir := t.TempDir()
+	workerDir := t.TempDir()
+	_, ts1 := testServer(t, dataDir, "", 2)
+
+	// Slow evaluations down enough that the kill lands mid-job.
+	disarm := guard.Arm("explore.evaluate", func(string) { time.Sleep(50 * time.Millisecond) })
+	defer disarm()
+
+	resp, out := postJSON(t, ts1.URL+"/v1/shards", shardRequest{
+		Bench:     "sord",
+		Sweep:     []string{"mem-bandwidth=16,32,64,96"},
+		ShardSize: 1,
+		Lease:     "2s",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d: %v", resp.StatusCode, out)
+	}
+	jobID := out["status"].(map[string]any)["job"].(string)
+	logPath := filepath.Join(dataDir, jobID+".coordlog")
+	if _, err := os.Stat(logPath); err != nil {
+		t.Fatalf("no coordinator log after submit: %v", err)
+	}
+
+	// The worker runs until at least one shard is durably complete, then
+	// its context is cut — standing in for the whole machine pausing while
+	// the daemon dies.
+	wctx, stop := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		w := &shard.Worker{
+			Client:  &shard.Client{BaseURL: ts1.URL, Timeout: 5 * time.Second},
+			JobID:   jobID,
+			ID:      "w1",
+			DataDir: workerDir,
+			Poll:    10 * time.Millisecond,
+		}
+		_, _ = w.Run(wctx)
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		detail := getJSON(t, ts1.URL+"/v1/shards/"+jobID)
+		st := detail["status"].(map[string]any)
+		if st["completed"].(float64) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no shard completed in time: %v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop()
+	<-workerDone
+	ts1.Close() // the daemon dies; its t.Cleanup close becomes a no-op
+
+	// The restart: a fresh daemon on the same -data-dir recovers the job.
+	srv2, ts2 := testServer(t, dataDir, "", 2)
+	if srv2.recoveredJobs != 1 {
+		t.Fatalf("recovered %d jobs, want 1", srv2.recoveredJobs)
+	}
+	h := getJSON(t, ts2.URL+"/v1/healthz")
+	shardsInfo, ok := h["shards"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no shards section: %v", h)
+	}
+	if shardsInfo["recovered_jobs"].(float64) != 1 || shardsInfo["recovered_records"].(float64) < 1 {
+		t.Fatalf("healthz shards = %v, want a recovered job with records", shardsInfo)
+	}
+
+	// The same worker reconnects to the new daemon and finishes. Replaying
+	// its own journal covers anything it evaluated before the cut; the
+	// recovered coordinator serves completed shards from the log.
+	w2 := &shard.Worker{
+		Client:  &shard.Client{BaseURL: ts2.URL, Timeout: 5 * time.Second},
+		JobID:   jobID,
+		ID:      "w1",
+		DataDir: workerDir,
+		Poll:    10 * time.Millisecond,
+	}
+	stats, err := w2.Run(context.Background())
+	if err != nil {
+		t.Fatalf("worker after restart: %v (stats %+v)", err, stats)
+	}
+
+	// Harvest on the recovered daemon: lazy re-prepare, full merge, log
+	// retired.
+	hresp, hout := postJSON(t, ts2.URL+"/v1/shards/"+jobID+"/harvest", struct{}{})
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("harvest: status %d: %v", hresp.StatusCode, hout)
+	}
+	if int(hout["records"].(float64)) != 4 {
+		t.Fatalf("harvest = %v, want 4 records", hout)
+	}
+	var n int
+	if _, err := journal.Scan(filepath.Join(dataDir, jobID+".journal"), func(string, []byte) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("merged journal has %d records, want 4", n)
+	}
+	if _, err := os.Stat(logPath); !os.IsNotExist(err) {
+		t.Fatalf("coordinator log not retired after harvest: %v", err)
 	}
 }
 

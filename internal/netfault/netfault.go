@@ -1,0 +1,289 @@
+// Package netfault is the network counterpart of internal/iofault: a
+// scriptable http.RoundTripper seam that injects the faults a real
+// network produces — dropped requests, dropped responses, duplicated
+// deliveries, truncated bodies, server errors, latency, and full
+// partitions — at exact, deterministic points.
+//
+// The seam sits between the shard worker's Client and the wire, so a
+// test drives the real client/coordinator protocol under fire without a
+// flaky network or sleeps. Faults follow the iofault idiom: a Plan names
+// the Nth matching request (1-based, counted per Faulty instance), the
+// injected errors wrap ErrInjected plus the realistic syscall cause
+// (connection reset), and Stats reports what actually fired so tests can
+// assert the fault path ran.
+//
+// The fault vocabulary is chosen to exercise distinct protocol
+// obligations:
+//
+//   - DropRequestAt: the server never sees the request — pure retry.
+//   - DropResponseAt: the server processed the request but the client
+//     never learns it — the retry arrives as a DUPLICATE delivery, the
+//     case that forces idempotent RPCs and epoch fencing.
+//   - DuplicateAt: the request is delivered twice back to back —
+//     reordered/duplicated delivery without a client-visible error.
+//   - TruncateAt: the response body is cut mid-frame — the client must
+//     treat a short read as a transient failure, never as data.
+//   - Status500At: a synthetic 500 without delivery — transient by
+//     classification.
+//   - DelayAt/Delay: added latency, for deadline-derivation tests.
+//
+// Partition()/Heal() toggle a full partition at runtime, independent of
+// the counted plan — the shape of a worker that falls off the network
+// mid-lease and comes back after its shard was stolen.
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrInjected marks every fault this package produces. Injected errors
+// also wrap the realistic cause (syscall.ECONNRESET), so code that
+// classifies by cause sees what a real network would show.
+var ErrInjected = errors.New("netfault: injected fault")
+
+// ErrPartitioned marks a request refused because the transport is
+// currently partitioned (Partition was called and Heal was not).
+var ErrPartitioned = fmt.Errorf("%w: partitioned", ErrInjected)
+
+// Plan scripts which requests fault. Counters are 1-based ordinals over
+// the requests matching Verb, counted per Faulty instance; zero means
+// "never". One request triggers at most one fault (checked in the order
+// the fields are declared), so a plan can script different faults at
+// different ordinals without interference.
+type Plan struct {
+	// Verb restricts the plan to requests whose URL path ends in this
+	// segment ("lease", "complete", ...). Empty matches every request.
+	Verb string
+
+	// DropRequestAt resets the connection before the Nth matching
+	// request reaches the server.
+	DropRequestAt int
+	// DropResponseAt delivers the Nth matching request — the server
+	// processes it — then drops the response on the floor, so the
+	// client sees a reset and retries a request the server already
+	// handled.
+	DropResponseAt int
+	// DuplicateAt delivers the Nth matching request twice; the first
+	// response is discarded and the second returned.
+	DuplicateAt int
+	// TruncateAt truncates the Nth matching response body halfway.
+	TruncateAt int
+	// Status500At replaces the Nth matching request with a synthetic
+	// 500 response; the server never sees the request.
+	Status500At int
+	// DelayAt stalls the Nth matching request by Delay before
+	// delivering it normally.
+	DelayAt int
+	Delay   time.Duration
+}
+
+// Stats counts what the transport did. Requests counts matching
+// requests (the ordinal space of the plan); the fault counters count
+// injections that actually fired.
+type Stats struct {
+	Requests    int
+	Dropped     int // requests refused before delivery (DropRequestAt + partition)
+	LostResps   int // responses dropped after delivery (DropResponseAt)
+	Duplicated  int
+	Truncated   int
+	Injected500 int
+	Delayed     int
+}
+
+// Injected reports the total number of faults that fired.
+func (s Stats) Injected() int {
+	return s.Dropped + s.LostResps + s.Duplicated + s.Truncated + s.Injected500 + s.Delayed
+}
+
+// Faulty is a RoundTripper that injects the plan's faults in front of a
+// base transport. Safe for concurrent use; the fault decision is made
+// under a lock, the network call itself outside it.
+type Faulty struct {
+	base http.RoundTripper
+
+	mu          sync.Mutex
+	plan        Plan
+	st          Stats
+	partitioned bool
+}
+
+// New wraps base (nil selects http.DefaultTransport) with the plan.
+func New(base http.RoundTripper, plan Plan) *Faulty {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Faulty{base: base, plan: plan}
+}
+
+// Stats snapshots the injection counters.
+func (f *Faulty) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// Partition makes every subsequent request fail with ErrPartitioned
+// until Heal. Partitioned requests do not consume plan ordinals.
+func (f *Faulty) Partition() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitioned = true
+}
+
+// Heal ends a partition.
+func (f *Faulty) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitioned = false
+}
+
+// fault is the decision for one request.
+type fault int
+
+const (
+	faultNone fault = iota
+	faultDropRequest
+	faultDropResponse
+	faultDuplicate
+	faultTruncate
+	fault500
+	faultDelay
+)
+
+// decide classifies one request under the lock and bumps the counters
+// for faults whose effect is decided here.
+func (f *Faulty) decide(req *http.Request) fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.partitioned {
+		f.st.Dropped++
+		return faultDropRequest
+	}
+	if f.plan.Verb != "" && path.Base(req.URL.Path) != f.plan.Verb {
+		return faultNone
+	}
+	f.st.Requests++
+	n := f.st.Requests
+	switch n {
+	case f.plan.DropRequestAt:
+		f.st.Dropped++
+		return faultDropRequest
+	case f.plan.DropResponseAt:
+		f.st.LostResps++
+		return faultDropResponse
+	case f.plan.DuplicateAt:
+		f.st.Duplicated++
+		return faultDuplicate
+	case f.plan.TruncateAt:
+		f.st.Truncated++
+		return faultTruncate
+	case f.plan.Status500At:
+		f.st.Injected500++
+		return fault500
+	case f.plan.DelayAt:
+		f.st.Delayed++
+		return faultDelay
+	}
+	return faultNone
+}
+
+func injected(verb string, cause error) error {
+	return fmt.Errorf("%w: %s: %w", ErrInjected, verb, cause)
+}
+
+// RoundTrip applies the plan to one request.
+func (f *Faulty) RoundTrip(req *http.Request) (*http.Response, error) {
+	verb := path.Base(req.URL.Path)
+	switch f.decide(req) {
+	case faultDropRequest:
+		// The request never reaches the server; the connection resets.
+		return nil, injected(verb, syscall.ECONNRESET)
+
+	case faultDropResponse:
+		// Deliver the request — the server's state changes — then lose
+		// the response, so the client must retry something already done.
+		resp, err := f.base.RoundTrip(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return nil, injected(verb, syscall.ECONNRESET)
+
+	case faultDuplicate:
+		// Deliver twice; the server sees the same request back to back.
+		second, err := cloneRequest(req)
+		if err != nil {
+			return nil, injected(verb, err)
+		}
+		if resp, ferr := f.base.RoundTrip(req); ferr == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return f.base.RoundTrip(second)
+
+	case faultTruncate:
+		resp, err := f.base.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, injected(verb, rerr)
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body[:len(body)/2]))
+		resp.ContentLength = int64(len(body) / 2)
+		return resp, nil
+
+	case fault500:
+		// A synthetic 500 without delivery: the transient-server-error
+		// shape, injected deterministically.
+		return &http.Response{
+			Status:     "500 Internal Server Error",
+			StatusCode: http.StatusInternalServerError,
+			Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
+			Header:  http.Header{"Content-Type": []string{"application/json"}},
+			Body:    io.NopCloser(bytes.NewReader([]byte(`{"error":"netfault: injected server error"}`))),
+			Request: req,
+		}, nil
+
+	case faultDelay:
+		f.mu.Lock()
+		d := f.plan.Delay
+		f.mu.Unlock()
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-t.C:
+		}
+	}
+	return f.base.RoundTrip(req)
+}
+
+// cloneRequest rebuilds a request whose body can be sent again (the
+// first delivery consumed the original body).
+func cloneRequest(req *http.Request) (*http.Request, error) {
+	out := req.Clone(req.Context())
+	if req.Body == nil || req.Body == http.NoBody {
+		return out, nil
+	}
+	if req.GetBody == nil {
+		return nil, errors.New("request body is not replayable")
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, err
+	}
+	out.Body = body
+	return out, nil
+}

@@ -1,0 +1,244 @@
+package netfault
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// echoServer counts deliveries per verb and echoes a JSON body.
+func echoServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"path": r.URL.Path, "len": len(body), "ok": true,
+		})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func post(t *testing.T, client *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(`{"worker":"w1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return client.Do(req)
+}
+
+func TestDropRequestNeverReachesServer(t *testing.T) {
+	srv, hits := echoServer(t)
+	ft := New(nil, Plan{DropRequestAt: 2})
+	client := &http.Client{Transport: ft}
+
+	if resp, err := post(t, client, srv.URL+"/v1/shards/j/lease"); err != nil {
+		t.Fatalf("request 1: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	_, err := post(t, client, srv.URL+"/v1/shards/j/lease")
+	if err == nil {
+		t.Fatal("request 2 should have been dropped")
+	}
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ECONNRESET) {
+		t.Errorf("dropped request error %v should wrap ErrInjected and ECONNRESET", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server saw %d deliveries, want 1 (the drop must precede delivery)", got)
+	}
+	st := ft.Stats()
+	if st.Requests != 2 || st.Dropped != 1 || st.Injected() != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestDropResponseDeliversFirst(t *testing.T) {
+	srv, hits := echoServer(t)
+	ft := New(nil, Plan{DropResponseAt: 1})
+	client := &http.Client{Transport: ft}
+
+	if _, err := post(t, client, srv.URL+"/v1/shards/j/complete"); err == nil {
+		t.Fatal("response should have been dropped")
+	}
+	// The defining property: the server DID process the request.
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server saw %d deliveries, want 1 (drop-response happens after delivery)", got)
+	}
+	if st := ft.Stats(); st.LostResps != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	srv, hits := echoServer(t)
+	ft := New(nil, Plan{DuplicateAt: 1})
+	client := &http.Client{Transport: ft}
+
+	resp, err := post(t, client, srv.URL+"/v1/shards/j/complete")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Len int  `json:"len"`
+		OK  bool `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || out.Len == 0 {
+		t.Errorf("duplicate's surviving response %+v lost the request body", out)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("server saw %d deliveries, want 2", got)
+	}
+	if st := ft.Stats(); st.Duplicated != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestTruncateCutsBody(t *testing.T) {
+	srv, _ := echoServer(t)
+	ft := New(nil, Plan{TruncateAt: 1})
+	client := &http.Client{Transport: ft}
+
+	resp, err := post(t, client, srv.URL+"/v1/shards/j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("reading truncated body: %v", err)
+	}
+	var v map[string]any
+	if json.Unmarshal(buf.Bytes(), &v) == nil {
+		t.Errorf("truncated body %q still parses — nothing was cut", buf.String())
+	}
+	if st := ft.Stats(); st.Truncated != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestInjected500WithoutDelivery(t *testing.T) {
+	srv, hits := echoServer(t)
+	ft := New(nil, Plan{Status500At: 1})
+	client := &http.Client{Transport: ft}
+
+	resp, err := post(t, client, srv.URL+"/v1/shards/j/lease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 0 {
+		t.Errorf("server saw %d deliveries, want 0 (the 500 is synthetic)", got)
+	}
+}
+
+func TestDelayStalls(t *testing.T) {
+	srv, _ := echoServer(t)
+	ft := New(nil, Plan{DelayAt: 1, Delay: 50 * time.Millisecond})
+	client := &http.Client{Transport: ft}
+
+	start := time.Now()
+	resp, err := post(t, client, srv.URL+"/v1/shards/j/heartbeat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("request returned in %v, delay never applied", elapsed)
+	}
+	if st := ft.Stats(); st.Delayed != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestVerbFilterScopesOrdinals(t *testing.T) {
+	srv, hits := echoServer(t)
+	ft := New(nil, Plan{Verb: "complete", DropRequestAt: 1})
+	client := &http.Client{Transport: ft}
+
+	// Non-matching verbs pass through and do not consume the ordinal.
+	for i := 0; i < 3; i++ {
+		resp, err := post(t, client, srv.URL+"/v1/shards/j/lease")
+		if err != nil {
+			t.Fatalf("lease %d: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	if _, err := post(t, client, srv.URL+"/v1/shards/j/complete"); err == nil {
+		t.Fatal("first complete should have been dropped")
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d deliveries, want 3", got)
+	}
+	if st := ft.Stats(); st.Requests != 1 || st.Dropped != 1 {
+		t.Errorf("stats %+v count non-matching verbs", st)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	srv, hits := echoServer(t)
+	ft := New(nil, Plan{})
+	client := &http.Client{Transport: ft}
+
+	ft.Partition()
+	if _, err := post(t, client, srv.URL+"/v1/shards/j/heartbeat"); !errors.Is(err, ErrPartitioned) && !errors.Is(err, ErrInjected) {
+		t.Fatalf("partitioned request error %v should wrap ErrInjected", err)
+	}
+	if got := hits.Load(); got != 0 {
+		t.Fatalf("server saw %d deliveries through a partition", got)
+	}
+	ft.Heal()
+	resp, err := post(t, client, srv.URL+"/v1/shards/j/heartbeat")
+	if err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	resp.Body.Close()
+	if st := ft.Stats(); st.Dropped != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestOneFaultPerRequest(t *testing.T) {
+	srv, hits := echoServer(t)
+	// Ordinal 1 matches both DropRequestAt and Status500At; drop wins and
+	// the 500 never fires.
+	ft := New(nil, Plan{DropRequestAt: 1, Status500At: 1})
+	client := &http.Client{Transport: ft}
+	if _, err := post(t, client, srv.URL+"/v1/shards/j/lease"); err == nil {
+		t.Fatal("request should have been dropped")
+	}
+	resp, err := post(t, client, srv.URL+"/v1/shards/j/lease")
+	if err != nil {
+		t.Fatalf("request 2: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("request 2 status %d, want 200", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server saw %d deliveries, want 1", got)
+	}
+	if st := ft.Stats(); st.Injected() != 1 {
+		t.Errorf("stats %+v, want exactly one injection", st)
+	}
+}

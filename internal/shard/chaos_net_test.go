@@ -1,0 +1,334 @@
+package shard_test
+
+// The network chaos suite: drive the real worker/coordinator protocol
+// through the netfault seam and assert the fault-tolerance obligations —
+// a partitioned worker's late reports are fenced cleanly, retried RPCs
+// ride out drops/duplicates/truncation/5xx without corrupting the merge,
+// and a coordinator killed and restarted mid-job recovers from its log
+// so live workers reconnect and finish with zero re-evaluation.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"skope/internal/guard"
+	"skope/internal/netfault"
+	"skope/internal/resilience"
+	"skope/internal/shard"
+)
+
+// TestChaosNetPartitionFencesStaleWorker is the partition-mid-lease
+// scenario over real HTTP: worker A leases a shard and falls off the
+// network, the lease expires, B steals and completes the shard, and A's
+// late completion — carrying corrupted payloads, the worst case — gets a
+// clean typed rejection instead of poisoning the merge.
+func TestChaosNetPartitionFencesStaleWorker(t *testing.T) {
+	spec := testSpec()
+	clock := newStepClock()
+	coord, base, jobID := serveJob(t, spec, shard.Config{
+		JobID: "j-net-fence", Lease: time.Minute, Clock: clock.Now,
+	})
+	variants, err := spec.Variants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	ft := netfault.New(nil, netfault.Plan{})
+	a := &shard.Client{BaseURL: base.BaseURL, Transport: ft}
+	respA, err := a.Lease(ctx, jobID, "a")
+	if err != nil || respA.State != shard.LeaseGranted {
+		t.Fatalf("a lease = %+v, %v", respA, err)
+	}
+
+	// The partition: every request from A dies with a connection reset.
+	ft.Partition()
+	if err := a.Heartbeat(ctx, jobID, "a", respA.Shard.ID, respA.Epoch); !errors.Is(err, netfault.ErrInjected) {
+		t.Fatalf("partitioned heartbeat: %v, want an injected fault", err)
+	}
+
+	// A's lease expires; B steals the shard and completes it.
+	clock.Advance(2 * time.Minute)
+	respB, err := base.Lease(ctx, jobID, "b")
+	if err != nil || respB.State != shard.LeaseGranted {
+		t.Fatalf("b lease = %+v, %v", respB, err)
+	}
+	if respB.Shard.ID != respA.Shard.ID || respB.Epoch <= respA.Epoch {
+		t.Fatalf("steal grant = %+v, want %s past epoch %d", respB, respA.Shard.ID, respA.Epoch)
+	}
+	good := shardResults(variants, *respB.Shard)
+	if err := base.Complete(ctx, jobID, "b", respB.Shard.ID, respB.Epoch, good, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The partition heals and A's delayed completion finally arrives,
+	// corrupted in the way only a half-dead worker can manage.
+	ft.Heal()
+	garbage := shardResults(variants, *respA.Shard)
+	garbage[0].Payload = []byte(`{"variant":"garbage-from-the-partition"}`)
+	err = a.Complete(ctx, jobID, "a", respA.Shard.ID, respA.Epoch, garbage, nil)
+	if !errors.Is(err, shard.ErrStaleLease) {
+		t.Fatalf("stale complete over HTTP: %v, want ErrStaleLease", err)
+	}
+
+	// The merge is untouched: every payload is B's.
+	merged := make(map[string][]byte)
+	for _, r := range coord.MergedRecords() {
+		merged[r.Key] = r.Payload
+	}
+	for _, r := range good {
+		if !bytes.Equal(merged[r.Key], r.Payload) {
+			t.Fatalf("variant %s: merged payload is not the live holder's", r.Key)
+		}
+	}
+	if st := coord.Status(); st.StaleFenced == 0 {
+		t.Fatalf("StaleFenced = 0 after a fenced completion: %+v", st)
+	}
+}
+
+// chaosNetWorker runs one in-process worker with a retry policy generous
+// enough to ride out the injected faults.
+func chaosNetWorker(client *shard.Client, jobID, id, dir string) *shard.Worker {
+	return &shard.Worker{
+		Client:  client,
+		JobID:   jobID,
+		ID:      id,
+		DataDir: dir,
+		Poll:    25 * time.Millisecond,
+		Retry: resilience.Policy{
+			MaxAttempts: 40,
+			BaseDelay:   25 * time.Millisecond,
+			MaxDelay:    200 * time.Millisecond,
+		},
+	}
+}
+
+// TestChaosNetRPCFaultGrid drives one real sharded sweep per fault shape
+// and asserts the worker finishes the job correctly with the fault
+// provably fired. The drop-response and duplicate cases are the
+// interesting ones: the server processes a request the client never sees
+// answered (or sees answered twice), so the retry arrives as a duplicate
+// delivery and only idempotent, epoch-fenced RPCs keep the merge exact.
+func TestChaosNetRPCFaultGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sharded sweeps")
+	}
+	spec, run := sordSpec(t)
+
+	cases := []struct {
+		name  string
+		plan  netfault.Plan
+		fired func(netfault.Stats) int
+	}{
+		{"drop-request-lease", netfault.Plan{Verb: "lease", DropRequestAt: 1},
+			func(s netfault.Stats) int { return s.Dropped }},
+		{"drop-response-complete", netfault.Plan{Verb: "complete", DropResponseAt: 1},
+			func(s netfault.Stats) int { return s.LostResps }},
+		{"duplicate-complete", netfault.Plan{Verb: "complete", DuplicateAt: 1},
+			func(s netfault.Stats) int { return s.Duplicated }},
+		{"truncate-lease-response", netfault.Plan{Verb: "lease", TruncateAt: 1},
+			func(s netfault.Stats) int { return s.Truncated }},
+		{"server-error-register", netfault.Plan{Verb: "register", Status500At: 1},
+			func(s netfault.Stats) int { return s.Injected500 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			coord, base, jobID := serveJob(t, spec, shard.Config{
+				JobID: "j-net-" + tc.name, Lease: 30 * time.Second,
+			})
+			ft := netfault.New(nil, tc.plan)
+			client := &shard.Client{BaseURL: base.BaseURL, Transport: ft, Timeout: 10 * time.Second}
+			w := chaosNetWorker(client, jobID, "w-"+tc.name, t.TempDir())
+
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			stats, err := w.Run(ctx)
+			if err != nil {
+				t.Fatalf("worker: %v", err)
+			}
+			if got := tc.fired(ft.Stats()); got == 0 {
+				t.Fatalf("fault never fired: stats = %+v", ft.Stats())
+			}
+			st := coord.Status()
+			if !st.Done || st.Merged != 6 || st.Failed != 0 {
+				t.Fatalf("status = %+v, want done with 6 merged", st)
+			}
+			switch tc.name {
+			case "drop-request-lease", "drop-response-complete", "truncate-lease-response", "server-error-register":
+				if stats.RPCRetries == 0 {
+					t.Fatalf("client-visible fault cost no retries: %+v", stats)
+				}
+			case "duplicate-complete":
+				// The duplicate is invisible to the client; the server saw
+				// the same completion twice and must have merged once,
+				// bit-identically to a single-process sweep.
+				if stats.Shards != 3 {
+					t.Fatalf("worker completed %d shards, want 3: %+v", stats.Shards, stats)
+				}
+				assertMergedMatchesDirect(t, coord, run, spec,
+					filepath.Join(t.TempDir(), "merged.journal"))
+			}
+		})
+	}
+}
+
+// TestChaosNetCoordinatorRestartMidJob kills the coordinator process
+// boundary mid-job — the HTTP server goes away without closing the
+// coordinator log, exactly what SIGKILL leaves — and restarts it on the
+// same address from the log. Live workers ride out the outage on their
+// retry policies, reconnect, and finish; nothing durable is re-evaluated
+// and the merged result set is bit-identical to a direct sweep.
+func TestChaosNetCoordinatorRestartMidJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full sharded sweep with a coordinator restart")
+	}
+	spec, run := sordSpec(t)
+	variants, err := spec.Variants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "j-restart.coordlog")
+	const jobID = "j-restart"
+
+	// Evaluation log: one line per evaluation that actually runs, plus
+	// enough per-variant latency that the kill lands mid-job.
+	var evMu sync.Mutex
+	var evals []string
+	disarm := guard.Arm("explore.evaluate", func(detail string) {
+		evMu.Lock()
+		evals = append(evals, detail)
+		evMu.Unlock()
+		time.Sleep(100 * time.Millisecond)
+	})
+	defer disarm()
+	evalCount := func() int {
+		evMu.Lock()
+		defer evMu.Unlock()
+		return len(evals)
+	}
+
+	serve := func(coord *shard.Coordinator, addr string) (*http.Server, string) {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := shard.NewService()
+		svc.Add(coord)
+		mux := http.NewServeMux()
+		svc.Mount(mux)
+		hsrv := &http.Server{Handler: mux}
+		go hsrv.Serve(ln)
+		return hsrv, ln.Addr().String()
+	}
+
+	log1, err := shard.OpenLog(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord1, err := shard.NewCoordinator(shard.Config{
+		JobID: jobID, Spec: spec, Lease: 1500 * time.Millisecond, Log: log1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsrv1, addr := serve(coord1, "127.0.0.1:0")
+
+	client := &shard.Client{BaseURL: "http://" + addr, Timeout: 2 * time.Second}
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	workerStats := make([]shard.WorkerStats, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := chaosNetWorker(client, jobID, fmt.Sprintf("w%d", i), dir)
+			workerStats[i], workerErrs[i] = w.Run(ctx)
+		}(i)
+	}
+
+	// Kill window: at least one shard durably completed, job not done.
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		st := coord1.Status()
+		if st.Completed >= 1 && !st.Done {
+			break
+		}
+		if st.Done {
+			t.Fatal("job finished before the kill window")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for the kill window: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The crash: the listener dies abruptly; the log is NOT closed (a
+	// real SIGKILL closes nothing) — fsync-per-append is what makes the
+	// bytes on disk complete anyway.
+	if err := hsrv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot durability before the restart: any evaluation after this
+	// point naming one of these variants is a re-evaluation bug.
+	durable := journaledNames(t, dir, jobID, variants)
+	evalsAtKill := evalCount()
+	if len(durable) == 0 {
+		t.Fatal("no durable variants at the kill — the test lost its premise")
+	}
+
+	// The restart: recover the coordinator from its log on the same
+	// address. Lease epochs and completed shards come back; the workers'
+	// retry policies bridge the gap.
+	log2, err := shard.OpenLog(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	coord2, err := shard.RecoverCoordinator(log2, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := coord2.Status(); st.RecoveredShards < 1 {
+		t.Fatalf("recovered coordinator replayed no shards: %+v", st)
+	}
+	hsrv2, _ := serve(coord2, addr)
+	defer hsrv2.Close()
+
+	wg.Wait()
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v (stats %+v)", i, err, workerStats[i])
+		}
+	}
+	if !coord2.Done() {
+		t.Fatalf("job not done after workers exited: %+v", coord2.Status())
+	}
+	st := coord2.Status()
+	if st.Merged != len(variants) || st.Failed != 0 {
+		t.Fatalf("status = %+v, want %d merged", st, len(variants))
+	}
+
+	// Zero re-evaluation: nothing durable at the kill ran again.
+	evMu.Lock()
+	after := append([]string(nil), evals[evalsAtKill:]...)
+	evMu.Unlock()
+	for _, name := range after {
+		if durable[name] {
+			t.Errorf("variant %q re-evaluated after it was durable at the coordinator kill", name)
+		}
+	}
+
+	// The headline: bit-identical to a single-process sweep.
+	assertMergedMatchesDirect(t, coord2, run, spec, filepath.Join(dir, "merged.journal"))
+}

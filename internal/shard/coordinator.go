@@ -30,6 +30,13 @@ var (
 	// ErrUnknownShard marks a report against a shard ID the job does not
 	// have.
 	ErrUnknownShard = errors.New("unknown shard")
+	// ErrStaleLease marks a report carrying a fencing epoch older than the
+	// shard's current one: the reporter's lease expired and the shard was
+	// re-granted. Unlike ErrNotOwner (no lease at all), a stale epoch
+	// proves the reporter once held the shard and lost it — its report is
+	// cleanly rejected so it can never race the current holder's, no
+	// matter how delayed, duplicated, or reordered its delivery was.
+	ErrStaleLease = errors.New("stale lease epoch")
 )
 
 // LeaseState is the outcome of one lease request.
@@ -91,6 +98,12 @@ type Config struct {
 	Cost explore.CostFunc
 	// Clock is the time source (nil selects time.Now; tests pin it).
 	Clock func() time.Time
+	// Log, when set, makes the coordinator crash-safe: the job record,
+	// every lease grant/renewal (with its fencing epoch), and every
+	// completed shard's results are appended to it before the worker
+	// learns of them, so RecoverCoordinator rebuilds the exact state
+	// after a daemon crash. Nil keeps the job memory-only.
+	Log *Log
 }
 
 // workerInfo is the coordinator's per-worker bookkeeping.
@@ -111,6 +124,7 @@ const (
 
 type lease struct {
 	worker   string
+	epoch    uint64
 	deadline time.Time
 }
 
@@ -127,15 +141,28 @@ type Coordinator struct {
 	breaker  *resilience.Breaker
 	frontier *Frontier
 
-	mu      sync.Mutex
-	state   []shardState
-	leases  map[int]lease // shard index → holder
+	mu     sync.Mutex
+	state  []shardState
+	leases map[int]lease // shard index → holder
+	// epochs fences each shard: bumped on every grant, never reset —
+	// not even by recovery — so a report carrying an old epoch is
+	// rejected no matter when it arrives.
+	epochs  []uint64
 	workers map[string]*workerInfo
 	merged  map[string][]byte // variant fingerprint → journal payload
 	times   map[int]uint64    // variant index → projected-time bits
 	// failed records variant failures by index (first report wins).
-	failed map[int]VariantFailure
-	steals int
+	failed      map[int]VariantFailure
+	steals      int
+	staleFenced int // reports rejected by epoch fencing
+
+	// log is the crash-safety journal (nil = memory-only job). A write
+	// failure latches logDegraded: the job keeps serving from memory.
+	log              *Log
+	logDegraded      bool
+	logErr           error
+	recoveredShards  int
+	recoveredRecords int
 }
 
 // NewCoordinator builds the coordinator for one job, materializing and
@@ -160,7 +187,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	shards := Partition(cfg.Spec.LayoutFP, variants, cfg.Spec.ShardSize)
 	breaker := resilience.NewProbingBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	breaker.Clock = cfg.Clock
-	return &Coordinator{
+	c := &Coordinator{
 		cfg:      cfg,
 		variants: variants,
 		shards:   shards,
@@ -168,11 +195,28 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		frontier: NewFrontier(cfg.Cost),
 		state:    make([]shardState, len(shards)),
 		leases:   make(map[int]lease),
+		epochs:   make([]uint64, len(shards)),
 		workers:  make(map[string]*workerInfo),
 		merged:   make(map[string][]byte),
 		times:    make(map[int]uint64),
 		failed:   make(map[int]VariantFailure),
-	}, nil
+	}
+	if cfg.Log != nil {
+		// The job record is the recovery anchor; failing to persist it
+		// is a creation failure, not a degradation — an operator who
+		// asked for a crash-safe job should not silently get a
+		// memory-only one.
+		if err := cfg.Log.begin(cfg.JobID); err != nil {
+			return nil, fmt.Errorf("shard: job %s: log: %w", cfg.JobID, err)
+		}
+		if err := cfg.Log.append(logKeyJob, logJobRecord{
+			JobID: cfg.JobID, Spec: cfg.Spec, LeaseMs: cfg.Lease.Milliseconds(),
+		}); err != nil {
+			return nil, fmt.Errorf("shard: job %s: log: %w", cfg.JobID, err)
+		}
+		c.log = cfg.Log
+	}
+	return c, nil
 }
 
 // Spec returns the job's spec (workers fetch it to reproduce the grid).
@@ -213,15 +257,41 @@ func (c *Coordinator) expireLeases() {
 	}
 }
 
+// Grant is the outcome of one lease request. Epoch is the fencing token
+// for the granted shard: the worker must present it on every heartbeat,
+// completion, and failure report, and a report whose epoch is older than
+// the shard's current one is rejected with ErrStaleLease.
+type Grant struct {
+	State LeaseState
+	// Shard and Epoch are set when State is LeaseGranted.
+	Shard Shard
+	Epoch uint64
+	// Lease is the granted lease duration.
+	Lease time.Duration
+}
+
 // Lease grants the worker a pending shard, or reports why there is none:
 // wait (all leased), done (all complete), or quarantined (this worker's
 // breaker is open). The granted lease lives for the configured interval
 // unless renewed by Heartbeat.
-func (c *Coordinator) Lease(worker string) (LeaseState, Shard, time.Duration, error) {
+//
+// Lease is idempotent per worker: if the worker already holds a live
+// lease (its previous grant's response was lost on the wire and the
+// request retried), the same shard is re-granted under the same epoch
+// with a refreshed deadline, instead of handing one worker two shards.
+func (c *Coordinator) Lease(worker string) (Grant, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.worker(worker)
 	c.expireLeases()
+	for idx, l := range c.leases {
+		if l.worker == worker {
+			renewed := lease{worker: worker, epoch: l.epoch, deadline: c.cfg.Clock().Add(c.cfg.Lease)}
+			c.leases[idx] = renewed
+			c.logLease(idx, renewed)
+			return Grant{State: LeaseGranted, Shard: c.shards[idx], Epoch: l.epoch, Lease: c.cfg.Lease}, nil
+		}
+	}
 	pending := -1
 	leased := 0
 	for idx, st := range c.state {
@@ -239,16 +309,21 @@ func (c *Coordinator) Lease(worker string) (LeaseState, Shard, time.Duration, er
 		// worker's half-open probe must not be consumed by a request
 		// that could not have been granted anyway.
 		if leased > 0 {
-			return LeaseWait, Shard{}, 0, nil
+			return Grant{State: LeaseWait}, nil
 		}
-		return LeaseDone, Shard{}, 0, nil
+		return Grant{State: LeaseDone}, nil
 	}
 	if !c.breaker.Allow(worker) {
-		return LeaseQuarantined, Shard{}, 0, nil
+		return Grant{State: LeaseQuarantined}, nil
 	}
+	c.epochs[pending]++
+	granted := lease{worker: worker, epoch: c.epochs[pending], deadline: c.cfg.Clock().Add(c.cfg.Lease)}
 	c.state[pending] = shardLeased
-	c.leases[pending] = lease{worker: worker, deadline: c.cfg.Clock().Add(c.cfg.Lease)}
-	return LeaseGranted, c.shards[pending], c.cfg.Lease, nil
+	c.leases[pending] = granted
+	// Persist the grant before the worker learns of it: after a crash
+	// the recovered coordinator must never re-issue a live epoch.
+	c.logLease(pending, granted)
+	return Grant{State: LeaseGranted, Shard: c.shards[pending], Epoch: granted.epoch, Lease: c.cfg.Lease}, nil
 }
 
 // shardByID resolves a shard ID (under c.mu).
@@ -262,9 +337,10 @@ func (c *Coordinator) shardByID(id string) (int, error) {
 }
 
 // Heartbeat renews the worker's lease on the shard for another full lease
-// interval. ErrNotOwner means the lease expired and may have been stolen:
-// the worker must abandon the shard.
-func (c *Coordinator) Heartbeat(worker, shardID string) (time.Duration, error) {
+// interval. ErrNotOwner means the lease expired and may have been stolen;
+// ErrStaleLease means the shard was re-granted under a newer epoch. In
+// both cases the worker must abandon the shard.
+func (c *Coordinator) Heartbeat(worker, shardID string, epoch uint64) (time.Duration, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLeases()
@@ -272,34 +348,36 @@ func (c *Coordinator) Heartbeat(worker, shardID string) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	if epoch != c.epochs[idx] {
+		c.staleFenced++
+		return 0, fmt.Errorf("shard: job %s: %s heartbeat on %s with epoch %d, current %d: %w",
+			c.cfg.JobID, worker, shardID, epoch, c.epochs[idx], ErrStaleLease)
+	}
 	l, held := c.leases[idx]
 	if !held || l.worker != worker {
 		return 0, fmt.Errorf("shard: job %s: %s heartbeat on %s: %w", c.cfg.JobID, worker, shardID, ErrNotOwner)
 	}
-	c.leases[idx] = lease{worker: worker, deadline: c.cfg.Clock().Add(c.cfg.Lease)}
+	renewed := lease{worker: worker, epoch: l.epoch, deadline: c.cfg.Clock().Add(c.cfg.Lease)}
+	c.leases[idx] = renewed
+	// Renewals are persisted so a coordinator restart honors the live
+	// deadline instead of re-granting a shard its holder still works on.
+	c.logLease(idx, renewed)
 	return c.cfg.Lease, nil
 }
 
-// Complete merges one shard's results. Every record is validated against
-// the grid — the index must lie in the shard, the key must be that
-// variant's fingerprint, and a key reported twice must carry byte-equal
-// payloads (ErrConflict otherwise: bit-exactness is the merge invariant,
-// not a hope). Completion is accepted even if the lease was stolen — the
-// records are valid regardless of who held the lease when they landed —
-// and counts as the worker's breaker success.
-func (c *Coordinator) Complete(worker, shardID string, results []VariantResult, failures []VariantFailure) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.expireLeases()
-	idx, err := c.shardByID(shardID)
-	if err != nil {
-		return err
-	}
+// mergeShard validates and merges one shard's results and failures
+// (under c.mu). Every record is validated against the grid — the index
+// must lie in the shard, the key must be that variant's fingerprint, and
+// a key reported twice must carry byte-equal payloads (ErrConflict
+// otherwise: bit-exactness is the merge invariant, not a hope). Shared
+// by Complete and log recovery, so a recovered coordinator re-applies
+// exactly the live merge rules.
+func (c *Coordinator) mergeShard(idx int, worker string, results []VariantResult, failures []VariantFailure) error {
 	sh := c.shards[idx]
 	for _, r := range results {
 		if r.Index < sh.Start || r.Index >= sh.End {
 			return fmt.Errorf("shard: job %s: %s reported index %d outside shard %s [%d,%d)",
-				c.cfg.JobID, worker, r.Index, shardID, sh.Start, sh.End)
+				c.cfg.JobID, worker, r.Index, sh.ID, sh.Start, sh.End)
 		}
 		if want := c.variants[r.Index].Fingerprint(); r.Key != want {
 			return fmt.Errorf("shard: job %s: %s variant %d: key %s, grid says %s (version skew?): %w",
@@ -319,16 +397,52 @@ func (c *Coordinator) Complete(worker, shardID string, results []VariantResult, 
 	for _, f := range failures {
 		if f.Index < sh.Start || f.Index >= sh.End {
 			return fmt.Errorf("shard: job %s: %s failed index %d outside shard %s",
-				c.cfg.JobID, worker, f.Index, shardID)
+				c.cfg.JobID, worker, f.Index, sh.ID)
 		}
 		if _, seen := c.failed[f.Index]; !seen {
 			c.failed[f.Index] = VariantFailure{Index: f.Index, Worker: worker, Err: f.Err}
 		}
 	}
+	return nil
+}
+
+// Complete merges one shard's results, fenced by the grant's epoch: a
+// completion whose epoch is older than the shard's current one is
+// rejected with ErrStaleLease — the lease expired and the shard was
+// re-granted, so only the current holder's report may land, no matter
+// how the deliveries race. Complete is idempotent: re-delivering a
+// completion that already landed (a retry after a lost response) is
+// acknowledged without re-merging, and a successful merge counts as the
+// worker's breaker success.
+func (c *Coordinator) Complete(worker, shardID string, epoch uint64, results []VariantResult, failures []VariantFailure) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLeases()
+	idx, err := c.shardByID(shardID)
+	if err != nil {
+		return err
+	}
+	if epoch != c.epochs[idx] {
+		c.staleFenced++
+		return fmt.Errorf("shard: job %s: %s complete on %s with epoch %d, current %d: %w",
+			c.cfg.JobID, worker, shardID, epoch, c.epochs[idx], ErrStaleLease)
+	}
+	if c.state[idx] == shardDone {
+		// Duplicate delivery of the accepted completion: same epoch, so
+		// it is the same report. Acknowledge without re-merging.
+		return nil
+	}
+	if err := c.mergeShard(idx, worker, results, failures); err != nil {
+		return err
+	}
 	if l, held := c.leases[idx]; held && l.worker == worker {
 		delete(c.leases, idx)
 	}
 	c.state[idx] = shardDone
+	// Persist before acknowledging: a crash after this append recovers
+	// the shard as done with these exact bytes; a crash before it
+	// recovers the shard as leased and the worker retries Complete.
+	c.logDone(idx, worker, epoch, results, failures)
 	w := c.worker(worker)
 	w.Completed++
 	c.breaker.Success(worker)
@@ -339,14 +453,26 @@ func (c *Coordinator) Complete(worker, shardID string, results []VariantResult, 
 // opposed to individual variant failures, which ride on Complete). The
 // shard returns to the pending pool for another worker; the failure feeds
 // this worker's breaker, which quarantines it after the configured run of
-// consecutive failures.
-func (c *Coordinator) Fail(worker, shardID string, reason string) error {
+// consecutive failures. Fail is fenced like Complete: a stale epoch is
+// rejected, so a partitioned worker's late failure report cannot yank a
+// re-granted shard out from under its new holder.
+func (c *Coordinator) Fail(worker, shardID string, epoch uint64, reason string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLeases()
 	idx, err := c.shardByID(shardID)
 	if err != nil {
 		return err
+	}
+	if epoch != c.epochs[idx] {
+		c.staleFenced++
+		return fmt.Errorf("shard: job %s: %s fail on %s with epoch %d, current %d: %w",
+			c.cfg.JobID, worker, shardID, epoch, c.epochs[idx], ErrStaleLease)
+	}
+	if c.state[idx] == shardDone {
+		// A late duplicate of a report about a finished shard changes
+		// nothing; acknowledging is the idempotent answer.
+		return nil
 	}
 	if l, held := c.leases[idx]; held && l.worker == worker {
 		delete(c.leases, idx)
@@ -444,11 +570,18 @@ type Status struct {
 	Completed int    `json:"completed"`
 	// Merged counts deduplicated variant records; Failed counts variants
 	// no worker could evaluate; Steals counts expired leases returned to
-	// the pool.
-	Merged int  `json:"merged"`
-	Failed int  `json:"failed"`
-	Steals int  `json:"steals"`
-	Done   bool `json:"done"`
+	// the pool; StaleFenced counts reports rejected by epoch fencing.
+	Merged      int  `json:"merged"`
+	Failed      int  `json:"failed"`
+	Steals      int  `json:"steals"`
+	StaleFenced int  `json:"stale_fenced,omitempty"`
+	Done        bool `json:"done"`
+	// RecoveredShards and RecoveredRecords count what a coordinator
+	// restart replayed from its log; LogDegraded reports a crash-safety
+	// log that stopped accepting appends (the job serves from memory).
+	RecoveredShards  int  `json:"recovered_shards,omitempty"`
+	RecoveredRecords int  `json:"recovered_records,omitempty"`
+	LogDegraded      bool `json:"log_degraded,omitempty"`
 	// Workers maps worker IDs to their tallies; Quarantined lists workers
 	// whose breaker is currently open.
 	Workers     map[string]workerInfo `json:"workers,omitempty"`
@@ -463,14 +596,18 @@ func (c *Coordinator) Status() Status {
 	defer c.mu.Unlock()
 	c.expireLeases()
 	st := Status{
-		JobID:    c.cfg.JobID,
-		Layout:   c.cfg.Spec.LayoutFP,
-		Variants: len(c.variants),
-		Shards:   len(c.shards),
-		Merged:   len(c.merged),
-		Failed:   len(c.failed),
-		Steals:   c.steals,
-		Workers:  make(map[string]workerInfo, len(c.workers)),
+		JobID:            c.cfg.JobID,
+		Layout:           c.cfg.Spec.LayoutFP,
+		Variants:         len(c.variants),
+		Shards:           len(c.shards),
+		Merged:           len(c.merged),
+		Failed:           len(c.failed),
+		Steals:           c.steals,
+		StaleFenced:      c.staleFenced,
+		RecoveredShards:  c.recoveredShards,
+		RecoveredRecords: c.recoveredRecords,
+		LogDegraded:      c.logDegraded,
+		Workers:          make(map[string]workerInfo, len(c.workers)),
 	}
 	for _, s := range c.state {
 		switch s {

@@ -88,25 +88,25 @@ func shardResults(variants []*hw.Machine, sh shard.Shard) []shard.VariantResult 
 	return out
 }
 
-func mustLease(t *testing.T, c *shard.Coordinator, worker string) shard.Shard {
+func mustLease(t *testing.T, c *shard.Coordinator, worker string) shard.Grant {
 	t.Helper()
-	state, sh, _, err := c.Lease(worker)
+	g, err := c.Lease(worker)
 	if err != nil {
 		t.Fatalf("lease %s: %v", worker, err)
 	}
-	if state != shard.LeaseGranted {
-		t.Fatalf("lease %s: state %q, want granted", worker, state)
+	if g.State != shard.LeaseGranted {
+		t.Fatalf("lease %s: state %q, want granted", worker, g.State)
 	}
-	return sh
+	return g
 }
 
 func leaseState(t *testing.T, c *shard.Coordinator, worker string) shard.LeaseState {
 	t.Helper()
-	state, _, _, err := c.Lease(worker)
+	g, err := c.Lease(worker)
 	if err != nil {
 		t.Fatalf("lease %s: %v", worker, err)
 	}
-	return state
+	return g.State
 }
 
 func TestCoordinatorRequiresLayout(t *testing.T) {
@@ -121,19 +121,19 @@ func TestCoordinatorLeaseLifecycle(t *testing.T) {
 	clock := newStepClock()
 	c, variants := testCoordinator(t, clock)
 
-	s0 := mustLease(t, c, "a")
-	s1 := mustLease(t, c, "b")
-	s2 := mustLease(t, c, "c")
-	if s0.Index == s1.Index || s1.Index == s2.Index || s0.Index == s2.Index {
-		t.Fatalf("duplicate shard grants: %d %d %d", s0.Index, s1.Index, s2.Index)
+	g0 := mustLease(t, c, "a")
+	g1 := mustLease(t, c, "b")
+	g2 := mustLease(t, c, "c")
+	if g0.Shard.Index == g1.Shard.Index || g1.Shard.Index == g2.Shard.Index || g0.Shard.Index == g2.Shard.Index {
+		t.Fatalf("duplicate shard grants: %d %d %d", g0.Shard.Index, g1.Shard.Index, g2.Shard.Index)
 	}
 	// Everything is leased: the next request waits.
 	if st := leaseState(t, c, "d"); st != shard.LeaseWait {
 		t.Fatalf("state %q, want wait", st)
 	}
 
-	for w, sh := range map[string]shard.Shard{"a": s0, "b": s1, "c": s2} {
-		if err := c.Complete(w, sh.ID, shardResults(variants, sh), nil); err != nil {
+	for w, g := range map[string]shard.Grant{"a": g0, "b": g1, "c": g2} {
+		if err := c.Complete(w, g.Shard.ID, g.Epoch, shardResults(variants, g.Shard), nil); err != nil {
 			t.Fatalf("complete %s: %v", w, err)
 		}
 	}
@@ -167,7 +167,7 @@ func TestCoordinatorLeaseExpiryStealsShard(t *testing.T) {
 	clock := newStepClock()
 	c, variants := testCoordinator(t, clock)
 
-	s0 := mustLease(t, c, "dead")
+	g0 := mustLease(t, c, "dead")
 	mustLease(t, c, "other1")
 	mustLease(t, c, "other2")
 
@@ -177,19 +177,30 @@ func TestCoordinatorLeaseExpiryStealsShard(t *testing.T) {
 	}
 	clock.Advance(2 * time.Minute)
 	stolen := mustLease(t, c, "thief")
-	if stolen.ID != s0.ID {
-		t.Fatalf("thief got %s, want the expired %s", stolen.ID, s0.ID)
+	if stolen.Shard.ID != g0.Shard.ID {
+		t.Fatalf("thief got %s, want the expired %s", stolen.Shard.ID, g0.Shard.ID)
+	}
+	if stolen.Epoch <= g0.Epoch {
+		t.Fatalf("steal did not bump the epoch: %d -> %d", g0.Epoch, stolen.Epoch)
 	}
 	if got := c.Status().Steals; got < 1 {
 		t.Fatalf("steals = %d, want >= 1", got)
 	}
-	// The dead worker's heartbeat is now refused.
-	if _, err := c.Heartbeat("dead", s0.ID); !errors.Is(err, shard.ErrNotOwner) {
-		t.Fatalf("heartbeat after steal: %v, want ErrNotOwner", err)
+	// The dead worker's heartbeat carries the old epoch: fenced.
+	if _, err := c.Heartbeat("dead", g0.Shard.ID, g0.Epoch); !errors.Is(err, shard.ErrStaleLease) {
+		t.Fatalf("heartbeat after steal: %v, want ErrStaleLease", err)
 	}
-	// But a late completion is still accepted — the records are valid.
-	if err := c.Complete("dead", s0.ID, shardResults(variants, s0), nil); err != nil {
-		t.Fatalf("late complete: %v", err)
+	// And its late completion is fenced too — only the thief's report may
+	// land, no matter how the deliveries race.
+	if err := c.Complete("dead", g0.Shard.ID, g0.Epoch, shardResults(variants, g0.Shard), nil); !errors.Is(err, shard.ErrStaleLease) {
+		t.Fatalf("late complete: %v, want ErrStaleLease", err)
+	}
+	if got := c.Status().StaleFenced; got != 2 {
+		t.Fatalf("StaleFenced = %d, want 2", got)
+	}
+	// The thief's completion lands normally.
+	if err := c.Complete("thief", stolen.Shard.ID, stolen.Epoch, shardResults(variants, stolen.Shard), nil); err != nil {
+		t.Fatalf("thief complete: %v", err)
 	}
 }
 
@@ -197,21 +208,22 @@ func TestCoordinatorHeartbeatRenews(t *testing.T) {
 	clock := newStepClock()
 	c, _ := testCoordinator(t, clock)
 
-	sh := mustLease(t, c, "a")
+	g := mustLease(t, c, "a")
 	clock.Advance(45 * time.Second) // lease is 60s; renew at 45s
-	if _, err := c.Heartbeat("a", sh.ID); err != nil {
+	if _, err := c.Heartbeat("a", g.Shard.ID, g.Epoch); err != nil {
 		t.Fatalf("heartbeat: %v", err)
 	}
 	clock.Advance(45 * time.Second) // 90s from grant, 45s from renewal
-	if _, err := c.Heartbeat("a", sh.ID); err != nil {
+	if _, err := c.Heartbeat("a", g.Shard.ID, g.Epoch); err != nil {
 		t.Fatalf("renewed lease expired early: %v", err)
 	}
-	// A stranger cannot heartbeat someone else's lease.
-	if _, err := c.Heartbeat("b", sh.ID); !errors.Is(err, shard.ErrNotOwner) {
+	// A stranger cannot heartbeat someone else's lease, even with the
+	// right epoch.
+	if _, err := c.Heartbeat("b", g.Shard.ID, g.Epoch); !errors.Is(err, shard.ErrNotOwner) {
 		t.Fatalf("foreign heartbeat: %v, want ErrNotOwner", err)
 	}
 	// An unknown shard is its own error.
-	if _, err := c.Heartbeat("a", "s9999-deadbeef"); !errors.Is(err, shard.ErrUnknownShard) {
+	if _, err := c.Heartbeat("a", "s9999-deadbeef", g.Epoch); !errors.Is(err, shard.ErrUnknownShard) {
 		t.Fatalf("unknown shard heartbeat: %v, want ErrUnknownShard", err)
 	}
 }
@@ -219,27 +231,28 @@ func TestCoordinatorHeartbeatRenews(t *testing.T) {
 func TestCoordinatorCompleteValidation(t *testing.T) {
 	clock := newStepClock()
 	c, variants := testCoordinator(t, clock)
-	sh := mustLease(t, c, "a")
+	g := mustLease(t, c, "a")
+	sh := g.Shard
 
 	// Index outside the shard.
 	bad := []shard.VariantResult{{Index: sh.End, Key: variants[sh.End].Fingerprint(), Payload: []byte(`{}`)}}
-	if err := c.Complete("a", sh.ID, bad, nil); err == nil {
+	if err := c.Complete("a", sh.ID, g.Epoch, bad, nil); err == nil {
 		t.Fatal("accepted an index outside the shard")
 	}
 	// Key that is not the variant's fingerprint (version skew).
 	skewed := []shard.VariantResult{{Index: sh.Start, Key: "not-a-fingerprint", Payload: []byte(`{}`)}}
-	if err := c.Complete("a", sh.ID, skewed, nil); !errors.Is(err, shard.ErrConflict) {
+	if err := c.Complete("a", sh.ID, g.Epoch, skewed, nil); !errors.Is(err, shard.ErrConflict) {
 		t.Fatalf("skewed key: %v, want ErrConflict", err)
 	}
 	// Failure index outside the shard.
-	if err := c.Complete("a", sh.ID, nil, []shard.VariantFailure{{Index: sh.End, Err: "x"}}); err == nil {
+	if err := c.Complete("a", sh.ID, g.Epoch, nil, []shard.VariantFailure{{Index: sh.End, Err: "x"}}); err == nil {
 		t.Fatal("accepted a failure index outside the shard")
 	}
 
 	// A valid completion with one failure.
 	results := shardResults(variants, sh)[:1]
 	fails := []shard.VariantFailure{{Index: sh.Start + 1, Err: "confidence floor"}}
-	if err := c.Complete("a", sh.ID, results, fails); err != nil {
+	if err := c.Complete("a", sh.ID, g.Epoch, results, fails); err != nil {
 		t.Fatalf("complete: %v", err)
 	}
 	recorded := c.Failures()
@@ -252,24 +265,28 @@ func TestCoordinatorDuplicateAndConflictingPayloads(t *testing.T) {
 	clock := newStepClock()
 	c, variants := testCoordinator(t, clock)
 
-	sh := mustLease(t, c, "a")
-	results := shardResults(variants, sh)
-	if err := c.Complete("a", sh.ID, results, nil); err != nil {
+	g := mustLease(t, c, "a")
+	results := shardResults(variants, g.Shard)
+	if err := c.Complete("a", g.Shard.ID, g.Epoch, results, nil); err != nil {
 		t.Fatalf("complete: %v", err)
 	}
 
-	// The same records again (overlapping work after a steal): dedupe.
-	if err := c.Complete("b", sh.ID, results, nil); err != nil {
+	// The same completion delivered again (a retry after a lost response):
+	// acknowledged idempotently, nothing re-merged or double-counted.
+	if err := c.Complete("a", g.Shard.ID, g.Epoch, results, nil); err != nil {
 		t.Fatalf("duplicate complete: %v", err)
 	}
-	if got := c.Status().Merged; got != sh.Size() {
-		t.Fatalf("merged = %d after dedupe, want %d", got, sh.Size())
+	if got := c.Status().Merged; got != g.Shard.Size() {
+		t.Fatalf("merged = %d after duplicate delivery, want %d", got, g.Shard.Size())
 	}
 
 	// The same key with different bytes: refuse, never arbitrate.
-	conflict := shardResults(variants, sh)
-	conflict[0].Payload = []byte(`{"variant":"tampered"}`)
-	if err := c.Complete("b", sh.ID, conflict, nil); !errors.Is(err, shard.ErrConflict) {
+	g2 := mustLease(t, c, "b")
+	conflict := shardResults(variants, g2.Shard)
+	tampered := conflict[0]
+	tampered.Payload = []byte(`{"variant":"tampered"}`)
+	conflict = append(conflict, tampered)
+	if err := c.Complete("b", g2.Shard.ID, g2.Epoch, conflict, nil); !errors.Is(err, shard.ErrConflict) {
 		t.Fatalf("conflicting payload: %v, want ErrConflict", err)
 	}
 }
@@ -280,8 +297,8 @@ func TestCoordinatorBreakerQuarantineAndProbe(t *testing.T) {
 
 	// Two consecutive shard failures (threshold 2) quarantine the worker.
 	for i := 0; i < 2; i++ {
-		sh := mustLease(t, c, "flaky")
-		if err := c.Fail("flaky", sh.ID, "boom"); err != nil {
+		g := mustLease(t, c, "flaky")
+		if err := c.Fail("flaky", g.Shard.ID, g.Epoch, "boom"); err != nil {
 			t.Fatalf("fail: %v", err)
 		}
 	}
@@ -293,17 +310,17 @@ func TestCoordinatorBreakerQuarantineAndProbe(t *testing.T) {
 	}
 	// Other workers are unaffected: the job completes around the pariah.
 	for {
-		state, sh, _, err := c.Lease("steady")
+		g, err := c.Lease("steady")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if state == shard.LeaseDone {
+		if g.State == shard.LeaseDone {
 			break
 		}
-		if state != shard.LeaseGranted {
-			t.Fatalf("steady worker got state %q", state)
+		if g.State != shard.LeaseGranted {
+			t.Fatalf("steady worker got state %q", g.State)
 		}
-		if err := c.Complete("steady", sh.ID, shardResults(variants, sh), nil); err != nil {
+		if err := c.Complete("steady", g.Shard.ID, g.Epoch, shardResults(variants, g.Shard), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -324,21 +341,24 @@ func TestCoordinatorProbeRecovery(t *testing.T) {
 	c, variants := testCoordinator(t, clock)
 
 	for i := 0; i < 2; i++ {
-		sh := mustLease(t, c, "flaky")
-		_ = c.Fail("flaky", sh.ID, "boom")
+		g := mustLease(t, c, "flaky")
+		_ = c.Fail("flaky", g.Shard.ID, g.Epoch, "boom")
 	}
 	if st := leaseState(t, c, "flaky"); st != shard.LeaseQuarantined {
 		t.Fatalf("state %q, want quarantined", st)
 	}
 	clock.Advance(11 * time.Minute)
 	// Cooldown elapsed: exactly one probe lease is granted...
-	sh := mustLease(t, c, "flaky")
-	// ...and until it resolves, no second grant for this worker.
-	if st := leaseState(t, c, "flaky"); st != shard.LeaseQuarantined {
-		t.Fatalf("second probe state %q, want quarantined", st)
+	probe := mustLease(t, c, "flaky")
+	// ...and a repeated request re-delivers the same probe idempotently
+	// (same shard, same epoch) instead of handing out a second shard.
+	again := mustLease(t, c, "flaky")
+	if again.Shard.ID != probe.Shard.ID || again.Epoch != probe.Epoch {
+		t.Fatalf("second probe got %s epoch %d, want the idempotent %s epoch %d",
+			again.Shard.ID, again.Epoch, probe.Shard.ID, probe.Epoch)
 	}
 	// The probe succeeding closes the breaker: leases flow again.
-	if err := c.Complete("flaky", sh.ID, shardResults(variants, sh), nil); err != nil {
+	if err := c.Complete("flaky", probe.Shard.ID, probe.Epoch, shardResults(variants, probe.Shard), nil); err != nil {
 		t.Fatal(err)
 	}
 	if st := leaseState(t, c, "flaky"); st != shard.LeaseGranted {
@@ -353,26 +373,29 @@ func TestCoordinatorFailReturnsShardToPool(t *testing.T) {
 	clock := newStepClock()
 	c, _ := testCoordinator(t, clock)
 
-	sh := mustLease(t, c, "a")
-	if err := c.Fail("a", sh.ID, "cannot open journal"); err != nil {
+	g := mustLease(t, c, "a")
+	if err := c.Fail("a", g.Shard.ID, g.Epoch, "cannot open journal"); err != nil {
 		t.Fatal(err)
 	}
 	st := c.Status()
 	if st.Pending != 3 || st.Leased != 0 {
 		t.Fatalf("status after fail = %+v, want all pending", st)
 	}
-	// Another worker picks the same shard back up.
+	// Another worker picks the same shard back up, under a fresh epoch.
 	got := mustLease(t, c, "b")
-	if got.ID != sh.ID {
-		t.Fatalf("b got %s, want the returned %s", got.ID, sh.ID)
+	if got.Shard.ID != g.Shard.ID {
+		t.Fatalf("b got %s, want the returned %s", got.Shard.ID, g.Shard.ID)
+	}
+	if got.Epoch <= g.Epoch {
+		t.Fatalf("re-grant epoch %d not past the failed %d", got.Epoch, g.Epoch)
 	}
 }
 
 func TestCoordinatorMergedRecordsAreCopies(t *testing.T) {
 	clock := newStepClock()
 	c, variants := testCoordinator(t, clock)
-	sh := mustLease(t, c, "a")
-	if err := c.Complete("a", sh.ID, shardResults(variants, sh), nil); err != nil {
+	g := mustLease(t, c, "a")
+	if err := c.Complete("a", g.Shard.ID, g.Epoch, shardResults(variants, g.Shard), nil); err != nil {
 		t.Fatal(err)
 	}
 	recs := c.MergedRecords()

@@ -2,13 +2,19 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"skope/internal/resilience"
 )
 
 // Service is the coordinator's HTTP surface: a job registry plus the
@@ -30,7 +36,10 @@ func NewService() *Service {
 	return &Service{jobs: make(map[string]*Coordinator)}
 }
 
-// Add registers a coordinator under its job ID.
+// Add registers a coordinator under its job ID. IDs of the minted form
+// ("j-000042") advance the NextJobID counter past themselves, so a
+// daemon that recovers persisted jobs at startup never mints a
+// colliding ID for the next submission.
 func (s *Service) Add(c *Coordinator) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -39,6 +48,11 @@ func (s *Service) Add(c *Coordinator) {
 		s.order = append(s.order, id)
 	}
 	s.jobs[id] = c
+	if rest, ok := strings.CutPrefix(id, "j-"); ok {
+		if n, err := strconv.Atoi(rest); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
 }
 
 // NextJobID mints a fresh job ID ("j-000001", ...).
@@ -90,6 +104,9 @@ type workerRequest struct {
 	Worker string `json:"worker"`
 	Shard  string `json:"shard,omitempty"`
 	Reason string `json:"reason,omitempty"`
+	// Epoch is the fencing token from the shard's grant; heartbeat,
+	// complete, and fail reports are rejected when it is stale.
+	Epoch uint64 `json:"epoch,omitempty"`
 
 	Results  []VariantResult  `json:"results,omitempty"`
 	Failures []VariantFailure `json:"failures,omitempty"`
@@ -98,8 +115,9 @@ type workerRequest struct {
 // LeaseResponse is the wire form of one lease request's outcome.
 type LeaseResponse struct {
 	State LeaseState `json:"state"`
-	// Shard is set when State is LeaseGranted.
+	// Shard and Epoch are set when State is LeaseGranted.
 	Shard *Shard `json:"shard,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
 	// LeaseMs is the granted (or renewed) lease duration.
 	LeaseMs int64 `json:"lease_ms,omitempty"`
 }
@@ -119,6 +137,7 @@ const (
 	codeNotOwner     = "not_owner"
 	codeConflict     = "conflict"
 	codeUnknownShard = "unknown_shard"
+	codeStaleLease   = "stale_epoch"
 )
 
 func shardWriteJSON(w http.ResponseWriter, code int, v any) {
@@ -132,6 +151,8 @@ func shardWriteError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotOwner):
 		status, code = http.StatusConflict, codeNotOwner
+	case errors.Is(err, ErrStaleLease):
+		status, code = http.StatusConflict, codeStaleLease
 	case errors.Is(err, ErrConflict):
 		status, code = http.StatusConflict, codeConflict
 	case errors.Is(err, ErrUnknownShard):
@@ -201,14 +222,16 @@ func (s *Service) handleLease(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	state, sh, d, err := c.Lease(req.Worker)
+	g, err := c.Lease(req.Worker)
 	if err != nil {
 		shardWriteError(w, err)
 		return
 	}
-	resp := LeaseResponse{State: state, LeaseMs: d.Milliseconds()}
-	if state == LeaseGranted {
+	resp := LeaseResponse{State: g.State, LeaseMs: g.Lease.Milliseconds()}
+	if g.State == LeaseGranted {
+		sh := g.Shard
 		resp.Shard = &sh
+		resp.Epoch = g.Epoch
 	}
 	shardWriteJSON(w, http.StatusOK, resp)
 }
@@ -222,7 +245,7 @@ func (s *Service) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	d, err := c.Heartbeat(req.Worker, req.Shard)
+	d, err := c.Heartbeat(req.Worker, req.Shard, req.Epoch)
 	if err != nil {
 		shardWriteError(w, err)
 		return
@@ -239,7 +262,7 @@ func (s *Service) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := c.Complete(req.Worker, req.Shard, req.Results, req.Failures); err != nil {
+	if err := c.Complete(req.Worker, req.Shard, req.Epoch, req.Results, req.Failures); err != nil {
 		shardWriteError(w, err)
 		return
 	}
@@ -255,27 +278,54 @@ func (s *Service) handleFail(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := c.Fail(req.Worker, req.Shard, req.Reason); err != nil {
+	if err := c.Fail(req.Worker, req.Shard, req.Epoch, req.Reason); err != nil {
 		shardWriteError(w, err)
 		return
 	}
 	shardWriteJSON(w, http.StatusOK, map[string]any{"failed": true})
 }
 
+// ErrUnavailable marks a coordinator-side server error (HTTP 5xx): the
+// coordinator exists but could not serve the request. Transient by
+// classification — a restarting daemon answers 5xx or resets until it
+// is back, and the worker's retry policy is what bridges the gap.
+var ErrUnavailable = errors.New("coordinator unavailable")
+
 // Client is the typed client of the worker protocol — what Worker.Run and
-// the daemons' status commands speak.
+// the daemons' status commands speak. Every method takes a context and
+// runs under a per-call deadline (Timeout), so one hung connection can
+// never stall a worker past its heartbeat cadence; deadline misses are
+// marked as attempt timeouts, which the retry classification treats as
+// transient (the parent context expiring is not).
 type Client struct {
 	// BaseURL is the coordinator's root (e.g. "http://127.0.0.1:8080").
 	BaseURL string
-	// HTTP is the transport (nil selects a client with a 30s timeout).
+	// HTTP overrides the whole HTTP client (tests pass a httptest
+	// server's). When nil, a client over Transport is used.
 	HTTP *http.Client
+	// Transport, when HTTP is nil, is the RoundTripper to use (nil
+	// selects http.DefaultTransport). The netfault chaos seam threads
+	// in here.
+	Transport http.RoundTripper
+	// Timeout is the per-call deadline (default 30s, <0 disables). The
+	// effective deadline is the earlier of this and the caller's
+	// context — workers derive tighter per-RPC deadlines from their
+	// lease duration and pass them via ctx.
+	Timeout time.Duration
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	return &http.Client{Transport: c.Transport}
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout != 0 {
+		return c.Timeout
+	}
+	return 30 * time.Second
 }
 
 // protocolError reconstructs a sentinel-wrapped error from an error
@@ -292,112 +342,140 @@ func protocolError(status int, body []byte) error {
 	switch e.Code {
 	case codeNotOwner:
 		return fmt.Errorf("%s: %w", e.Error, ErrNotOwner)
+	case codeStaleLease:
+		return fmt.Errorf("%s: %w", e.Error, ErrStaleLease)
 	case codeConflict:
 		return fmt.Errorf("%s: %w", e.Error, ErrConflict)
 	case codeUnknownShard:
 		return fmt.Errorf("%s: %w", e.Error, ErrUnknownShard)
 	}
+	if status >= 500 {
+		return fmt.Errorf("%s: %w", e.Error, ErrUnavailable)
+	}
 	return errors.New(e.Error)
+}
+
+// do runs one HTTP exchange under the per-call deadline and reads the
+// whole response. A deadline miss attributable to this call (the parent
+// context is still live) is wrapped as a transient attempt timeout.
+func (c *Client) do(ctx context.Context, method, url string, body []byte) (int, []byte, error) {
+	callCtx := ctx
+	if d := c.timeout(); d > 0 {
+		var cancel context.CancelFunc
+		callCtx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(callCtx, method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	attemptTimeout := func(err error) error {
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			return fmt.Errorf("%w: %w", resilience.ErrAttemptTimeout, err)
+		}
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, nil, attemptTimeout(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return 0, nil, attemptTimeout(err)
+	}
+	return resp.StatusCode, buf.Bytes(), nil
 }
 
 // call posts req to the job's verb route and decodes the response into
 // out (out may be nil).
-func (c *Client) call(job, verb string, req workerRequest, out any) error {
+func (c *Client) call(ctx context.Context, job, verb string, req workerRequest, out any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("shard: client: %w", err)
 	}
 	url := fmt.Sprintf("%s/v1/shards/%s/%s", c.BaseURL, job, verb)
-	resp, err := c.http().Post(url, "application/json", bytes.NewReader(body))
+	status, respBody, err := c.do(ctx, http.MethodPost, url, body)
 	if err != nil {
-		return fmt.Errorf("shard: client: %w", err)
+		return fmt.Errorf("shard: client %s %s: %w", verb, job, err)
 	}
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(resp.Body); err != nil {
-		return fmt.Errorf("shard: client: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("shard: client %s %s: %w", verb, job, protocolError(resp.StatusCode, buf.Bytes()))
+	if status != http.StatusOK {
+		return fmt.Errorf("shard: client %s %s: %w", verb, job, protocolError(status, respBody))
 	}
 	if out != nil {
-		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+		if err := json.Unmarshal(respBody, out); err != nil {
 			return fmt.Errorf("shard: client %s %s: %w", verb, job, err)
 		}
 	}
 	return nil
 }
 
+// get fetches url and decodes the response into out.
+func (c *Client) get(ctx context.Context, what, url string, out any) error {
+	status, body, err := c.do(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return fmt.Errorf("shard: client %s: %w", what, err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("shard: client %s: %w", what, protocolError(status, body))
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("shard: client %s: %w", what, err)
+	}
+	return nil
+}
+
 // List fetches every registered job's status, sorted by job ID — how a
 // worker discovers open jobs without being told one.
-func (c *Client) List() ([]Status, error) {
-	resp, err := c.http().Get(c.BaseURL + "/v1/shards")
-	if err != nil {
-		return nil, fmt.Errorf("shard: client: %w", err)
-	}
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(resp.Body); err != nil {
-		return nil, fmt.Errorf("shard: client: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("shard: client list: %w", protocolError(resp.StatusCode, buf.Bytes()))
-	}
+func (c *Client) List(ctx context.Context) ([]Status, error) {
 	var out struct {
 		Jobs []Status `json:"jobs"`
 	}
-	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
-		return nil, fmt.Errorf("shard: client list: %w", err)
+	if err := c.get(ctx, "list", c.BaseURL+"/v1/shards", &out); err != nil {
+		return nil, err
 	}
 	return out.Jobs, nil
 }
 
 // Detail fetches the job's status, spec, and partition.
-func (c *Client) Detail(job string) (JobDetail, error) {
+func (c *Client) Detail(ctx context.Context, job string) (JobDetail, error) {
 	var out JobDetail
-	resp, err := c.http().Get(fmt.Sprintf("%s/v1/shards/%s", c.BaseURL, job))
-	if err != nil {
-		return out, fmt.Errorf("shard: client: %w", err)
-	}
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(resp.Body); err != nil {
-		return out, fmt.Errorf("shard: client: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return out, fmt.Errorf("shard: client detail %s: %w", job, protocolError(resp.StatusCode, buf.Bytes()))
-	}
-	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
-		return out, fmt.Errorf("shard: client detail %s: %w", job, err)
-	}
-	return out, nil
-}
-
-// Register announces the worker to the job.
-func (c *Client) Register(job, worker string) error {
-	return c.call(job, "register", workerRequest{Worker: worker}, nil)
-}
-
-// Lease requests a shard.
-func (c *Client) Lease(job, worker string) (LeaseResponse, error) {
-	var out LeaseResponse
-	err := c.call(job, "lease", workerRequest{Worker: worker}, &out)
+	err := c.get(ctx, "detail "+job, fmt.Sprintf("%s/v1/shards/%s", c.BaseURL, job), &out)
 	return out, err
 }
 
-// Heartbeat renews the worker's lease on the shard.
-func (c *Client) Heartbeat(job, worker, shardID string) error {
-	return c.call(job, "heartbeat", workerRequest{Worker: worker, Shard: shardID}, nil)
+// Register announces the worker to the job.
+func (c *Client) Register(ctx context.Context, job, worker string) error {
+	return c.call(ctx, job, "register", workerRequest{Worker: worker}, nil)
 }
 
-// Complete reports the shard's results.
-func (c *Client) Complete(job, worker, shardID string, results []VariantResult, failures []VariantFailure) error {
-	return c.call(job, "complete", workerRequest{
-		Worker: worker, Shard: shardID, Results: results, Failures: failures,
+// Lease requests a shard.
+func (c *Client) Lease(ctx context.Context, job, worker string) (LeaseResponse, error) {
+	var out LeaseResponse
+	err := c.call(ctx, job, "lease", workerRequest{Worker: worker}, &out)
+	return out, err
+}
+
+// Heartbeat renews the worker's lease on the shard under its grant epoch.
+func (c *Client) Heartbeat(ctx context.Context, job, worker, shardID string, epoch uint64) error {
+	return c.call(ctx, job, "heartbeat", workerRequest{Worker: worker, Shard: shardID, Epoch: epoch}, nil)
+}
+
+// Complete reports the shard's results under its grant epoch.
+func (c *Client) Complete(ctx context.Context, job, worker, shardID string, epoch uint64, results []VariantResult, failures []VariantFailure) error {
+	return c.call(ctx, job, "complete", workerRequest{
+		Worker: worker, Shard: shardID, Epoch: epoch, Results: results, Failures: failures,
 	}, nil)
 }
 
 // Fail reports that the worker could not process the shard.
-func (c *Client) Fail(job, worker, shardID, reason string) error {
-	return c.call(job, "fail", workerRequest{Worker: worker, Shard: shardID, Reason: reason}, nil)
+func (c *Client) Fail(ctx context.Context, job, worker, shardID string, epoch uint64, reason string) error {
+	return c.call(ctx, job, "fail", workerRequest{Worker: worker, Shard: shardID, Epoch: epoch, Reason: reason}, nil)
 }

@@ -222,21 +222,21 @@ func TestCoordinatorWriteMergedMatchesMergeJournals(t *testing.T) {
 
 	var journals []string
 	for {
-		state, sh, _, err := c.Lease("w")
+		g, err := c.Lease("w")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if state == shard.LeaseDone {
+		if g.State == shard.LeaseDone {
 			break
 		}
-		results := shardResults(variants, sh)
+		results := shardResults(variants, g.Shard)
 		recs := make([][2]string, len(results))
 		for i, r := range results {
 			recs[i] = [2]string{r.Key, string(r.Payload)}
 		}
 		journals = append(journals,
-			writeSweepJournal(t, dir, sh.ID+".journal", "layout-under-test", recs))
-		if err := c.Complete("w", sh.ID, results, nil); err != nil {
+			writeSweepJournal(t, dir, g.Shard.ID+".journal", "layout-under-test", recs))
+		if err := c.Complete("w", g.Shard.ID, g.Epoch, results, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,288 @@
+package shard
+
+// Crash-safety for the coordinator itself. The workers were already
+// durable — every variant is fsynced into a per-shard journal before it
+// counts — but through PR 9 the coordinator's side (the job spec, the
+// lease table with its fencing epochs, the merged records) lived only in
+// memory, so killing the daemon stranded every worker. A coordinator
+// log closes that: each state transition that matters for recovery is
+// appended to a crc32c journal (the same format, fsync discipline, and
+// torn-tail recovery as the sweep journals) before the worker learns of
+// it, and RecoverCoordinator rebuilds the exact lease/merge state on
+// daemon restart. Reconnecting workers resume where they left off: live
+// leases are honored under their original epochs, completed shards stay
+// completed, and nothing durable is ever re-evaluated.
+//
+// What is logged (last-wins by key, the journal's replay semantics):
+//
+//	job            the JobSpec, job ID, and lease duration — written once
+//	lease/<shard>  the current holder, fencing epoch, absolute deadline —
+//	               appended on every grant and heartbeat renewal
+//	done/<shard>   the shard's full result set and failures — appended
+//	               on completion
+//
+// Expiry is deliberately not logged: a persisted deadline in the past
+// recovers as "pending with its epoch preserved", which is exactly what
+// lazy expiry would decide. Epochs must survive recovery — they only
+// ever grow, so a pre-crash stale worker stays fenced after restart.
+//
+// A log write failure degrades rather than kills the job: the journal
+// latches ErrWriteFailed, the coordinator flips LogDegraded in its
+// status, and the job keeps serving from memory — the same
+// fail-stop-then-degrade contract the sweep journals follow.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"skope/internal/iofault"
+	"skope/internal/journal"
+)
+
+const (
+	logKind        = "shard-coordlog"
+	logKeyJob      = "job"
+	logLeasePrefix = "lease/"
+	logDonePrefix  = "done/"
+)
+
+// Log is a coordinator's crash-safety journal.
+type Log struct {
+	j *journal.Journal
+}
+
+// OpenLog opens (or creates) a coordinator log on the disk.
+func OpenLog(path string) (*Log, error) {
+	return OpenLogFS(iofault.Disk, path)
+}
+
+// OpenLogFS opens a coordinator log through the given file abstraction —
+// the disk-fault chaos suite injects here, exactly as it does for sweep
+// journals.
+func OpenLogFS(fsys iofault.FS, path string) (*Log, error) {
+	j, err := journal.OpenFS(fsys, path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: coordinator log: %w", err)
+	}
+	return &Log{j: j}, nil
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.j.Path() }
+
+// Err returns the journal's sticky write error, if any.
+func (l *Log) Err() error { return l.j.Err() }
+
+// Close closes the underlying journal.
+func (l *Log) Close() error { return l.j.Close() }
+
+// begin binds a fresh log to its job (or verifies a reopened one).
+func (l *Log) begin(jobID string) error {
+	return l.j.SetMeta(map[string]string{"kind": logKind, "job": jobID})
+}
+
+func (l *Log) append(key string, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return l.j.Append(key, payload)
+}
+
+// Wire shapes of the log records. Payloads ride as []byte (base64 in
+// JSON) so the merged record bytes round-trip exactly — the recovered
+// coordinator must serve byte-identical records or the bit-exactness
+// invariant (and ErrConflict) would misfire after a restart.
+type logJobRecord struct {
+	JobID   string  `json:"job"`
+	Spec    JobSpec `json:"spec"`
+	LeaseMs int64   `json:"lease_ms"`
+}
+
+type logLeaseRecord struct {
+	Worker     string `json:"worker"`
+	Epoch      uint64 `json:"epoch"`
+	DeadlineMs int64  `json:"deadline_ms"` // absolute, unix milliseconds
+}
+
+type logResult struct {
+	Index    int    `json:"index"`
+	Key      string `json:"key"`
+	Payload  []byte `json:"payload"`
+	TimeBits uint64 `json:"time"`
+}
+
+type logDoneRecord struct {
+	Worker   string           `json:"worker"`
+	Epoch    uint64           `json:"epoch"`
+	Results  []logResult      `json:"results,omitempty"`
+	Failures []VariantFailure `json:"failures,omitempty"`
+}
+
+// RecoveredJob is a coordinator log read back after a crash.
+type RecoveredJob struct {
+	JobID string
+	Spec  JobSpec
+	Lease time.Duration
+
+	leases map[string]logLeaseRecord
+	done   map[string]logDoneRecord
+}
+
+// Recover reads the log's replay state back. A log with no job record
+// (created but never bound to a job) returns nil, nil.
+func (l *Log) Recover() (*RecoveredJob, error) {
+	meta := l.j.Meta()
+	if meta == nil {
+		return nil, nil
+	}
+	if kind := meta["kind"]; kind != logKind {
+		return nil, fmt.Errorf("shard: %s is not a coordinator log (kind %q)", l.Path(), kind)
+	}
+	payload, ok := l.j.Get(logKeyJob)
+	if !ok {
+		return nil, nil
+	}
+	var job logJobRecord
+	if err := json.Unmarshal(payload, &job); err != nil {
+		return nil, fmt.Errorf("shard: coordinator log %s: job record: %w", l.Path(), err)
+	}
+	if job.JobID != meta["job"] {
+		return nil, fmt.Errorf("shard: coordinator log %s: job record %q does not match meta %q",
+			l.Path(), job.JobID, meta["job"])
+	}
+	rec := &RecoveredJob{
+		JobID:  job.JobID,
+		Spec:   job.Spec,
+		Lease:  time.Duration(job.LeaseMs) * time.Millisecond,
+		leases: make(map[string]logLeaseRecord),
+		done:   make(map[string]logDoneRecord),
+	}
+	for _, e := range l.j.Entries() {
+		switch {
+		case strings.HasPrefix(e.Key, logLeasePrefix):
+			var lr logLeaseRecord
+			if err := json.Unmarshal(e.Payload, &lr); err != nil {
+				return nil, fmt.Errorf("shard: coordinator log %s: %s: %w", l.Path(), e.Key, err)
+			}
+			rec.leases[strings.TrimPrefix(e.Key, logLeasePrefix)] = lr
+		case strings.HasPrefix(e.Key, logDonePrefix):
+			var dr logDoneRecord
+			if err := json.Unmarshal(e.Payload, &dr); err != nil {
+				return nil, fmt.Errorf("shard: coordinator log %s: %s: %w", l.Path(), e.Key, err)
+			}
+			rec.done[strings.TrimPrefix(e.Key, logDonePrefix)] = dr
+		}
+	}
+	return rec, nil
+}
+
+// RecoveredRecords returns the number of merged variant records the log
+// carries — what a restart serves with zero re-evaluation.
+func (r *RecoveredJob) RecoveredRecords() int {
+	n := 0
+	for _, d := range r.done {
+		n += len(d.Results)
+	}
+	return n
+}
+
+// RecoverCoordinator rebuilds a coordinator from its log: the job
+// identity, spec, and lease duration come from the log's job record
+// (overriding whatever cfg carries); completed shards are re-merged
+// from their done records; unexpired leases are re-installed under
+// their original epochs so their holders' heartbeats and completions
+// keep working across the restart; expired leases recover as pending
+// with the epoch preserved, so pre-crash stale workers stay fenced.
+// The log stays attached: the recovered coordinator keeps appending.
+func RecoverCoordinator(log *Log, cfg Config) (*Coordinator, error) {
+	rec, err := log.Recover()
+	if err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("shard: coordinator log %s has no job record", log.Path())
+	}
+	cfg.JobID = rec.JobID
+	cfg.Spec = rec.Spec
+	cfg.Lease = rec.Lease
+	cfg.Log = nil // attach below; NewCoordinator must not rewrite the job record
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	for id, lr := range rec.leases {
+		idx, err := c.shardByID(id)
+		if err != nil {
+			return nil, err
+		}
+		if lr.Epoch > c.epochs[idx] {
+			c.epochs[idx] = lr.Epoch
+		}
+		deadline := time.UnixMilli(lr.DeadlineMs)
+		if deadline.After(now) {
+			c.state[idx] = shardLeased
+			c.leases[idx] = lease{worker: lr.Worker, epoch: lr.Epoch, deadline: deadline}
+			c.worker(lr.Worker)
+		}
+	}
+	for id, dr := range rec.done {
+		idx, err := c.shardByID(id)
+		if err != nil {
+			return nil, err
+		}
+		if dr.Epoch > c.epochs[idx] {
+			c.epochs[idx] = dr.Epoch
+		}
+		results := make([]VariantResult, len(dr.Results))
+		for i, r := range dr.Results {
+			results[i] = VariantResult{
+				Index: r.Index, Key: r.Key,
+				Payload: json.RawMessage(r.Payload), TimeBits: r.TimeBits,
+			}
+		}
+		if err := c.mergeShard(idx, dr.Worker, results, dr.Failures); err != nil {
+			return nil, fmt.Errorf("shard: coordinator log %s: replaying %s: %w", log.Path(), id, err)
+		}
+		delete(c.leases, idx)
+		c.state[idx] = shardDone
+		c.recoveredRecords += len(results)
+		c.recoveredShards++
+	}
+	c.log = log
+	return c, nil
+}
+
+// Logging hooks, called under c.mu. A write failure flips the job into
+// degraded mode: the coordinator keeps serving from memory and stops
+// appending (the journal would refuse anyway — its failure is sticky).
+func (c *Coordinator) logAppend(key string, v any) {
+	if c.log == nil || c.logDegraded {
+		return
+	}
+	if err := c.log.append(key, v); err != nil {
+		c.logDegraded = true
+		c.logErr = err
+	}
+}
+
+func (c *Coordinator) logLease(idx int, l lease) {
+	c.logAppend(logLeasePrefix+c.shards[idx].ID, logLeaseRecord{
+		Worker: l.worker, Epoch: l.epoch, DeadlineMs: l.deadline.UnixMilli(),
+	})
+}
+
+func (c *Coordinator) logDone(idx int, worker string, epoch uint64, results []VariantResult, failures []VariantFailure) {
+	lrs := make([]logResult, len(results))
+	for i, r := range results {
+		lrs[i] = logResult{Index: r.Index, Key: r.Key, Payload: []byte(r.Payload), TimeBits: r.TimeBits}
+	}
+	c.logAppend(logDonePrefix+c.shards[idx].ID, logDoneRecord{
+		Worker: worker, Epoch: epoch, Results: lrs, Failures: failures,
+	})
+}

@@ -1,0 +1,217 @@
+package shard_test
+
+// Coordinator crash-safety: the log round-trips the exact lease/merge
+// state, fencing epochs survive recovery (a pre-crash stale worker stays
+// fenced after the restart), and a log that stops accepting writes
+// degrades the job instead of killing it.
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"skope/internal/iofault"
+	"skope/internal/shard"
+)
+
+func openTestLog(t *testing.T, path string) *shard.Log {
+	t.Helper()
+	log, err := shard.OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestCoordinatorLogRecoveryRoundTrip(t *testing.T) {
+	clock := newStepClock()
+	path := filepath.Join(t.TempDir(), "j-rt.coordlog")
+	spec := testSpec()
+	log := openTestLog(t, path)
+	c, err := shard.NewCoordinator(shard.Config{
+		JobID: "j-rt", Spec: spec, Lease: time.Minute, Clock: clock.Now, Log: log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants, err := spec.Variants()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One shard completes, one is in flight when the daemon dies.
+	done := mustLease(t, c, "a")
+	if err := c.Complete("a", done.Shard.ID, done.Epoch, shardResults(variants, done.Shard), nil); err != nil {
+		t.Fatal(err)
+	}
+	live := mustLease(t, c, "b")
+	log.Close() // the crash: no flush needed — every append was fsynced
+
+	relog := openTestLog(t, path)
+	defer relog.Close()
+	rc, err := shard.RecoverCoordinator(relog, shard.Config{Clock: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rc.Status()
+	if st.JobID != "j-rt" || st.Completed != 1 || st.Leased != 1 || st.Pending != 1 {
+		t.Fatalf("recovered status = %+v", st)
+	}
+	if st.RecoveredShards != 1 || st.RecoveredRecords != done.Shard.Size() {
+		t.Fatalf("recovery counters = %d shards / %d records, want 1 / %d",
+			st.RecoveredShards, st.RecoveredRecords, done.Shard.Size())
+	}
+
+	// The completed shard's records survived byte-identically.
+	want := c.MergedRecords()
+	got := rc.MergedRecords()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d merged records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d drifted across recovery", i)
+		}
+	}
+
+	// A retried delivery of the pre-crash completion is still idempotent.
+	if err := rc.Complete("a", done.Shard.ID, done.Epoch, shardResults(variants, done.Shard), nil); err != nil {
+		t.Fatalf("duplicate complete across restart: %v", err)
+	}
+
+	// The in-flight worker reconnects: its lease is honored under the
+	// original epoch — heartbeat renews, completion lands.
+	if _, err := rc.Heartbeat("b", live.Shard.ID, live.Epoch); err != nil {
+		t.Fatalf("recovered lease heartbeat: %v", err)
+	}
+	if err := rc.Complete("b", live.Shard.ID, live.Epoch, shardResults(variants, live.Shard), nil); err != nil {
+		t.Fatalf("recovered lease complete: %v", err)
+	}
+
+	// The recovered coordinator keeps logging: finish the job, crash
+	// again, and the second recovery sees everything.
+	rest := mustLease(t, rc, "b")
+	if err := rc.Complete("b", rest.Shard.ID, rest.Epoch, shardResults(variants, rest.Shard), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !rc.Done() {
+		t.Fatal("job not done")
+	}
+	relog.Close()
+	relog2 := openTestLog(t, path)
+	defer relog2.Close()
+	rc2, err := shard.RecoverCoordinator(relog2, shard.Config{Clock: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rc2.Status(); !st.Done || st.Merged != len(variants) {
+		t.Fatalf("second recovery status = %+v", st)
+	}
+}
+
+func TestCoordinatorRecoveryPreservesFencingEpochs(t *testing.T) {
+	clock := newStepClock()
+	path := filepath.Join(t.TempDir(), "j-fence.coordlog")
+	spec := testSpec()
+	log := openTestLog(t, path)
+	c, err := shard.NewCoordinator(shard.Config{
+		JobID: "j-fence", Spec: spec, Lease: time.Minute, Clock: clock.Now, Log: log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants, err := spec.Variants()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "old" holds epoch 1, goes silent, and the shard is stolen under
+	// epoch 2. Then the daemon dies and the thief's lease expires during
+	// the outage.
+	old := mustLease(t, c, "old")
+	clock.Advance(2 * time.Minute)
+	thief := mustLease(t, c, "thief")
+	if thief.Shard.ID != old.Shard.ID || thief.Epoch <= old.Epoch {
+		t.Fatalf("thief grant = %+v, want %s past epoch %d", thief, old.Shard.ID, old.Epoch)
+	}
+	log.Close()
+	clock.Advance(2 * time.Minute)
+
+	relog := openTestLog(t, path)
+	defer relog.Close()
+	rc, err := shard.RecoverCoordinator(relog, shard.Config{Clock: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The thief's expired lease recovers as pending — exactly what lazy
+	// expiry would decide — with the epoch preserved.
+	if st := rc.Status(); st.Pending != 3 || st.Leased != 0 {
+		t.Fatalf("recovered status = %+v, want all pending", st)
+	}
+	// The pre-crash stale worker stays fenced after the restart.
+	if err := rc.Complete("old", old.Shard.ID, old.Epoch, shardResults(variants, old.Shard), nil); !errors.Is(err, shard.ErrStaleLease) {
+		t.Fatalf("pre-crash stale complete: %v, want ErrStaleLease", err)
+	}
+	// A fresh grant moves past every epoch the log ever issued.
+	fresh := mustLease(t, rc, "new")
+	if fresh.Shard.ID != old.Shard.ID {
+		t.Fatalf("fresh grant got %s, want %s", fresh.Shard.ID, old.Shard.ID)
+	}
+	if fresh.Epoch <= thief.Epoch {
+		t.Fatalf("fresh epoch %d does not advance past the recovered %d", fresh.Epoch, thief.Epoch)
+	}
+}
+
+func TestCoordinatorLogDegradationKeepsServing(t *testing.T) {
+	clock := newStepClock()
+	path := filepath.Join(t.TempDir(), "j-deg.coordlog")
+	spec := testSpec()
+	// The job record lands safely; a later append hits the dying disk.
+	fs := iofault.New(nil, iofault.Plan{FailSyncAt: 4})
+	log, err := shard.OpenLogFS(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	c, err := shard.NewCoordinator(shard.Config{
+		JobID: "j-deg", Spec: spec, Lease: time.Minute, Clock: clock.Now, Log: log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants, err := spec.Variants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job completes in memory despite the log failing under it.
+	for {
+		g, err := c.Lease("w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.State == shard.LeaseDone {
+			break
+		}
+		if err := c.Complete("w", g.Shard.ID, g.Epoch, shardResults(variants, g.Shard), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Status()
+	if !st.Done || st.Merged != len(variants) {
+		t.Fatalf("status = %+v, want done with all variants", st)
+	}
+	if !st.LogDegraded {
+		t.Fatal("log write failure did not flip LogDegraded")
+	}
+}
+
+func TestRecoverEmptyLogFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.coordlog")
+	log := openTestLog(t, path)
+	defer log.Close()
+	if _, err := shard.RecoverCoordinator(log, shard.Config{}); err == nil {
+		t.Fatal("recovered a coordinator from a log with no job record")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"path/filepath"
 	"time"
@@ -44,6 +45,12 @@ type Worker struct {
 	Poll time.Duration
 	// Retry wraps every protocol call (default: 4 attempts, 50ms base).
 	Retry resilience.Policy
+	// RPCTimeout is the per-attempt deadline on every protocol call
+	// (default 30s; <0 disables). Heartbeats additionally cap it at a
+	// third of the lease duration — a renewal that cannot finish within
+	// its own cadence is as good as lost, and must not stall the next
+	// tick behind a hung connection.
+	RPCTimeout time.Duration
 
 	// ReplayOnly, when set, refuses to evaluate: the worker only serves
 	// shards whose journals already cover every variant. Used by the
@@ -72,8 +79,12 @@ type WorkerStats struct {
 	// Waits counts empty lease polls; Quarantines counts lease refusals.
 	Waits, Quarantines int
 	// LeasesLost counts shards abandoned because the lease expired or was
-	// stolen mid-sweep.
-	LeasesLost int
+	// stolen mid-sweep; StaleFenced counts reports the coordinator
+	// rejected by epoch fencing (a subset of the lost leases).
+	LeasesLost, StaleFenced int
+	// RPCRetries counts protocol-call attempts beyond the first — what
+	// the network cost this run beyond a perfect wire.
+	RPCRetries int
 }
 
 func (w *Worker) poll() time.Duration {
@@ -91,7 +102,10 @@ func (w *Worker) retry() resilience.Policy {
 	if p.Classify == nil {
 		p.Classify = func(err error) bool {
 			// Protocol verdicts are deterministic; retrying them is noise.
+			// Timeouts, resets, and 5xx fall through to Retryable, which
+			// treats them as transient.
 			if errors.Is(err, ErrConflict) || errors.Is(err, ErrNotOwner) ||
+				errors.Is(err, ErrStaleLease) ||
 				errors.Is(err, ErrUnknownShard) || errors.Is(err, ErrSkew) {
 				return false
 			}
@@ -101,10 +115,41 @@ func (w *Worker) retry() resilience.Policy {
 	return p
 }
 
-// call runs one protocol call under the worker's retry policy.
-func (w *Worker) call(ctx context.Context, fn func() error) error {
+func (w *Worker) rpcTimeout() time.Duration {
+	if w.RPCTimeout != 0 {
+		return w.RPCTimeout
+	}
+	return 30 * time.Second
+}
+
+// call runs one protocol call under the worker's retry policy, giving
+// each attempt its own deadline (d; 0 selects the worker's RPCTimeout)
+// and tallying the retries spent.
+func (w *Worker) call(ctx context.Context, stats *WorkerStats, d time.Duration, fn func(context.Context) error) error {
+	if d == 0 {
+		d = w.rpcTimeout()
+	}
 	p := w.retry()
-	_, err := p.Do(ctx, func(int) error { return fn() })
+	attempts, err := p.Do(ctx, func(int) error {
+		actx := ctx
+		if d > 0 {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		ferr := fn(actx)
+		// A deadline miss chargeable to this attempt (the worker's own
+		// context is still live) is transient: mark it so the retry
+		// classification re-attempts instead of giving up.
+		if ferr != nil && errors.Is(ferr, context.DeadlineExceeded) &&
+			ctx.Err() == nil && !errors.Is(ferr, resilience.ErrAttemptTimeout) {
+			ferr = fmt.Errorf("%w: %w", resilience.ErrAttemptTimeout, ferr)
+		}
+		return ferr
+	})
+	if stats != nil {
+		stats.RPCRetries += attempts - 1
+	}
 	return err
 }
 
@@ -114,9 +159,9 @@ func (w *Worker) call(ctx context.Context, fn func() error) error {
 func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 	var stats WorkerStats
 	var detail JobDetail
-	if err := w.call(ctx, func() error {
+	if err := w.call(ctx, &stats, 0, func(actx context.Context) error {
 		var derr error
-		detail, derr = w.Client.Detail(w.JobID)
+		detail, derr = w.Client.Detail(actx, w.JobID)
 		return derr
 	}); err != nil {
 		return stats, fmt.Errorf("shard: worker %s: %w", w.ID, err)
@@ -158,7 +203,9 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 		return stats, fmt.Errorf("shard: worker %s: prepared layout %s, job wants %s: %w",
 			w.ID, layout.Fingerprint(), spec.LayoutFP, ErrSkew)
 	}
-	if err := w.call(ctx, func() error { return w.Client.Register(w.JobID, w.ID) }); err != nil {
+	if err := w.call(ctx, &stats, 0, func(actx context.Context) error {
+		return w.Client.Register(actx, w.JobID, w.ID)
+	}); err != nil {
 		return stats, fmt.Errorf("shard: worker %s: register: %w", w.ID, err)
 	}
 
@@ -167,9 +214,9 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 			return stats, fmt.Errorf("shard: worker %s: %w", w.ID, err)
 		}
 		var resp LeaseResponse
-		if err := w.call(ctx, func() error {
+		if err := w.call(ctx, &stats, 0, func(actx context.Context) error {
 			var lerr error
-			resp, lerr = w.Client.Lease(w.JobID, w.ID)
+			resp, lerr = w.Client.Lease(actx, w.JobID, w.ID)
 			return lerr
 		}); err != nil {
 			return stats, fmt.Errorf("shard: worker %s: lease: %w", w.ID, err)
@@ -190,7 +237,7 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 				return stats, fmt.Errorf("shard: worker %s: %w", w.ID, err)
 			}
 		case LeaseGranted:
-			if err := w.processShard(ctx, run, variants, spec, *resp.Shard,
+			if err := w.processShard(ctx, run, variants, spec, *resp.Shard, resp.Epoch,
 				time.Duration(resp.LeaseMs)*time.Millisecond, &stats); err != nil {
 				return stats, fmt.Errorf("shard: worker %s: %w", w.ID, err)
 			}
@@ -207,30 +254,52 @@ func (w *Worker) journalPath(sh Shard) string {
 	return filepath.Join(w.DataDir, fmt.Sprintf("%s-%s.journal", w.JobID, sh.ID))
 }
 
-// processShard sweeps one leased shard and reports it. Failures of the
-// shard as a whole go back as Fail (the coordinator re-leases it);
-// per-variant failures ride on Complete. A lost lease abandons silently —
+// heartbeatInterval derives this worker's renewal cadence: a third of
+// the lease, scaled by a deterministic per-worker factor in [0.70, 1.00)
+// so a fleet of workers sharing one lease duration spreads its renewals
+// across the window instead of thundering against the coordinator in
+// lockstep. Deterministic (a hash of the worker ID, not randomness):
+// the same worker always renews on the same cadence, so chaos runs
+// reproduce.
+func (w *Worker) heartbeatInterval(leaseFor time.Duration) time.Duration {
+	base := leaseFor / 3
+	if base <= 0 {
+		return time.Second
+	}
+	h := fnv.New32a()
+	h.Write([]byte(w.ID))
+	frac := float64(h.Sum32()%1000) / 1000
+	return time.Duration(float64(base) * (0.70 + 0.30*frac))
+}
+
+// processShard sweeps one leased shard and reports it under the grant's
+// fencing epoch. Failures of the shard as a whole go back as Fail (the
+// coordinator re-leases it); per-variant failures ride on Complete. A
+// lost lease — expiry, steal, or a fenced report — abandons silently:
 // the thief owns the shard now, and this worker's journal appends up to
 // that point remain valid for it.
-func (w *Worker) processShard(ctx context.Context, run *pipeline.Run, variants []*hw.Machine, spec JobSpec, sh Shard, leaseFor time.Duration, stats *WorkerStats) error {
+func (w *Worker) processShard(ctx context.Context, run *pipeline.Run, variants []*hw.Machine, spec JobSpec, sh Shard, epoch uint64, leaseFor time.Duration, stats *WorkerStats) error {
 	slice := variants[sh.Start:sh.End]
 	jnl, err := journal.OpenFS(w.fsys(), w.journalPath(sh))
 	if err != nil {
-		return w.failShard(ctx, sh, fmt.Errorf("journal: %w", err))
+		return w.failShard(ctx, stats, sh, epoch, fmt.Errorf("journal: %w", err))
 	}
 
 	// Heartbeat until the shard is processed; a refused heartbeat means
-	// the lease is lost and the sweep should stop burning cycles.
+	// the lease is lost and the sweep should stop burning cycles. Each
+	// renewal gets its own deadline capped at a third of the lease — a
+	// renewal slower than its own cadence is as good as lost, and must
+	// not let a hung connection stall the ticker past expiry.
 	sctx, lost := context.WithCancel(ctx)
 	hbStop := make(chan struct{})
 	hbDone := make(chan struct{})
-	interval := leaseFor / 3
-	if interval <= 0 {
-		interval = time.Second
+	hbTimeout := w.rpcTimeout()
+	if third := leaseFor / 3; third > 0 && (hbTimeout <= 0 || third < hbTimeout) {
+		hbTimeout = third
 	}
 	go func() {
 		defer close(hbDone)
-		t := time.NewTicker(interval)
+		t := time.NewTicker(w.heartbeatInterval(leaseFor))
 		defer t.Stop()
 		for {
 			select {
@@ -239,10 +308,19 @@ func (w *Worker) processShard(ctx context.Context, run *pipeline.Run, variants [
 			case <-sctx.Done():
 				return
 			case <-t.C:
-				if err := w.Client.Heartbeat(w.JobID, w.ID, sh.ID); errors.Is(err, ErrNotOwner) {
+				hctx := sctx
+				var hcancel context.CancelFunc = func() {}
+				if hbTimeout > 0 {
+					hctx, hcancel = context.WithTimeout(sctx, hbTimeout)
+				}
+				err := w.Client.Heartbeat(hctx, w.JobID, w.ID, sh.ID, epoch)
+				hcancel()
+				if errors.Is(err, ErrNotOwner) || errors.Is(err, ErrStaleLease) {
 					lost()
 					return
 				}
+				// Transient failures wait for the next tick — the lease
+				// outlives a few missed renewals by construction.
 			}
 		}
 	}()
@@ -270,7 +348,7 @@ func (w *Worker) processShard(ctx context.Context, run *pipeline.Run, variants [
 		return err
 	}
 	if sweepErr != nil && !tolerableSweepErr(sweepErr) {
-		return w.failShard(ctx, sh, sweepErr)
+		return w.failShard(ctx, stats, sh, epoch, sweepErr)
 	}
 
 	results, replayed := collectResults(w.fsys(), w.journalPath(sh), sh, slice, evals)
@@ -283,13 +361,21 @@ func (w *Worker) processShard(ctx context.Context, run *pipeline.Run, variants [
 			})
 		}
 	}
-	if err := w.call(ctx, func() error {
-		return w.Client.Complete(w.JobID, w.ID, sh.ID, results, failures)
+	if err := w.call(ctx, stats, 0, func(actx context.Context) error {
+		return w.Client.Complete(actx, w.JobID, w.ID, sh.ID, epoch, results, failures)
 	}); err != nil {
+		if errors.Is(err, ErrStaleLease) || errors.Is(err, ErrNotOwner) {
+			// Fenced off: the lease expired and the shard was re-granted
+			// while we raced to report. The journal stays for the new
+			// holder to replay — a lost lease, not a failure.
+			stats.LeasesLost++
+			stats.StaleFenced++
+			return nil
+		}
 		if errors.Is(err, ErrConflict) {
 			return err // deterministic: stop before poisoning more shards
 		}
-		return w.failShard(ctx, sh, err)
+		return w.failShard(ctx, stats, sh, epoch, err)
 	}
 	stats.Shards++
 	stats.Variants += len(results)
@@ -308,10 +394,16 @@ func (w *Worker) replaySweep(ctx context.Context, run *pipeline.Run, slice []*hw
 }
 
 // failShard reports a whole-shard failure, preferring the original error.
-func (w *Worker) failShard(ctx context.Context, sh Shard, cause error) error {
-	if err := w.call(ctx, func() error {
-		return w.Client.Fail(w.JobID, w.ID, sh.ID, cause.Error())
+func (w *Worker) failShard(ctx context.Context, stats *WorkerStats, sh Shard, epoch uint64, cause error) error {
+	if err := w.call(ctx, stats, 0, func(actx context.Context) error {
+		return w.Client.Fail(actx, w.JobID, w.ID, sh.ID, epoch, cause.Error())
 	}); err != nil {
+		if errors.Is(err, ErrStaleLease) {
+			// The shard was re-granted before the failure report landed;
+			// its outcome belongs to the new holder now.
+			stats.StaleFenced++
+			return nil
+		}
 		return fmt.Errorf("%v (and reporting it failed: %w)", cause, err)
 	}
 	return nil

@@ -314,7 +314,7 @@ func TestServiceListAndDetail(t *testing.T) {
 	spec, _ := sordSpec(t)
 	coord, client, jobID := serveJob(t, spec, shard.Config{Lease: 30 * time.Second})
 
-	detail, err := client.Detail(jobID)
+	detail, err := client.Detail(context.Background(), jobID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +337,7 @@ func TestServiceListAndDetail(t *testing.T) {
 		}
 	}
 	// Unknown jobs 404 with a typed error.
-	if _, err := client.Lease("no-such-job", "w"); err == nil {
+	if _, err := client.Lease(context.Background(), "no-such-job", "w"); err == nil {
 		t.Fatal("lease against unknown job succeeded")
 	}
 }
